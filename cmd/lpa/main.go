@@ -1,0 +1,110 @@
+// Command lpa runs the Loopapalooza limit study on one LPC program.
+//
+// Usage:
+//
+//	lpa [-config "reduc1-dep1-fn2 HELIX"] prog.lpc
+//	lpa -all prog.lpc        # every paper configuration
+//	lpa -ir prog.lpc         # dump the canonicalized IR
+//	lpa -run prog.lpc        # just execute the program
+//
+// With no file, lpa reads the program from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/core"
+	"loopapalooza/internal/interp"
+	"loopapalooza/internal/lang"
+)
+
+func main() {
+	cfgStr := flag.String("config", "reduc1-dep1-fn2 HELIX", "limit-study configuration")
+	all := flag.Bool("all", false, "run every paper configuration")
+	dumpIR := flag.Bool("ir", false, "print the canonicalized IR and loop analysis, then exit")
+	justRun := flag.Bool("run", false, "execute the program without the limit study")
+	flag.Parse()
+
+	if err := run(*cfgStr, *all, *dumpIR, *justRun, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "lpa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfgStr string, all, dumpIR, justRun bool, path string) error {
+	name := "<stdin>"
+	var src []byte
+	var err error
+	if path == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		name = path
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+
+	if dumpIR {
+		m, err := lang.Compile(name, string(src))
+		if err != nil {
+			return err
+		}
+		info, err := analysis.AnalyzeModule(m)
+		if err != nil {
+			return err
+		}
+		fmt.Print(m)
+		fmt.Println("loops:")
+		for _, lm := range info.Loops {
+			fmt.Printf("  %-24s depth %d  IVs %d  reductions %d  non-computable LCDs %d  calls=%v\n",
+				lm.ID(), lm.Loop.Depth, len(lm.Computable), len(lm.Reductions),
+				len(lm.NonComputable), lm.HasCall)
+			for _, line := range lm.SCEV.SortedEvoStrings() {
+				fmt.Printf("      %s\n", line)
+			}
+		}
+		return nil
+	}
+
+	info, err := core.AnalyzeSource(name, string(src))
+	if err != nil {
+		return err
+	}
+
+	if justRun {
+		in := interp.New(info, interp.Config{Out: os.Stdout})
+		res, err := in.Run("main")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("main returned %d after %d IR instructions\n", res.Ret.I, res.Steps)
+		return nil
+	}
+
+	if all {
+		for _, cfg := range core.PaperConfigs() {
+			r, err := core.Run(info, cfg, core.RunOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-28s speedup %8.2fx  coverage %5.1f%%\n", cfg, r.Speedup(), 100*r.Coverage())
+		}
+		return nil
+	}
+
+	cfg, err := core.ParseConfig(cfgStr)
+	if err != nil {
+		return err
+	}
+	r, err := core.Run(info, cfg, core.RunOptions{Out: os.Stdout})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r)
+	return nil
+}

@@ -1,0 +1,156 @@
+// Command lpbench regenerates the evaluation of the Loopapalooza paper:
+// Figures 2–5 over the synthetic SPEC/EEMBC-like benchmark suites.
+//
+// Usage:
+//
+//	lpbench                  # all figures
+//	lpbench -figure 2        # one figure
+//	lpbench -bench 181.mcf   # per-benchmark report under every paper config
+//	lpbench -list            # list benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loopapalooza/internal/bench"
+	"loopapalooza/internal/core"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "regenerate one figure (2-5); 0 = all")
+	benchName := flag.String("bench", "", "report a single benchmark under every paper configuration")
+	list := flag.Bool("list", false, "list registered benchmarks")
+	matrix := flag.Bool("matrix", false, "per-benchmark speedups under key configurations")
+	flag.Parse()
+
+	if *matrix {
+		if err := printMatrix(); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-10s %-16s %s\n", b.Suite, b.Name, b.Modeled)
+		}
+		return
+	}
+	if *benchName != "" {
+		if err := reportOne(*benchName); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	h := bench.NewHarness()
+	run := func(n int) error {
+		switch n {
+		case 2:
+			rows, err := h.Figure2()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatSpeedupFigure(
+				"Figure 2: GEOMEAN speedups, non-numeric suites (SpecINT-like)",
+				bench.NonNumericSuites(), rows))
+		case 3:
+			rows, err := h.Figure3()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatSpeedupFigure(
+				"Figure 3: GEOMEAN speedups, numeric suites (EEMBC/SpecFP-like)",
+				bench.NumericSuites(), rows))
+		case 4:
+			rows, err := h.Figure4()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFigure4(rows))
+		case 5:
+			rows, err := h.Figure5()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFigure5(rows))
+		default:
+			return fmt.Errorf("no figure %d (the paper has figures 2-5)", n)
+		}
+		fmt.Println()
+		return nil
+	}
+	if *figure != 0 {
+		if err := run(*figure); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for n := 2; n <= 5; n++ {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printMatrix() error {
+	cfgs := []core.Config{
+		{Model: core.DOALL},
+		{Model: core.PDOALL, Reduc: 1, Dep: 2, Fn: 2},
+		{Model: core.PDOALL, Reduc: 0, Dep: 3, Fn: 3},
+		{Model: core.HELIX, Reduc: 0, Dep: 0, Fn: 2},
+		{Model: core.HELIX, Reduc: 1, Dep: 1, Fn: 2},
+	}
+	h := bench.NewHarness()
+	if err := h.Prefetch(bench.All(), cfgs); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-16s %9s %9s %9s %9s %9s %10s\n",
+		"suite", "benchmark", "doall", "pd-r1d2f2", "pd-d3f3", "hx-d0f2", "hx-r1d1f2", "serialMI")
+	for _, b := range bench.All() {
+		var cells []string
+		var serial int64
+		for _, cfg := range cfgs {
+			r, err := h.Report(b, cfg)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%8.2fx", r.Speedup()))
+			serial = r.SerialCost
+		}
+		fmt.Printf("%-10s %-16s %s %9.2f\n", b.Suite, b.Name,
+			joinCells(cells), float64(serial)/1e6)
+	}
+	return nil
+}
+
+func joinCells(cells []string) string {
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += " "
+		}
+		out += c
+	}
+	return out
+}
+
+func reportOne(name string) error {
+	b := bench.ByName(name)
+	if b == nil {
+		return fmt.Errorf("unknown benchmark %q (try -list)", name)
+	}
+	fmt.Printf("%s (%s): %s\n\n", b.Name, b.Suite, b.Modeled)
+	for _, cfg := range core.PaperConfigs() {
+		r, err := b.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s speedup %8.2fx  coverage %5.1f%%\n", cfg, r.Speedup(), 100*r.Coverage())
+	}
+	return nil
+}

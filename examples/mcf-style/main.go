@@ -1,0 +1,81 @@
+// mcf-style: a deep dive into the paper's §IV observation that some
+// benchmarks (179.art, 429.mcf, 450.soplex, 482.sphinx) prefer Partial-
+// DOALL over HELIX.
+//
+// The workload scans a network's arcs; only rare, strongly-negative arcs
+// update shared node potentials, and the update lands at the very end of
+// the iteration. PDOALL pays a restart only when a conflict actually
+// manifests; HELIX inserts synchronization between every pair of
+// neighboring iterations sized by the producer-consumer gap — which here is
+// nearly the whole iteration. The example prints both models' reports and
+// the per-loop diagnostics that explain the winner.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lp "loopapalooza"
+)
+
+const program = `
+const ARCS = 4000;
+const NODES = 64;
+var tail [ARCS]int;
+var head [ARCS]int;
+var cost [ARCS]int;
+var potential [NODES]int;
+func main() int {
+	var i int;
+	for (i = 0; i < ARCS; i = i + 1) {
+		tail[i] = (i * 31 + 1) % NODES;
+		head[i] = (i * 67 + 5) % NODES;
+		cost[i] = (i * 13 + 3) % 60 - 30;
+	}
+	for (i = 0; i < NODES; i = i + 1) { potential[i] = (i * 11) % 40; }
+	var pass int;
+	var pushes int = 0;
+	for (pass = 0; pass < 3; pass = pass + 1) {
+		var a int;
+		for (a = 0; a < ARCS; a = a + 1) {
+			// Long independent pricing computation...
+			var red int = cost[a] + potential[tail[a]] - potential[head[a]];
+			var score int = red;
+			var k int;
+			for (k = 0; k < 6; k = k + 1) { score = (score * 3 + k) % 997; }
+			// ...and a rare, late shared update.
+			if (red < -55 && score % 7 == 0) {
+				potential[head[a]] = potential[head[a]] + red / 2;
+				pushes = pushes + 1;
+			}
+		}
+	}
+	return pushes * 1000 + potential[5];
+}`
+
+func main() {
+	info, err := lp.Analyze("mcf-style", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd, err := lp.StudyAnalyzed(info, lp.BestPDOALL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hx, err := lp.StudyAnalyzed(info, lp.BestHELIX())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("best PDOALL (%s): %.2fx\n", pd.Config, pd.Speedup())
+	fmt.Printf("best HELIX  (%s): %.2fx\n", hx.Config, hx.Speedup())
+	winner := "HELIX"
+	if pd.Speedup() > hx.Speedup() {
+		winner = "PDOALL"
+	}
+	fmt.Printf("winner: %s — as the paper observes for mcf-like workloads,\n", winner)
+	fmt.Println("infrequent conflicts favor speculation over synchronization.")
+	fmt.Println()
+	fmt.Println(pd)
+	fmt.Println(hx)
+}

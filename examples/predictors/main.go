@@ -1,0 +1,85 @@
+// predictors: explore the §III-C value predictors on characteristic
+// loop-carried value streams, and connect predictor hit rates to the dep2
+// configuration's effect on a real kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lp "loopapalooza"
+	"loopapalooza/internal/predict"
+)
+
+func rate(vals []uint64) float64 {
+	h := predict.NewHybrid()
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h.HitRate()
+}
+
+func main() {
+	n := 2000
+
+	constant := make([]uint64, n)
+	for i := range constant {
+		constant[i] = 42
+	}
+	stride := make([]uint64, n)
+	for i := range stride {
+		stride[i] = uint64(7 + 3*i)
+	}
+	periodic := make([]uint64, n)
+	pattern := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	for i := range periodic {
+		periodic[i] = pattern[i%len(pattern)]
+	}
+	random := make([]uint64, n)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range random {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		random[i] = x
+	}
+
+	fmt.Println("hybrid (last-value + stride + 2-delta + FCM) hit rates:")
+	fmt.Printf("  constant stream   %5.1f%%  (last-value territory)\n", 100*rate(constant))
+	fmt.Printf("  affine stream     %5.1f%%  (stride territory)\n", 100*rate(stride))
+	fmt.Printf("  periodic stream   %5.1f%%  (FCM territory)\n", 100*rate(periodic))
+	fmt.Printf("  random stream     %5.1f%%  (nothing helps)\n", 100*rate(random))
+	fmt.Println()
+
+	// The same effect, end to end: a loop whose only constraint is a
+	// memory-loaded stride cursor — unparallelizable under dep0,
+	// unlocked by dep2 because the cursor stream is affine.
+	const program = `
+const N = 2000;
+var out [N]float;
+var step [1]int;
+func main() int {
+	step[0] = 3;
+	var cur int = 0;
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		cur = cur + step[0];
+		out[i] = float(cur % 17) * 0.25;
+	}
+	return cur;
+}`
+	for _, dep := range []int{0, 2, 3} {
+		cfg := lp.Config{Model: lp.PDOALL, Reduc: 1, Dep: dep, Fn: 2}
+		r, err := lp.Study("cursor", program, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s speedup %7.2fx", cfg, r.Speedup())
+		for _, lr := range r.Loops {
+			if lr.NonComputable > 0 && dep == 2 {
+				fmt.Printf("  (cursor hit rate %.0f%%)", 100*lr.PredHitRate)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: run the Loopapalooza limit study on a small program and read
+// the report.
+//
+// The program sums a table inside a counted loop. The induction variable is
+// a computable IV, the sum is a reduction — so the loop parallelizes as
+// soon as reductions are decoupled (reduc1), and stays serial under reduc0
+// with dep0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lp "loopapalooza"
+)
+
+const program = `
+const N = 1000;
+var tab [N]int;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) { tab[i] = i * 3 % 17; }
+	var sum int = 0;
+	for (i = 0; i < N; i = i + 1) { sum = sum + tab[i]; }
+	return sum;
+}`
+
+func main() {
+	// Analyze once; the compile-time component is configuration-free.
+	info, err := lp.Analyze("quickstart", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range []lp.Config{
+		{Model: lp.DOALL, Reduc: 0, Dep: 0, Fn: 0},
+		{Model: lp.DOALL, Reduc: 1, Dep: 0, Fn: 0},
+		lp.BestHELIX(),
+	} {
+		report, err := lp.StudyAnalyzed(info, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s speedup %7.2fx  coverage %5.1f%%\n",
+			cfg, report.Speedup(), 100*report.Coverage())
+	}
+
+	// The full report names each loop and why it did or did not
+	// parallelize.
+	report, err := lp.StudyAnalyzed(info, lp.Config{Model: lp.DOALL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(report)
+}

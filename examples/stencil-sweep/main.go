@@ -1,0 +1,67 @@
+// stencil-sweep: walk a numeric workload up the paper's whole configuration
+// ladder (Figures 2/3 style) and watch each Table II relaxation unlock a
+// different part of the program.
+//
+// The workload combines the four phase types the kernels of this repo are
+// built from: a serial input read, a DOALL stencil, a reduction (norm), a
+// math-call phase, and an in-place recurrence that only HELIX pipelines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lp "loopapalooza"
+)
+
+const program = `
+const W = 40;
+const H = 40;
+var grid [W * H]float;
+var next [W * H]float;
+func main() int {
+	var i int; var j int;
+	// Serial input read (library call per element).
+	for (i = 0; i < W * H; i = i + 1) {
+		var sv int = rand();
+		grid[i] = float(sv % 97) * 0.01;
+	}
+	var t int;
+	var norm float = 0.0;
+	for (t = 0; t < 8; t = t + 1) {
+		// DOALL stencil.
+		for (i = 1; i < H - 1; i = i + 1) {
+			for (j = 1; j < W - 1; j = j + 1) {
+				var c int = i * W + j;
+				next[c] = 0.25 * (grid[c - 1] + grid[c + 1] + grid[c - W] + grid[c + W]);
+			}
+		}
+		// Reduction: convergence norm (reduc1 decouples it).
+		norm = 0.0;
+		for (i = 0; i < W * H; i = i + 1) { norm = norm + fabs(next[i] - grid[i]); }
+		// Math-call phase (fn flags gate it).
+		for (i = 0; i < W * H; i = i + 1) { grid[i] = sqrt(next[i] * next[i] + 0.01); }
+		// In-place recurrence, produced early (HELIX pipelines it).
+		for (i = 1; i < W * H; i = i + 1) {
+			grid[i] = grid[i] * 0.9 + grid[i - 1] * 0.1;
+			var w float = grid[i];
+			next[i] = next[i] * 0.5 + (w * 0.2 + w * w * 0.01) * 0.5;
+		}
+	}
+	return int(norm * 1000.0);
+}`
+
+func main() {
+	info, err := lp.Analyze("stencil-sweep", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %10s %10s\n", "configuration", "speedup", "coverage")
+	for _, cfg := range lp.PaperConfigs() {
+		r, err := lp.StudyAnalyzed(info, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9.2fx %9.1f%%\n", cfg, r.Speedup(), 100*r.Coverage())
+	}
+}

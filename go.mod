@@ -1,0 +1,3 @@
+module loopapalooza
+
+go 1.22

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"loopapalooza/internal/ir"
+)
+
+// DeadCodeElim removes instructions whose results are never used and that
+// have no side effects (everything except stores, calls, and terminators).
+// It iterates to a fixed point, so cyclic groups of dead phis — the
+// artifacts of non-pruned SSA construction — disappear, matching the effect
+// of LLVM's -O pipeline after mem2reg. It returns the number of
+// instructions removed.
+func DeadCodeElim(f *ir.Function) int {
+	// Mark-and-sweep: roots are side-effecting instructions; liveness
+	// propagates through operands. Cyclic groups of dead phis are never
+	// marked and are swept together.
+	live := map[*ir.Instr]bool{}
+	var work []*ir.Instr
+	mark := func(v ir.Value) {
+		if i, ok := v.(*ir.Instr); ok && !live[i] {
+			live[i] = true
+			work = append(work, i)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			switch i.Op {
+			case ir.OpStore, ir.OpCall, ir.OpBr, ir.OpJmp, ir.OpRet:
+				mark(i)
+			}
+		}
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range i.Args {
+			mark(a)
+		}
+	}
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, i := range b.Instrs {
+			if live[i] {
+				kept = append(kept, i)
+			} else {
+				removed++
+			}
+		}
+		b.Instrs = append([]*ir.Instr(nil), kept...)
+	}
+	return removed
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and prunes
+// phi incomings that referenced them. It returns the number of blocks
+// removed. Run before SSA construction: unreachable code would otherwise
+// keep references to promoted allocas alive.
+func RemoveUnreachable(f *ir.Function) int {
+	f.Renumber()
+	reach := make([]bool, len(f.Blocks))
+	stack := []*ir.Block{f.Entry()}
+	reach[f.Entry().Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !reach[s.Index] {
+				reach[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	removed := 0
+	var kept []*ir.Block
+	dead := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		if reach[b.Index] {
+			kept = append(kept, b)
+		} else {
+			dead[b] = true
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	f.Blocks = kept
+	f.Renumber()
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			var args []ir.Value
+			var blocks []*ir.Block
+			for k, in := range phi.Blocks {
+				if !dead[in] {
+					args = append(args, phi.Args[k])
+					blocks = append(blocks, in)
+				}
+			}
+			phi.Args, phi.Blocks = args, blocks
+		}
+	}
+	return removed
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"testing"
+
+	"loopapalooza/internal/ir"
+)
+
+// diamond builds:
+//
+//	entry -> a -> {b, c} -> d -> exit
+func diamond(t *testing.T) *ir.Function {
+	t.Helper()
+	m := ir.NewModule("dom")
+	f := m.AddFunction("f", ir.Void, &ir.Param{Nm: "c", Ty: ir.Bool})
+	bld := ir.NewBuilder(f)
+	a := f.NewBlock("a")
+	b := f.NewBlock("b")
+	c := f.NewBlock("c")
+	d := f.NewBlock("d")
+	bld.Jmp(a)
+	bld.SetBlock(a)
+	bld.Br(f.Params[0], b, c)
+	bld.SetBlock(b)
+	bld.Jmp(d)
+	bld.SetBlock(c)
+	bld.Jmp(d)
+	bld.SetBlock(d)
+	bld.Ret(nil)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f := diamond(t)
+	dt := BuildDomTree(f)
+	entry, a, b, c, d := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3], f.Blocks[4]
+
+	if dt.Idom(entry) != nil {
+		t.Errorf("idom(entry) = %v, want nil", dt.Idom(entry))
+	}
+	if dt.Idom(a) != entry {
+		t.Errorf("idom(a) = %v, want entry", dt.Idom(a))
+	}
+	if dt.Idom(b) != a || dt.Idom(c) != a {
+		t.Errorf("idom(b)=%v idom(c)=%v, want a", dt.Idom(b), dt.Idom(c))
+	}
+	if dt.Idom(d) != a {
+		t.Errorf("idom(d) = %v, want a (join point)", dt.Idom(d))
+	}
+	if !dt.Dominates(a, d) || dt.Dominates(b, d) || !dt.Dominates(d, d) {
+		t.Error("Dominates answers wrong on diamond")
+	}
+}
+
+func TestDomFrontiersDiamond(t *testing.T) {
+	f := diamond(t)
+	dt := BuildDomTree(f)
+	df := dt.Frontiers()
+	b, c, d := f.Blocks[2], f.Blocks[3], f.Blocks[4]
+	if len(df[b.Index]) != 1 || df[b.Index][0] != d {
+		t.Errorf("DF(b) = %v, want [d]", df[b.Index])
+	}
+	if len(df[c.Index]) != 1 || df[c.Index][0] != d {
+		t.Errorf("DF(c) = %v, want [d]", df[c.Index])
+	}
+	if len(df[d.Index]) != 0 {
+		t.Errorf("DF(d) = %v, want empty", df[d.Index])
+	}
+}
+
+func TestDomTreeUnreachable(t *testing.T) {
+	m := ir.NewModule("u")
+	f := m.AddFunction("f", ir.Void)
+	bld := ir.NewBuilder(f)
+	dead := f.NewBlock("dead")
+	bld.Ret(nil)
+	bld.SetBlock(dead)
+	bld.Ret(nil)
+	dt := BuildDomTree(f)
+	if dt.Reachable(dead) {
+		t.Error("dead block reported reachable")
+	}
+	if dt.Dominates(dead, f.Entry()) || dt.Dominates(f.Entry(), dead) {
+		t.Error("dominance involving unreachable block should be false")
+	}
+}
+
+func TestDomTreeLoopBack(t *testing.T) {
+	// entry -> head <-> body; head -> exit. head dominates body.
+	m := ir.NewModule("l")
+	f := m.AddFunction("f", ir.Void, &ir.Param{Nm: "c", Ty: ir.Bool})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	bld.Br(f.Params[0], body, exit)
+	bld.SetBlock(body)
+	bld.Jmp(head)
+	bld.SetBlock(exit)
+	bld.Ret(nil)
+	dt := BuildDomTree(f)
+	if dt.Idom(body) != head {
+		t.Errorf("idom(body) = %v, want head", dt.Idom(body))
+	}
+	if !dt.Dominates(head, body) || dt.Dominates(body, head) {
+		t.Error("loop dominance wrong")
+	}
+	// RPO has entry first.
+	if dt.RPO()[0] != f.Entry() {
+		t.Error("RPO does not start with entry")
+	}
+}

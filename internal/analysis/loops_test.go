@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"testing"
+
+	"loopapalooza/internal/ir"
+)
+
+// nestedLoops builds a doubly nested counted loop with allocas (pre-SSA):
+//
+//	for (i = 0; i < n; i++) { for (j = 0; j < n; j++) { s += j } }
+func nestedLoops(t *testing.T) (*ir.Module, *ir.Function) {
+	t.Helper()
+	m := ir.NewModule("nest")
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+
+	i := bld.Alloca(ir.Int, ir.ConstInt(1), "i")
+	j := bld.Alloca(ir.Int, ir.ConstInt(1), "j")
+	s := bld.Alloca(ir.Int, ir.ConstInt(1), "s")
+	bld.Store(i, ir.ConstInt(0))
+	bld.Store(s, ir.ConstInt(0))
+
+	oHead := f.NewBlock("ohead")
+	oBody := f.NewBlock("obody")
+	iHead := f.NewBlock("ihead")
+	iBody := f.NewBlock("ibody")
+	oLatch := f.NewBlock("olatch")
+	exit := f.NewBlock("exit")
+
+	bld.Jmp(oHead)
+	bld.SetBlock(oHead)
+	iv := bld.Load(i)
+	c := bld.Compare(ir.OpLt, iv, f.Params[0])
+	bld.Br(c, oBody, exit)
+
+	bld.SetBlock(oBody)
+	bld.Store(j, ir.ConstInt(0))
+	bld.Jmp(iHead)
+
+	bld.SetBlock(iHead)
+	jv := bld.Load(j)
+	c2 := bld.Compare(ir.OpLt, jv, f.Params[0])
+	bld.Br(c2, iBody, oLatch)
+
+	bld.SetBlock(iBody)
+	sv := bld.Load(s)
+	jv2 := bld.Load(j)
+	bld.Store(s, bld.Binary(ir.OpAdd, sv, jv2))
+	bld.Store(j, bld.Binary(ir.OpAdd, jv2, ir.ConstInt(1)))
+	bld.Jmp(iHead)
+
+	bld.SetBlock(oLatch)
+	iv2 := bld.Load(i)
+	bld.Store(i, bld.Binary(ir.OpAdd, iv2, ir.ConstInt(1)))
+	bld.Jmp(oHead)
+
+	bld.SetBlock(exit)
+	bld.Ret(bld.Load(s))
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, f
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	_, f := nestedLoops(t)
+	dt := BuildDomTree(f)
+	forest := FindLoops(f, dt)
+	if len(forest.All) != 2 {
+		t.Fatalf("found %d loops, want 2", len(forest.All))
+	}
+	outer := forest.Top[0]
+	if len(forest.Top) != 1 || len(outer.Children) != 1 {
+		t.Fatalf("nesting wrong: top=%d children=%d", len(forest.Top), len(outer.Children))
+	}
+	inner := outer.Children[0]
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d,%d want 1,2", outer.Depth, inner.Depth)
+	}
+	if outer.Header.Name != "ohead" || inner.Header.Name != "ihead" {
+		t.Errorf("headers = %s,%s", outer.Header.Name, inner.Header.Name)
+	}
+	if !outer.Contains(inner.Header) || inner.Contains(outer.Header) {
+		t.Error("containment wrong")
+	}
+}
+
+func TestLoopSimplifyCanonicalizes(t *testing.T) {
+	_, f := nestedLoops(t)
+	_, forest := LoopSimplify(f)
+	for _, l := range forest.All {
+		if l.Preheader == nil {
+			t.Errorf("loop %s lacks preheader", l.ID())
+		}
+		if l.Latch == nil {
+			t.Errorf("loop %s lacks unique latch", l.ID())
+		}
+	}
+	if err := ir.Verify(f.Module); err != nil {
+		t.Fatalf("module invalid after simplify: %v\n%s", err, f)
+	}
+}
+
+// TestLoopSimplifyMultiLatch exercises latch merging: a loop with two back
+// edges (continue-style) must get a single merged latch, with phis fixed.
+func TestLoopSimplifyMultiLatch(t *testing.T) {
+	m := ir.NewModule("ml")
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int}, &ir.Param{Nm: "c", Ty: ir.Bool})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	alt := f.NewBlock("alt")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+
+	bld.SetBlock(head)
+	phi := bld.Phi(ir.Int, "i")
+	cond := bld.Compare(ir.OpLt, phi, f.Params[0])
+	bld.Br(cond, body, exit)
+
+	bld.SetBlock(body)
+	inc1 := bld.Binary(ir.OpAdd, phi, ir.ConstInt(1))
+	bld.Br(f.Params[1], head, alt) // back edge 1
+
+	bld.SetBlock(alt)
+	inc2 := bld.Binary(ir.OpAdd, phi, ir.ConstInt(2))
+	bld.Jmp(head) // back edge 2
+
+	phi.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	phi.SetPhiIncoming(body, inc1)
+	phi.SetPhiIncoming(alt, inc2)
+
+	bld.SetBlock(exit)
+	bld.Ret(phi)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+
+	_, forest := LoopSimplify(f)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("invalid after simplify: %v\n%s", err, f)
+	}
+	if len(forest.All) != 1 {
+		t.Fatalf("loops = %d, want 1", len(forest.All))
+	}
+	l := forest.All[0]
+	if l.Latch == nil || l.Preheader == nil {
+		t.Fatalf("loop not canonical: latch=%v preheader=%v", l.Latch, l.Preheader)
+	}
+	// The merged latch must carry a phi merging inc1/inc2, and the header
+	// phi must now have exactly two incomings (preheader + latch).
+	if got := len(l.Header.Phis()[0].Blocks); got != 2 {
+		t.Errorf("header phi has %d incomings, want 2", got)
+	}
+	if got := len(l.Latch.Phis()); got != 1 {
+		t.Errorf("latch has %d phis, want 1 (merged)", got)
+	}
+}
+
+func TestLoopExits(t *testing.T) {
+	_, f := nestedLoops(t)
+	_, forest := LoopSimplify(f)
+	for _, l := range forest.All {
+		exits := l.Exits()
+		if len(exits) != 1 {
+			t.Errorf("loop %s exits = %d, want 1", l.ID(), len(exits))
+		}
+		for _, e := range exits {
+			if l.Contains(e) {
+				t.Errorf("exit %s inside loop", e.Name)
+			}
+		}
+	}
+}
+
+func TestLoopOf(t *testing.T) {
+	_, f := nestedLoops(t)
+	dt, forest := LoopSimplify(f)
+	_ = dt
+	inner := forest.Top[0].Children[0]
+	if got := forest.LoopOf(inner.Header); got != inner {
+		t.Errorf("LoopOf(inner header) = %v, want inner", got)
+	}
+	if got := forest.LoopOf(f.Entry()); got != nil {
+		t.Errorf("LoopOf(entry) = %v, want nil", got)
+	}
+}

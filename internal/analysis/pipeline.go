@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+
+	"loopapalooza/internal/ir"
+)
+
+// LoopMeta is the per-loop output of the compile-time component: everything
+// the run-time limit study needs to know about one canonical loop.
+type LoopMeta struct {
+	// Loop is the canonical loop (preheader + unique latch).
+	Loop *Loop
+	// Seq is a stable per-module sequence number.
+	Seq int
+	// SCEV is the scalar-evolution classification of the header phis.
+	SCEV *ScalarEvolution
+	// Computable are header phis with an add-recurrence evolution
+	// (IVs and MIVs): never a parallelization constraint.
+	Computable []*ir.Instr
+	// Reductions are recognized reduction recurrences among the
+	// non-computable phis.
+	Reductions []*Reduction
+	// NonComputable are the remaining header phis: true register LCDs
+	// that are neither computable nor reductions.
+	NonComputable []*ir.Instr
+	// Observed is NonComputable followed by the reduction phis: the
+	// phis whose per-iteration values the run-time observes. The engine
+	// selects the subset that constrains parallelism per configuration
+	// (reduc0 adds the reduction phis to the constraint set).
+	Observed []*ir.Instr
+	// ObservedLatch are the latch incoming values of Observed, in the
+	// same order: the per-iteration producers.
+	ObservedLatch []ir.Value
+	// HasCall reports whether any block of the loop contains a call.
+	HasCall bool
+	// HasNonPureCall reports whether the loop contains a call that is
+	// not compiler-proven pure (constrains fn1).
+	HasNonPureCall bool
+	// HasUnsafeOrIOCall reports whether the loop contains a call that
+	// transitively reaches I/O or non-re-entrant library state
+	// (constrains fn2).
+	HasUnsafeOrIOCall bool
+}
+
+// ID returns the loop's stable identifier.
+func (lm *LoopMeta) ID() string { return lm.Loop.ID() }
+
+// NumObservedNonComputable returns how many leading entries of Observed are
+// plain non-computable LCDs (the rest are reduction phis).
+func (lm *LoopMeta) NumObservedNonComputable() int { return len(lm.NonComputable) }
+
+// FuncInfo is the analysis result for one function.
+type FuncInfo struct {
+	// Fn is the analyzed function.
+	Fn *ir.Function
+	// Dom is the dominator tree after canonicalization.
+	Dom *DomTree
+	// Forest is the loop forest after canonicalization.
+	Forest *LoopForest
+	// Metas are the loop metadata records, outer loops first.
+	Metas []*LoopMeta
+	// HeaderMeta maps a loop header block to its metadata.
+	HeaderMeta map[*ir.Block]*LoopMeta
+}
+
+// ModuleInfo is the full compile-time analysis of a module.
+type ModuleInfo struct {
+	// Mod is the analyzed (and canonicalized) module.
+	Mod *ir.Module
+	// Funcs maps each function to its analysis.
+	Funcs map[*ir.Function]*FuncInfo
+	// Purity is the module-wide call classification.
+	Purity *Purity
+	// Loops lists every loop meta in the module, in a stable order.
+	Loops []*LoopMeta
+}
+
+// AnalyzeModule runs the full compile-time pipeline on m, mutating it:
+// loop simplification (canonical preheaders/latches), SSA promotion
+// (mem2reg), scalar evolution, reduction recognition, purity analysis, and
+// per-loop call classification. The module must verify before and after.
+func AnalyzeModule(m *ir.Module) (*ModuleInfo, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("analysis: input module invalid: %w", err)
+	}
+	info := &ModuleInfo{Mod: m, Funcs: map[*ir.Function]*FuncInfo{}}
+	for _, f := range m.Funcs {
+		RemoveUnreachable(f)
+		Mem2Reg(f)
+		DeadCodeElim(f)
+		dt, forest := LoopSimplify(f)
+		// mem2reg before simplify handles straight-line code;
+		// a second promotion pass after loop canonicalization catches
+		// slots whose loads/stores were rearranged by edge splitting.
+		if Mem2Reg(f) > 0 {
+			DeadCodeElim(f)
+			dt, forest = LoopSimplify(f)
+		}
+		info.Funcs[f] = &FuncInfo{Fn: f, Dom: dt, Forest: forest, HeaderMeta: map[*ir.Block]*LoopMeta{}}
+	}
+	info.Purity = AnalyzePurity(m)
+
+	seq := 0
+	for _, f := range m.Funcs {
+		fi := info.Funcs[f]
+		for _, l := range fi.Forest.All {
+			lm := buildLoopMeta(l, info.Purity)
+			lm.Seq = seq
+			seq++
+			fi.Metas = append(fi.Metas, lm)
+			fi.HeaderMeta[l.Header] = lm
+			info.Loops = append(info.Loops, lm)
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("analysis: module invalid after canonicalization: %w", err)
+	}
+	return info, nil
+}
+
+func buildLoopMeta(l *Loop, pur *Purity) *LoopMeta {
+	lm := &LoopMeta{Loop: l}
+	lm.SCEV = ComputeSCEV(l)
+	lm.Computable = lm.SCEV.ComputablePhis()
+	lm.Reductions = FindReductions(l, lm.SCEV)
+	isRed := map[*ir.Instr]bool{}
+	for _, r := range lm.Reductions {
+		isRed[r.Phi] = true
+	}
+	for _, p := range lm.SCEV.NonComputablePhis() {
+		if !isRed[p] {
+			lm.NonComputable = append(lm.NonComputable, p)
+		}
+	}
+
+	lm.Observed = append(lm.Observed, lm.NonComputable...)
+	for _, r := range lm.Reductions {
+		lm.Observed = append(lm.Observed, r.Phi)
+	}
+	if l.Latch != nil {
+		for _, p := range lm.Observed {
+			lm.ObservedLatch = append(lm.ObservedLatch, p.PhiIncoming(l.Latch))
+		}
+	}
+
+	for _, b := range blocksInOrder(l) {
+		for _, i := range b.Instrs {
+			if i.Op != ir.OpCall {
+				continue
+			}
+			lm.HasCall = true
+			class := pur.ClassifyCall(i)
+			if class != CallPure {
+				lm.HasNonPureCall = true
+			}
+			switch class {
+			case CallIO, CallUnsafe:
+				lm.HasUnsafeOrIOCall = true
+			case CallInstrumented:
+				if i.Callee != nil && (pur.CallsUnsafe(i.Callee) || pur.DoesIO(i.Callee)) {
+					lm.HasUnsafeOrIOCall = true
+				}
+			}
+		}
+	}
+	return lm
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loopapalooza/internal/ir"
+)
+
+// randomCFG builds a function with n blocks and pseudo-random conditional
+// branches (deterministic in seed). Every block ends in a br to two targets
+// or a ret, so the CFG is well formed by construction.
+func randomCFG(seed int64, n int) *ir.Function {
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule("rand")
+	f := m.AddFunction("f", ir.Void, &ir.Param{Nm: "c", Ty: ir.Bool})
+	bld := ir.NewBuilder(f)
+	blocks := []*ir.Block{f.Entry()}
+	for i := 1; i < n; i++ {
+		blocks = append(blocks, f.NewBlock("b"))
+	}
+	for i, b := range blocks {
+		bld.SetBlock(b)
+		switch rng.Intn(4) {
+		case 0:
+			bld.Ret(nil)
+		default:
+			// Bias edges forward so most blocks are reachable, with
+			// occasional back edges forming loops.
+			t1 := blocks[rng.Intn(n)]
+			t2 := blocks[rng.Intn(n)]
+			if i+1 < n && rng.Intn(3) > 0 {
+				t1 = blocks[i+1]
+			}
+			bld.Br(f.Params[0], t1, t2)
+		}
+	}
+	f.Renumber()
+	return f
+}
+
+// naiveDominates computes dominance by definition: a dominates b iff
+// removing a makes b unreachable from the entry.
+func naiveDominates(f *ir.Function, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*ir.Block]bool{a: true} // block a is "removed"
+	var stack []*ir.Block
+	if f.Entry() != a {
+		stack = append(stack, f.Entry())
+		seen[f.Entry()] = true
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return false
+		}
+		for _, s := range x.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+func reachableFromEntry(f *ir.Function, b *ir.Block) bool {
+	seen := map[*ir.Block]bool{f.Entry(): true}
+	stack := []*ir.Block{f.Entry()}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		for _, s := range x.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// TestDominatorsMatchNaive cross-checks the Cooper-Harvey-Kennedy tree
+// against the by-definition algorithm on random CFGs.
+func TestDominatorsMatchNaive(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%12) + 2
+		fn := randomCFG(seed, n)
+		dt := BuildDomTree(fn)
+		for _, a := range fn.Blocks {
+			for _, b := range fn.Blocks {
+				if !reachableFromEntry(fn, a) || !reachableFromEntry(fn, b) {
+					continue
+				}
+				if dt.Dominates(a, b) != naiveDominates(fn, a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoopsWellFormedOnRandomCFGs: after LoopSimplify, every loop of every
+// random CFG is canonical and the module still verifies.
+func TestLoopsWellFormedOnRandomCFGs(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%12) + 2
+		fn := randomCFG(seed, n)
+		RemoveUnreachable(fn)
+		_, forest := LoopSimplify(fn)
+		if err := ir.Verify(fn.Module); err != nil {
+			return false
+		}
+		for _, l := range forest.All {
+			if l.Preheader == nil || l.Latch == nil {
+				return false
+			}
+			if !l.Contains(l.Header) || !l.Contains(l.Latch) || l.Contains(l.Preheader) {
+				return false
+			}
+			// The header must dominate every block of the loop.
+			dt := BuildDomTree(fn)
+			for b := range l.Blocks {
+				if !dt.Dominates(l.Header, b) {
+					return false
+				}
+			}
+			// Nesting is consistent.
+			for _, c := range l.Children {
+				if c.Parent != l || c.Depth != l.Depth+1 {
+					return false
+				}
+				for b := range c.Blocks {
+					if !l.Contains(b) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSCEVAffineProperty: for arbitrary (start, step), a loop i' = i + step
+// classifies as {start,+,step}.
+func TestSCEVAffineProperty(t *testing.T) {
+	f := func(start, step int32) bool {
+		m := ir.NewModule("aff")
+		fn := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+		bld := ir.NewBuilder(fn)
+		head := fn.NewBlock("head")
+		body := fn.NewBlock("body")
+		exit := fn.NewBlock("exit")
+		bld.Jmp(head)
+		bld.SetBlock(head)
+		iv := bld.Phi(ir.Int, "i")
+		cond := bld.Compare(ir.OpLt, iv, fn.Params[0])
+		bld.Br(cond, body, exit)
+		bld.SetBlock(body)
+		next := bld.Binary(ir.OpAdd, iv, ir.ConstInt(int64(step)))
+		bld.Jmp(head)
+		iv.SetPhiIncoming(fn.Entry(), ir.ConstInt(int64(start)))
+		iv.SetPhiIncoming(body, next)
+		bld.SetBlock(exit)
+		bld.Ret(iv)
+		_, forest := LoopSimplify(fn)
+		if len(forest.All) != 1 {
+			return false
+		}
+		se := ComputeSCEV(forest.All[0])
+		rec, ok := se.Evo[forest.All[0].Header.Phis()[0]].(*SCAddRec)
+		if !ok {
+			return false
+		}
+		s0, ok0 := rec.Start.(*SCConst)
+		s1, ok1 := rec.Step.(*SCConst)
+		return ok0 && ok1 && s0.V == int64(start) && s1.V == int64(step)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"loopapalooza/internal/ir"
+)
+
+// CallClass is the fn-level classification of a callable, per Table II.
+type CallClass uint8
+
+// Call classes, ordered from most to least restrictive.
+const (
+	// CallPure: read-only with no side effects (fn1 admits these).
+	CallPure CallClass = iota
+	// CallInstrumented: a user function compiled by this framework; its
+	// memory accesses are tracked and attributed to the calling
+	// iteration (fn2 admits these).
+	CallInstrumented
+	// CallThreadSafe: a re-entrant library (builtin) function without
+	// observable ordering requirements (fn2 admits these).
+	CallThreadSafe
+	// CallUnsafe: stateful, non-re-entrant library code (only fn3
+	// admits these).
+	CallUnsafe
+	// CallIO: observable output; strictly sequential (only fn3 admits
+	// these).
+	CallIO
+)
+
+var callClassNames = [...]string{
+	CallPure: "pure", CallInstrumented: "instrumented",
+	CallThreadSafe: "thread-safe", CallUnsafe: "unsafe", CallIO: "io",
+}
+
+// String returns the class mnemonic.
+func (c CallClass) String() string { return callClassNames[c] }
+
+// Purity is the module-wide function purity and call classification
+// analysis backing the fn0..fn3 configurations.
+type Purity struct {
+	mod *ir.Module
+	// pure[f] reports whether user function f is pure: it performs no
+	// stores outside its own stack frame, no impure builtin calls, and
+	// calls only pure functions.
+	pure map[*ir.Function]bool
+	// io[f] reports whether f transitively performs I/O.
+	io map[*ir.Function]bool
+	// unsafe[f] reports whether f transitively calls a builtin that is
+	// neither pure nor re-entrant (hidden library state, e.g. rand).
+	unsafe map[*ir.Function]bool
+}
+
+// AnalyzePurity computes purity for every function of m with an optimistic
+// fixed point (recursive cycles start pure and are demoted on evidence).
+func AnalyzePurity(m *ir.Module) *Purity {
+	p := &Purity{
+		mod:    m,
+		pure:   map[*ir.Function]bool{},
+		io:     map[*ir.Function]bool{},
+		unsafe: map[*ir.Function]bool{},
+	}
+	for _, f := range m.Funcs {
+		p.pure[f] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if p.pure[f] && !p.funcLooksPure(f) {
+				p.pure[f] = false
+				changed = true
+			}
+			if !p.io[f] && p.funcDoesIO(f) {
+				p.io[f] = true
+				changed = true
+			}
+			if !p.unsafe[f] && p.funcCallsUnsafe(f) {
+				p.unsafe[f] = true
+				changed = true
+			}
+		}
+	}
+	return p
+}
+
+func (p *Purity) funcCallsUnsafe(f *ir.Function) bool {
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op != ir.OpCall {
+				continue
+			}
+			if i.Callee != nil {
+				if p.unsafe[i.Callee] {
+					return true
+				}
+			} else if bi, ok := ir.BuiltinAttr(i.Builtin); !ok || (!bi.Pure && !bi.ThreadSafe && !bi.IO) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CallsUnsafe reports whether f transitively calls a non-re-entrant builtin.
+func (p *Purity) CallsUnsafe(f *ir.Function) bool { return p.unsafe[f] }
+
+// funcLooksPure checks f's body against the current pure set.
+func (p *Purity) funcLooksPure(f *ir.Function) bool {
+	local := localAllocas(f)
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			switch i.Op {
+			case ir.OpStore:
+				if !addressIsLocal(i.Args[0], local) {
+					return false
+				}
+			case ir.OpCall:
+				if i.Callee != nil {
+					if !p.pure[i.Callee] {
+						return false
+					}
+				} else {
+					bi, ok := ir.BuiltinAttr(i.Builtin)
+					if !ok || !bi.Pure {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (p *Purity) funcDoesIO(f *ir.Function) bool {
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op != ir.OpCall {
+				continue
+			}
+			if i.Callee != nil {
+				if p.io[i.Callee] {
+					return true
+				}
+			} else if bi, ok := ir.BuiltinAttr(i.Builtin); ok && bi.IO {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// localAllocas collects the alloca instructions of f.
+func localAllocas(f *ir.Function) map[*ir.Instr]bool {
+	out := map[*ir.Instr]bool{}
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpAlloca {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// addressIsLocal reports whether addr provably derives from one of f's own
+// allocas through pointer arithmetic only. Anything else (globals, params,
+// loaded pointers, allocation builtins) is treated as escaping.
+func addressIsLocal(addr ir.Value, local map[*ir.Instr]bool) bool {
+	for depth := 0; depth < 64; depth++ {
+		i, ok := addr.(*ir.Instr)
+		if !ok {
+			return false
+		}
+		if local[i] {
+			return true
+		}
+		if i.Op == ir.OpAddPtr {
+			addr = i.Args[0]
+			continue
+		}
+		return false
+	}
+	return false
+}
+
+// Pure reports whether user function f is pure (fn1 class).
+func (p *Purity) Pure(f *ir.Function) bool { return p.pure[f] }
+
+// DoesIO reports whether f transitively performs I/O.
+func (p *Purity) DoesIO(f *ir.Function) bool { return p.io[f] }
+
+// ClassifyCall classifies one call instruction for the fn0..fn3 policy.
+func (p *Purity) ClassifyCall(call *ir.Instr) CallClass {
+	if call.Callee != nil {
+		f := call.Callee
+		switch {
+		case p.io[f]:
+			return CallIO
+		case p.pure[f]:
+			return CallPure
+		default:
+			return CallInstrumented
+		}
+	}
+	bi, ok := ir.BuiltinAttr(call.Builtin)
+	switch {
+	case !ok:
+		return CallUnsafe
+	case bi.IO:
+		return CallIO
+	case bi.Pure:
+		return CallPure
+	case bi.ThreadSafe:
+		return CallThreadSafe
+	default:
+		return CallUnsafe
+	}
+}

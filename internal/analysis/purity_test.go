@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"testing"
+
+	"loopapalooza/internal/ir"
+)
+
+func TestPurityClasses(t *testing.T) {
+	m := ir.NewModule("pur")
+	g := m.AddGlobal("state", ir.Int, 1)
+
+	// pureFn: arithmetic only.
+	pureFn := m.AddFunction("pure_fn", ir.Int, &ir.Param{Nm: "x", Ty: ir.Int})
+	b1 := ir.NewBuilder(pureFn)
+	b1.Ret(b1.Binary(ir.OpAdd, pureFn.Params[0], ir.ConstInt(1)))
+
+	// localStore: writes only its own alloca'd scratch: still pure.
+	localStore := m.AddFunction("local_store", ir.Int)
+	b2 := ir.NewBuilder(localStore)
+	buf := b2.Alloca(ir.Int, ir.ConstInt(4), "buf")
+	b2.Store(b2.AddPtr(buf, ir.ConstInt(2)), ir.ConstInt(7))
+	b2.Ret(b2.Load(b2.AddPtr(buf, ir.ConstInt(2))))
+
+	// globalStore: writes a global: impure but instrumented.
+	globalStore := m.AddFunction("global_store", ir.Void)
+	b3 := ir.NewBuilder(globalStore)
+	b3.Store(g, ir.ConstInt(1))
+	b3.Ret(nil)
+
+	// printer: I/O.
+	printer := m.AddFunction("printer", ir.Void)
+	b4 := ir.NewBuilder(printer)
+	b4.CallBuiltin("print_i64", ir.Void, ir.ConstInt(42))
+	b4.Ret(nil)
+
+	// roller: calls rand (non-re-entrant library state).
+	roller := m.AddFunction("roller", ir.Int)
+	b5 := ir.NewBuilder(roller)
+	b5.Ret(b5.CallBuiltin("rand", ir.Int))
+
+	// indirectPrinter: calls printer, inherits I/O transitively.
+	indirect := m.AddFunction("indirect", ir.Void)
+	b6 := ir.NewBuilder(indirect)
+	b6.Call(printer)
+	b6.Ret(nil)
+
+	// callsPure: calls only pure functions, remains pure.
+	callsPure := m.AddFunction("calls_pure", ir.Int)
+	b7 := ir.NewBuilder(callsPure)
+	b7.Ret(b7.Call(pureFn, ir.ConstInt(2)))
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	p := AnalyzePurity(m)
+
+	cases := []struct {
+		fn     *ir.Function
+		pure   bool
+		io     bool
+		unsafe bool
+	}{
+		{pureFn, true, false, false},
+		{localStore, true, false, false},
+		{globalStore, false, false, false},
+		{printer, false, true, false},
+		{roller, false, false, true},
+		{indirect, false, true, false},
+		{callsPure, true, false, false},
+	}
+	for _, c := range cases {
+		if p.Pure(c.fn) != c.pure {
+			t.Errorf("Pure(%s) = %v, want %v", c.fn.Name, p.Pure(c.fn), c.pure)
+		}
+		if p.DoesIO(c.fn) != c.io {
+			t.Errorf("DoesIO(%s) = %v, want %v", c.fn.Name, p.DoesIO(c.fn), c.io)
+		}
+		if p.CallsUnsafe(c.fn) != c.unsafe {
+			t.Errorf("CallsUnsafe(%s) = %v, want %v", c.fn.Name, p.CallsUnsafe(c.fn), c.unsafe)
+		}
+	}
+}
+
+func TestPurityRecursionOptimistic(t *testing.T) {
+	m := ir.NewModule("rec")
+	// Mutually recursive pure functions must stay pure.
+	a := m.AddFunction("a", ir.Int, &ir.Param{Nm: "x", Ty: ir.Int})
+	b := m.AddFunction("b", ir.Int, &ir.Param{Nm: "x", Ty: ir.Int})
+
+	ba := ir.NewBuilder(a)
+	done := a.NewBlock("done")
+	rec := a.NewBlock("rec")
+	cond := ba.Compare(ir.OpLe, a.Params[0], ir.ConstInt(0))
+	ba.Br(cond, done, rec)
+	ba.SetBlock(done)
+	ba.Ret(ir.ConstInt(0))
+	ba.SetBlock(rec)
+	ba.Ret(ba.Call(b, ba.Binary(ir.OpSub, a.Params[0], ir.ConstInt(1))))
+
+	bb := ir.NewBuilder(b)
+	bb.Ret(bb.Call(a, b.Params[0]))
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	p := AnalyzePurity(m)
+	if !p.Pure(a) || !p.Pure(b) {
+		t.Error("mutually recursive arithmetic functions should be pure")
+	}
+}
+
+func TestClassifyCall(t *testing.T) {
+	m := ir.NewModule("cc")
+	pure := m.AddFunction("p", ir.Int)
+	ir.NewBuilder(pure).Ret(ir.ConstInt(1))
+	impure := m.AddFunction("imp", ir.Void)
+	bi := ir.NewBuilder(impure)
+	g := m.AddGlobal("g", ir.Int, 1)
+	bi.Store(g, ir.ConstInt(1))
+	bi.Ret(nil)
+
+	caller := m.AddFunction("caller", ir.Void)
+	bc := ir.NewBuilder(caller)
+	c1 := bc.Call(pure)
+	_ = c1
+	c2 := bc.Call(impure)
+	c3 := bc.CallBuiltin("sqrt", ir.Float, ir.ConstFloat(2))
+	c4 := bc.CallBuiltin("alloc", ir.PtrTo(ir.Int), ir.ConstInt(8))
+	c5 := bc.CallBuiltin("rand", ir.Int)
+	c6 := bc.CallBuiltin("print_i64", ir.Void, ir.ConstInt(1))
+	bc.Ret(nil)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	p := AnalyzePurity(m)
+
+	find := func(i *ir.Instr) CallClass { return p.ClassifyCall(i) }
+	calls := caller.Entry().Instrs
+	if got := find(calls[0]); got != CallPure {
+		t.Errorf("pure user call = %s", got)
+	}
+	if got := find(c2); got != CallInstrumented {
+		t.Errorf("impure user call = %s, want instrumented", got)
+	}
+	if got := find(c3); got != CallPure {
+		t.Errorf("sqrt = %s, want pure", got)
+	}
+	if got := find(c4); got != CallThreadSafe {
+		t.Errorf("alloc = %s, want thread-safe", got)
+	}
+	if got := find(c5); got != CallUnsafe {
+		t.Errorf("rand = %s, want unsafe", got)
+	}
+	if got := find(c6); got != CallIO {
+		t.Errorf("print = %s, want io", got)
+	}
+}

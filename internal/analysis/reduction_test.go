@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"testing"
+
+	"loopapalooza/internal/ir"
+)
+
+// sumLoop builds: for(i=0;i<n;i++) s += tab[i]  (a classic add reduction).
+func sumLoop(t *testing.T, op ir.Op, twoLinks bool) (*Loop, *ScalarEvolution) {
+	t.Helper()
+	m := ir.NewModule("red")
+	elem := ir.Int
+	if op == ir.OpFAdd || op == ir.OpFMul {
+		elem = ir.Float
+	}
+	g := m.AddGlobal("tab", elem, 64)
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	i := bld.Phi(ir.Int, "i")
+	sTy := ir.Int
+	if elem == ir.Float {
+		sTy = ir.Float
+	}
+	s := bld.Phi(sTy, "s")
+	cond := bld.Compare(ir.OpLt, i, f.Params[0])
+	bld.Br(cond, body, exit)
+	bld.SetBlock(body)
+	v := bld.Load(bld.AddPtr(g, i))
+	ns := bld.Binary(op, s, v)
+	if twoLinks {
+		v2 := bld.Load(bld.AddPtr(g, bld.Binary(ir.OpAdd, i, ir.ConstInt(1))))
+		ns = bld.Binary(op, ns, v2)
+	}
+	ni := bld.Binary(ir.OpAdd, i, ir.ConstInt(1))
+	bld.Jmp(head)
+	i.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	i.SetPhiIncoming(body, ni)
+	if elem == ir.Float {
+		s.SetPhiIncoming(f.Entry(), ir.ConstFloat(0))
+	} else {
+		s.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	}
+	s.SetPhiIncoming(body, ns)
+	bld.SetBlock(exit)
+	bld.Ret(i)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	_, forest := LoopSimplify(f)
+	l := forest.All[0]
+	return l, ComputeSCEV(l)
+}
+
+func TestReductionAdd(t *testing.T) {
+	l, se := sumLoop(t, ir.OpAdd, false)
+	reds := FindReductions(l, se)
+	if len(reds) != 1 {
+		t.Fatalf("reductions = %d, want 1", len(reds))
+	}
+	if reds[0].Kind != RedAdd {
+		t.Errorf("kind = %s, want add", reds[0].Kind)
+	}
+	if len(reds[0].Chain) != 1 {
+		t.Errorf("chain length = %d, want 1", len(reds[0].Chain))
+	}
+}
+
+func TestReductionFloatChain(t *testing.T) {
+	l, se := sumLoop(t, ir.OpFAdd, true)
+	reds := FindReductions(l, se)
+	if len(reds) != 1 || reds[0].Kind != RedFAdd {
+		t.Fatalf("reductions = %v", reds)
+	}
+	if len(reds[0].Chain) != 2 {
+		t.Errorf("chain length = %d, want 2", len(reds[0].Chain))
+	}
+}
+
+func TestReductionKinds(t *testing.T) {
+	for _, op := range []ir.Op{ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpFMul} {
+		l, se := sumLoop(t, op, false)
+		reds := FindReductions(l, se)
+		if len(reds) != 1 {
+			t.Errorf("%s: reductions = %d, want 1", op, len(reds))
+		}
+	}
+}
+
+func TestReductionMinMaxBuiltin(t *testing.T) {
+	m := ir.NewModule("mm")
+	g := m.AddGlobal("tab", ir.Int, 64)
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	i := bld.Phi(ir.Int, "i")
+	mx := bld.Phi(ir.Int, "mx")
+	cond := bld.Compare(ir.OpLt, i, f.Params[0])
+	bld.Br(cond, body, exit)
+	bld.SetBlock(body)
+	v := bld.Load(bld.AddPtr(g, i))
+	nmx := bld.CallBuiltin("max", ir.Int, mx, v)
+	ni := bld.Binary(ir.OpAdd, i, ir.ConstInt(1))
+	bld.Jmp(head)
+	i.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	i.SetPhiIncoming(body, ni)
+	mx.SetPhiIncoming(f.Entry(), ir.ConstInt(-1))
+	mx.SetPhiIncoming(body, nmx)
+	bld.SetBlock(exit)
+	bld.Ret(mx)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	_, forest := LoopSimplify(f)
+	l := forest.All[0]
+	reds := FindReductions(l, ComputeSCEV(l))
+	if len(reds) != 1 || reds[0].Kind != RedMax {
+		t.Fatalf("reductions = %v, want one max", reds)
+	}
+}
+
+// TestReductionRejectedWhenValueEscapes: s is also used by other in-loop
+// computation, so the accumulator cannot be decoupled.
+func TestReductionRejectedWhenValueEscapes(t *testing.T) {
+	m := ir.NewModule("escr")
+	g := m.AddGlobal("tab", ir.Int, 64)
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	i := bld.Phi(ir.Int, "i")
+	s := bld.Phi(ir.Int, "s")
+	cond := bld.Compare(ir.OpLt, i, f.Params[0])
+	bld.Br(cond, body, exit)
+	bld.SetBlock(body)
+	v := bld.Load(bld.AddPtr(g, i))
+	ns := bld.Binary(ir.OpAdd, s, v)
+	// Escape: the running sum feeds a store each iteration.
+	bld.Store(bld.AddPtr(g, i), ns)
+	ni := bld.Binary(ir.OpAdd, i, ir.ConstInt(1))
+	bld.Jmp(head)
+	i.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	i.SetPhiIncoming(body, ni)
+	s.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	s.SetPhiIncoming(body, ns)
+	bld.SetBlock(exit)
+	bld.Ret(s)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	_, forest := LoopSimplify(f)
+	l := forest.All[0]
+	reds := FindReductions(l, ComputeSCEV(l))
+	if len(reds) != 0 {
+		t.Fatalf("reductions = %d, want 0 (value escapes)", len(reds))
+	}
+}
+
+// TestReductionRejectsMixedOps: s = (s + v) * w is not a single-op pattern.
+func TestReductionRejectsMixedOps(t *testing.T) {
+	m := ir.NewModule("mix")
+	g := m.AddGlobal("tab", ir.Int, 64)
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	i := bld.Phi(ir.Int, "i")
+	s := bld.Phi(ir.Int, "s")
+	cond := bld.Compare(ir.OpLt, i, f.Params[0])
+	bld.Br(cond, body, exit)
+	bld.SetBlock(body)
+	v := bld.Load(bld.AddPtr(g, i))
+	t1 := bld.Binary(ir.OpAdd, s, v)
+	ns := bld.Binary(ir.OpMul, t1, ir.ConstInt(3))
+	ni := bld.Binary(ir.OpAdd, i, ir.ConstInt(1))
+	bld.Jmp(head)
+	i.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	i.SetPhiIncoming(body, ni)
+	s.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	s.SetPhiIncoming(body, ns)
+	bld.SetBlock(exit)
+	bld.Ret(s)
+	_, forest := LoopSimplify(f)
+	l := forest.All[0]
+	reds := FindReductions(l, ComputeSCEV(l))
+	if len(reds) != 0 {
+		t.Fatalf("reductions = %d, want 0 (mixed ops)", len(reds))
+	}
+}

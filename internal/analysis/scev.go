@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"loopapalooza/internal/ir"
+)
+
+// SCEV is a scalar-evolution expression: a symbolic description of how a
+// value evolves across the iterations of one loop. Following LLVM, the only
+// recurrences recognized are add-recurrences {start,+,step}; steps may
+// themselves be add-recurrences, which covers polynomial and mutual
+// induction variables (the paper's IVs and MIVs).
+type SCEV interface {
+	// String renders the expression in LLVM's {a,+,b} notation.
+	String() string
+	// scev is a marker.
+	scev()
+}
+
+// SCConst is a compile-time constant.
+type SCConst struct{ V int64 }
+
+// SCInvariant is a value that does not change across the analyzed loop's
+// iterations (defined outside the loop).
+type SCInvariant struct{ V ir.Value }
+
+// SCAddRec is an add-recurrence {Start, +, Step} on the analyzed loop.
+type SCAddRec struct {
+	Start SCEV
+	Step  SCEV
+}
+
+// SCAdd is a sum of operands.
+type SCAdd struct{ Ops []SCEV }
+
+// SCMulConst is Scale * Op.
+type SCMulConst struct {
+	Scale int64
+	Op    SCEV
+}
+
+// SCPhiRef refers to the add-recurrence of another computable header phi of
+// the same loop. It is how mutual induction variables (MIVs) are expressed:
+// j = {j0,+,i} where i is itself an add-recurrence.
+type SCPhiRef struct{ Phi *ir.Instr }
+
+// SCUnknown marks a value whose evolution cannot be expressed: any phi
+// classified through SCUnknown is a non-computable register LCD.
+type SCUnknown struct{ V ir.Value }
+
+func (*SCConst) scev()     {}
+func (*SCInvariant) scev() {}
+func (*SCAddRec) scev()    {}
+func (*SCAdd) scev()       {}
+func (*SCMulConst) scev()  {}
+func (*SCPhiRef) scev()    {}
+func (*SCUnknown) scev()   {}
+
+func (s *SCConst) String() string     { return fmt.Sprintf("%d", s.V) }
+func (s *SCInvariant) String() string { return s.V.Name() }
+func (s *SCAddRec) String() string    { return fmt.Sprintf("{%s,+,%s}", s.Start, s.Step) }
+func (s *SCMulConst) String() string  { return fmt.Sprintf("(%d * %s)", s.Scale, s.Op) }
+func (s *SCPhiRef) String() string    { return "rec(" + s.Phi.Name() + ")" }
+func (s *SCUnknown) String() string   { return "unknown(" + s.V.Name() + ")" }
+func (s *SCAdd) String() string {
+	parts := make([]string, len(s.Ops))
+	for i, o := range s.Ops {
+		parts[i] = o.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// HasUnknown reports whether the expression contains an SCUnknown node.
+func HasUnknown(s SCEV) bool {
+	switch x := s.(type) {
+	case *SCUnknown:
+		return true
+	case *SCAddRec:
+		return HasUnknown(x.Start) || HasUnknown(x.Step)
+	case *SCAdd:
+		for _, o := range x.Ops {
+			if HasUnknown(o) {
+				return true
+			}
+		}
+	case *SCMulConst:
+		return HasUnknown(x.Op)
+	}
+	return false
+}
+
+// ScalarEvolution analyzes the header phis of a single canonical loop
+// (preheader and latch required) and assigns each an evolution expression.
+type ScalarEvolution struct {
+	Loop *Loop
+	// Evo maps each header phi to its evolution; computable phis get an
+	// *SCAddRec, non-computable ones an expression containing SCUnknown.
+	Evo map[*ir.Instr]SCEV
+}
+
+// ComputeSCEV classifies every header phi of l. The loop must be in
+// canonical form (LoopSimplify has run).
+func ComputeSCEV(l *Loop) *ScalarEvolution {
+	se := &ScalarEvolution{Loop: l, Evo: map[*ir.Instr]SCEV{}}
+	if l.Latch == nil || l.Preheader == nil {
+		for _, phi := range l.Header.Phis() {
+			se.Evo[phi] = &SCUnknown{V: phi}
+		}
+		return se
+	}
+
+	phis := l.Header.Phis()
+	// Optimistically assume every phi is an add-recurrence; iterate,
+	// demoting phis whose latch value cannot be written as phi + step
+	// with a step built only from constants, loop invariants, and other
+	// still-computable phis. Deterministic order for reproducibility.
+	computable := map[*ir.Instr]bool{}
+	for _, p := range phis {
+		if p.Ty.Kind() == ir.KInt || p.Ty.Kind() == ir.KPtr {
+			computable[p] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range phis {
+			if !computable[p] {
+				continue
+			}
+			step, ok := se.stepOf(p, computable)
+			if !ok || HasUnknown(step) {
+				computable[p] = false
+				changed = true
+			}
+		}
+	}
+	for _, p := range phis {
+		if computable[p] {
+			step, _ := se.stepOf(p, computable)
+			se.Evo[p] = &SCAddRec{
+				Start: se.outsideExpr(p.PhiIncoming(l.Preheader)),
+				Step:  step,
+			}
+		} else {
+			se.Evo[p] = &SCUnknown{V: p}
+		}
+	}
+	return se
+}
+
+// ComputablePhis returns the header phis with a pure add-recurrence
+// evolution, in block order.
+func (se *ScalarEvolution) ComputablePhis() []*ir.Instr {
+	var out []*ir.Instr
+	for _, p := range se.Loop.Header.Phis() {
+		if _, ok := se.Evo[p].(*SCAddRec); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NonComputablePhis returns the header phis that are not add-recurrences,
+// in block order.
+func (se *ScalarEvolution) NonComputablePhis() []*ir.Instr {
+	var out []*ir.Instr
+	for _, p := range se.Loop.Header.Phis() {
+		if _, ok := se.Evo[p].(*SCAddRec); !ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// stepOf expresses the latch incoming of p as p + step and returns step.
+// ok is false if the latch value is not linear in p with coefficient 1.
+func (se *ScalarEvolution) stepOf(p *ir.Instr, computable map[*ir.Instr]bool) (SCEV, bool) {
+	next := p.PhiIncoming(se.Loop.Latch)
+	lin := se.linearize(next, computable)
+	if lin.bad || lin.coef[p] != 1 {
+		return nil, false
+	}
+	// Other computable phis may contribute to the step: that is a mutual
+	// induction variable. Reference their recurrences symbolically, in
+	// deterministic (block) order.
+	for _, q := range se.Loop.Header.Phis() {
+		if q == p {
+			continue
+		}
+		if c := lin.coef[q]; c != 0 {
+			lin.terms = append(lin.terms, scaled(c, &SCPhiRef{Phi: q}))
+		}
+	}
+	return lin.rest(), true
+}
+
+// linear is c0 + sum(coef[phi] * phi) + sum(restTerms).
+type linear struct {
+	c0    int64
+	coef  map[*ir.Instr]int64
+	terms []SCEV
+	bad   bool
+}
+
+func (l *linear) rest() SCEV {
+	var ops []SCEV
+	if l.c0 != 0 {
+		ops = append(ops, &SCConst{V: l.c0})
+	}
+	ops = append(ops, l.terms...)
+	switch len(ops) {
+	case 0:
+		return &SCConst{V: 0}
+	case 1:
+		return ops[0]
+	default:
+		return &SCAdd{Ops: ops}
+	}
+}
+
+// linearize decomposes v into a linear form over the loop's header phis.
+// Terms that are loop-invariant become SCInvariant; computable phis that
+// appear scaled (not the analyzed one) become addrec references via
+// SCUnknown demotion handled by the caller's fixed point.
+func (se *ScalarEvolution) linearize(v ir.Value, computable map[*ir.Instr]bool) linear {
+	out := linear{coef: map[*ir.Instr]int64{}}
+	se.accumulate(v, 1, computable, &out)
+	return out
+}
+
+func (se *ScalarEvolution) accumulate(v ir.Value, scale int64, computable map[*ir.Instr]bool, out *linear) {
+	if out.bad {
+		return
+	}
+	switch x := v.(type) {
+	case *ir.IntConst:
+		out.c0 += scale * x.V
+		return
+	case *ir.Param, *ir.Global:
+		out.terms = append(out.terms, scaled(scale, &SCInvariant{V: v}))
+		return
+	case *ir.Instr:
+		if !se.Loop.Contains(x.Parent) {
+			out.terms = append(out.terms, scaled(scale, &SCInvariant{V: v}))
+			return
+		}
+		if x.Op == ir.OpPhi && x.Parent == se.Loop.Header {
+			if computable[x] {
+				out.coef[x] += scale
+			} else {
+				out.bad = true
+			}
+			return
+		}
+		switch x.Op {
+		case ir.OpAdd:
+			se.accumulate(x.Args[0], scale, computable, out)
+			se.accumulate(x.Args[1], scale, computable, out)
+			return
+		case ir.OpSub:
+			se.accumulate(x.Args[0], scale, computable, out)
+			se.accumulate(x.Args[1], -scale, computable, out)
+			return
+		case ir.OpNeg:
+			se.accumulate(x.Args[0], -scale, computable, out)
+			return
+		case ir.OpMul:
+			if c, ok := ir.ConstIntValue(x.Args[0]); ok {
+				se.accumulate(x.Args[1], scale*c, computable, out)
+				return
+			}
+			if c, ok := ir.ConstIntValue(x.Args[1]); ok {
+				se.accumulate(x.Args[0], scale*c, computable, out)
+				return
+			}
+		case ir.OpShl:
+			if c, ok := ir.ConstIntValue(x.Args[1]); ok && c >= 0 && c < 63 {
+				se.accumulate(x.Args[0], scale<<uint(c), computable, out)
+				return
+			}
+		case ir.OpAddPtr:
+			se.accumulate(x.Args[0], scale, computable, out)
+			se.accumulate(x.Args[1], scale, computable, out)
+			return
+		}
+	}
+	out.bad = true
+}
+
+func scaled(scale int64, s SCEV) SCEV {
+	if scale == 1 {
+		return s
+	}
+	return &SCMulConst{Scale: scale, Op: s}
+}
+
+// outsideExpr describes a loop-invariant start value.
+func (se *ScalarEvolution) outsideExpr(v ir.Value) SCEV {
+	if c, ok := ir.ConstIntValue(v); ok {
+		return &SCConst{V: c}
+	}
+	return &SCInvariant{V: v}
+}
+
+// SortedEvoStrings returns "phi = evolution" lines in deterministic order,
+// for diagnostics and tests.
+func (se *ScalarEvolution) SortedEvoStrings() []string {
+	var out []string
+	for p, e := range se.Evo {
+		out = append(out, fmt.Sprintf("%s = %s", p.Name(), e))
+	}
+	sort.Strings(out)
+	return out
+}

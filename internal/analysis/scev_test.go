@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/ir"
+)
+
+// loopWithPhis builds a canonical single loop whose header phis are supplied
+// by the caller: mk is invoked with (builder-in-body, header phis) and must
+// return the latch incoming for each phi. The loop runs while p0 < n.
+func loopWithPhis(t *testing.T, tys []ir.Type, starts []ir.Value,
+	mk func(bld *ir.Builder, phis []*ir.Instr) []ir.Value) (*ir.Function, *Loop, []*ir.Instr) {
+	t.Helper()
+	m := ir.NewModule("scev")
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+
+	bld.SetBlock(head)
+	phis := make([]*ir.Instr, len(tys))
+	for i, ty := range tys {
+		phis[i] = bld.Phi(ty, "v")
+	}
+	cond := bld.Compare(ir.OpLt, phis[0], f.Params[0])
+	bld.Br(cond, body, exit)
+
+	bld.SetBlock(body)
+	nexts := mk(bld, phis)
+	bld.Jmp(head)
+
+	for i, p := range phis {
+		p.SetPhiIncoming(f.Entry(), starts[i])
+		p.SetPhiIncoming(body, nexts[i])
+	}
+	bld.SetBlock(exit)
+	bld.Ret(phis[0])
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	_, forest := LoopSimplify(f)
+	if len(forest.All) != 1 {
+		t.Fatalf("loops = %d, want 1", len(forest.All))
+	}
+	l := forest.All[0]
+	return f, l, l.Header.Phis()
+}
+
+func TestSCEVBasicIV(t *testing.T) {
+	_, l, phis := loopWithPhis(t, []ir.Type{ir.Int}, []ir.Value{ir.ConstInt(0)},
+		func(bld *ir.Builder, phis []*ir.Instr) []ir.Value {
+			return []ir.Value{bld.Binary(ir.OpAdd, phis[0], ir.ConstInt(1))}
+		})
+	se := ComputeSCEV(l)
+	rec, ok := se.Evo[phis[0]].(*SCAddRec)
+	if !ok {
+		t.Fatalf("iv not an addrec: %v", se.Evo[phis[0]])
+	}
+	if rec.String() != "{0,+,1}" {
+		t.Errorf("addrec = %s, want {0,+,1}", rec)
+	}
+	if len(se.ComputablePhis()) != 1 || len(se.NonComputablePhis()) != 0 {
+		t.Error("classification wrong")
+	}
+}
+
+func TestSCEVStrideAndInvariantStep(t *testing.T) {
+	_, l, phis := loopWithPhis(t,
+		[]ir.Type{ir.Int, ir.Int},
+		[]ir.Value{ir.ConstInt(0), ir.ConstInt(10)},
+		func(bld *ir.Builder, phis []*ir.Instr) []ir.Value {
+			// i += 3; k += n (loop-invariant step)
+			n := bld.Func.Params[0]
+			return []ir.Value{
+				bld.Binary(ir.OpAdd, phis[0], ir.ConstInt(3)),
+				bld.Binary(ir.OpAdd, phis[1], n),
+			}
+		})
+	se := ComputeSCEV(l)
+	if got := se.Evo[phis[0]].String(); got != "{0,+,3}" {
+		t.Errorf("i = %s, want {0,+,3}", got)
+	}
+	if got := se.Evo[phis[1]].String(); got != "{10,+,%n}" {
+		t.Errorf("k = %s, want {10,+,%%n}", got)
+	}
+}
+
+func TestSCEVMutualInduction(t *testing.T) {
+	// i++; j += i  => j is a second-order recurrence (MIV), computable.
+	_, l, phis := loopWithPhis(t,
+		[]ir.Type{ir.Int, ir.Int},
+		[]ir.Value{ir.ConstInt(0), ir.ConstInt(0)},
+		func(bld *ir.Builder, phis []*ir.Instr) []ir.Value {
+			return []ir.Value{
+				bld.Binary(ir.OpAdd, phis[0], ir.ConstInt(1)),
+				bld.Binary(ir.OpAdd, phis[1], phis[0]),
+			}
+		})
+	se := ComputeSCEV(l)
+	if len(se.ComputablePhis()) != 2 {
+		t.Fatalf("computable = %v", se.SortedEvoStrings())
+	}
+	if got := se.Evo[phis[1]].String(); !strings.Contains(got, "rec(") {
+		t.Errorf("MIV evolution = %s, want reference to other recurrence", got)
+	}
+}
+
+func TestSCEVSubAndScaledSteps(t *testing.T) {
+	// d -= 2; s = s + 4*i  (linear combo with another IV)
+	_, l, phis := loopWithPhis(t,
+		[]ir.Type{ir.Int, ir.Int, ir.Int},
+		[]ir.Value{ir.ConstInt(0), ir.ConstInt(100), ir.ConstInt(0)},
+		func(bld *ir.Builder, phis []*ir.Instr) []ir.Value {
+			i4 := bld.Binary(ir.OpMul, phis[0], ir.ConstInt(4))
+			return []ir.Value{
+				bld.Binary(ir.OpAdd, phis[0], ir.ConstInt(1)),
+				bld.Binary(ir.OpSub, phis[1], ir.ConstInt(2)),
+				bld.Binary(ir.OpAdd, phis[2], i4),
+			}
+		})
+	se := ComputeSCEV(l)
+	if len(se.ComputablePhis()) != 3 {
+		t.Fatalf("computable phis = %d, want 3: %v", len(se.ComputablePhis()), se.SortedEvoStrings())
+	}
+	if got := se.Evo[phis[1]].String(); got != "{100,+,-2}" {
+		t.Errorf("d = %s, want {100,+,-2}", got)
+	}
+}
+
+func TestSCEVNonComputableThroughLoad(t *testing.T) {
+	m := ir.NewModule("nc")
+	g := m.AddGlobal("tab", ir.Int, 64)
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	i := bld.Phi(ir.Int, "i")
+	x := bld.Phi(ir.Int, "x")
+	cond := bld.Compare(ir.OpLt, i, f.Params[0])
+	bld.Br(cond, body, exit)
+	bld.SetBlock(body)
+	addr := bld.AddPtr(g, x)
+	nx := bld.Load(addr) // x = tab[x]: pointer-chase, non-computable
+	ni := bld.Binary(ir.OpAdd, i, ir.ConstInt(1))
+	bld.Jmp(head)
+	i.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	i.SetPhiIncoming(body, ni)
+	x.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	x.SetPhiIncoming(body, nx)
+	bld.SetBlock(exit)
+	bld.Ret(x)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	_, forest := LoopSimplify(f)
+	se := ComputeSCEV(forest.All[0])
+	if len(se.ComputablePhis()) != 1 {
+		t.Errorf("computable = %d, want 1 (only i)", len(se.ComputablePhis()))
+	}
+	if len(se.NonComputablePhis()) != 1 {
+		t.Errorf("non-computable = %d, want 1 (x)", len(se.NonComputablePhis()))
+	}
+}
+
+func TestSCEVGeometricNotComputable(t *testing.T) {
+	// x *= 2 is not an add-recurrence (LLVM SCEV cannot express it).
+	_, l, _ := loopWithPhis(t,
+		[]ir.Type{ir.Int, ir.Int},
+		[]ir.Value{ir.ConstInt(0), ir.ConstInt(1)},
+		func(bld *ir.Builder, phis []*ir.Instr) []ir.Value {
+			return []ir.Value{
+				bld.Binary(ir.OpAdd, phis[0], ir.ConstInt(1)),
+				bld.Binary(ir.OpMul, phis[1], ir.ConstInt(2)),
+			}
+		})
+	se := ComputeSCEV(l)
+	if len(se.NonComputablePhis()) != 1 {
+		t.Errorf("x*=2 should be non-computable: %v", se.SortedEvoStrings())
+	}
+}
+
+func TestSCEVFloatPhiNotComputable(t *testing.T) {
+	_, l, _ := loopWithPhis(t,
+		[]ir.Type{ir.Int, ir.Float},
+		[]ir.Value{ir.ConstInt(0), ir.ConstFloat(0)},
+		func(bld *ir.Builder, phis []*ir.Instr) []ir.Value {
+			return []ir.Value{
+				bld.Binary(ir.OpAdd, phis[0], ir.ConstInt(1)),
+				bld.Binary(ir.OpFAdd, phis[1], ir.ConstFloat(0.5)),
+			}
+		})
+	se := ComputeSCEV(l)
+	if len(se.NonComputablePhis()) != 1 {
+		t.Errorf("float recurrence should be non-computable (no float SCEV): %v", se.SortedEvoStrings())
+	}
+}
+
+func TestSCEVMutualDemotion(t *testing.T) {
+	// a depends on b, b depends on a load: both must demote.
+	m := ir.NewModule("md")
+	g := m.AddGlobal("tab", ir.Int, 8)
+	f := m.AddFunction("f", ir.Int, &ir.Param{Nm: "n", Ty: ir.Int})
+	bld := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bld.Jmp(head)
+	bld.SetBlock(head)
+	i := bld.Phi(ir.Int, "i")
+	a := bld.Phi(ir.Int, "a")
+	b := bld.Phi(ir.Int, "b")
+	cond := bld.Compare(ir.OpLt, i, f.Params[0])
+	bld.Br(cond, body, exit)
+	bld.SetBlock(body)
+	na := bld.Binary(ir.OpAdd, a, b) // a += b
+	ld := bld.Load(bld.AddPtr(g, i))
+	nb := bld.Binary(ir.OpAdd, b, ld) // b += tab[i]
+	ni := bld.Binary(ir.OpAdd, i, ir.ConstInt(1))
+	bld.Jmp(head)
+	i.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	i.SetPhiIncoming(body, ni)
+	a.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	a.SetPhiIncoming(body, na)
+	b.SetPhiIncoming(f.Entry(), ir.ConstInt(0))
+	b.SetPhiIncoming(body, nb)
+	bld.SetBlock(exit)
+	bld.Ret(a)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	_, forest := LoopSimplify(f)
+	se := ComputeSCEV(forest.All[0])
+	if got := len(se.ComputablePhis()); got != 1 {
+		t.Errorf("computable = %d, want 1 (only i): %v", got, se.SortedEvoStrings())
+	}
+}

@@ -1,0 +1,129 @@
+// Package bench provides the benchmark substrate of the reproduction: LPC
+// kernels modeled on the loop behaviour of the SPEC CPU2000/CPU2006 and
+// EEMBC programs the paper evaluates, plus the harness that regenerates
+// Figures 2–5.
+//
+// SPEC and EEMBC are proprietary, so each kernel is a synthetic analog
+// that replicates the property the limit study measures for its namesake:
+// loop structure, the frequency and kind of loop-carried dependencies,
+// reduction and induction patterns, call density and purity, and memory
+// access regularity (see DESIGN.md §2 for the substitution argument).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/core"
+)
+
+// Suite identifies one benchmark suite of the paper.
+type Suite string
+
+// The five suites of Figures 2 and 3.
+const (
+	SuiteINT2000 Suite = "cint2000"
+	SuiteINT2006 Suite = "cint2006"
+	SuiteFP2000  Suite = "cfp2000"
+	SuiteFP2006  Suite = "cfp2006"
+	SuiteEEMBC   Suite = "eembc"
+)
+
+// NumericSuites are the Figure 3 suites.
+func NumericSuites() []Suite { return []Suite{SuiteEEMBC, SuiteFP2000, SuiteFP2006} }
+
+// NonNumericSuites are the Figure 2 suites.
+func NonNumericSuites() []Suite { return []Suite{SuiteINT2000, SuiteINT2006} }
+
+// AllSuites lists every suite.
+func AllSuites() []Suite {
+	return []Suite{SuiteINT2000, SuiteINT2006, SuiteFP2000, SuiteFP2006, SuiteEEMBC}
+}
+
+// Benchmark is one kernel.
+type Benchmark struct {
+	// Name follows the SPEC naming of the modeled program
+	// (e.g. "181.mcf"), or the EEMBC kernel name.
+	Name string
+	// Suite is the owning suite.
+	Suite Suite
+	// Modeled describes which behaviour of the namesake the kernel
+	// replicates.
+	Modeled string
+	// Source is the LPC program.
+	Source string
+}
+
+var (
+	registry   []*Benchmark
+	analysisMu sync.Mutex
+	analyzed   = map[string]*analysis.ModuleInfo{}
+)
+
+func register(b *Benchmark) {
+	registry = append(registry, b)
+}
+
+// All returns every benchmark, suite by suite in AllSuites order.
+func All() []*Benchmark {
+	out := append([]*Benchmark(nil), registry...)
+	order := map[Suite]int{}
+	for i, s := range AllSuites() {
+		order[s] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return order[out[i].Suite] < order[out[j].Suite]
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BySuite returns the benchmarks of one suite, by name.
+func BySuite(s Suite) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.Suite == s {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName returns one benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Analyze compiles and analyzes the benchmark, caching the result (the
+// compile-time analysis is configuration-independent).
+func (b *Benchmark) Analyze() (*analysis.ModuleInfo, error) {
+	analysisMu.Lock()
+	defer analysisMu.Unlock()
+	if info := analyzed[b.Name]; info != nil {
+		return info, nil
+	}
+	info, err := core.AnalyzeSource(b.Name, b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	analyzed[b.Name] = info
+	return info, nil
+}
+
+// Run executes the limit study for one configuration.
+func (b *Benchmark) Run(cfg core.Config) (*core.Report, error) {
+	info, err := b.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(info, cfg, core.RunOptions{})
+}

@@ -1,0 +1,295 @@
+package bench
+
+// EEMBC-like kernels: small, regular embedded loops. Most become massively
+// parallel once reductions, predictable cursors, and math calls are admitted
+// (the suite posts the largest numeric gains in the paper); iirflt, pntrch,
+// and canrdr carry genuinely sequential recurrences that keep the suite
+// honest. Inputs arrive through rand() — non-re-entrant library calls that
+// only fn3 parallelizes — and a sampled mixing checksum closes each kernel.
+
+func init() {
+	register(&Benchmark{
+		Name:    "aifirf",
+		Suite:   SuiteEEMBC,
+		Modeled: "FIR filter: outer loop DOALL over samples, inner dot-product reduction (reduc1)",
+		Source: `
+var chkm [1]int;
+const TAPS = 24;
+const N = 900;
+var coef [TAPS]float;
+var in [N + TAPS]float;
+var out [N]float;
+func main() int {
+	var i int;
+	for (i = 0; i < TAPS; i = i + 1) { coef[i] = float(i % 7) * 0.125 - 0.375; }
+	for (i = 0; i < N + TAPS; i = i + 1) {
+		var sv int = rand();
+		in[i] = float(sv % 101) * 0.01;
+	}
+	var ch int;
+	for (ch = 0; ch < 3; ch = ch + 1) {
+		var s int;
+		for (s = 0; s < N; s = s + 1) {
+			var acc float = 0.0;
+			var t int;
+			for (t = 0; t < TAPS; t = t + 1) {
+				acc = acc + coef[t] * in[s + t];
+			}
+			out[s] = acc + out[s] * 0.1;
+		}
+	}
+	for (i = 0; i < N; i = i + 7) {
+		chkm[0] = (chkm[0] * 31 + int(out[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "autcor",
+		Suite:   SuiteEEMBC,
+		Modeled: "autocorrelation: lag loop of dot-product reductions (reduc1)",
+		Source: `
+var chkm [1]int;
+const N = 900;
+const LAGS = 20;
+var x [N]float;
+var r [LAGS]float;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		x[i] = float(sv % 64) * 0.0625 - 0.5;
+	}
+	var lag int;
+	for (lag = 0; lag < LAGS; lag = lag + 1) {
+		var acc float = 0.0;
+		var j int;
+		for (j = 0; j < N - lag; j = j + 1) {
+			acc = acc + x[j] * x[j + lag];
+		}
+		r[lag] = acc;
+	}
+	for (i = 0; i < LAGS; i = i + 1) {
+		chkm[0] = (chkm[0] * 31 + int(r[i])) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "matrix",
+		Suite:   SuiteEEMBC,
+		Modeled: "dense matrix multiply: triple nest, inner reduction, computable IVs",
+		Source: `
+var chkm [1]int;
+const N = 18;
+var a [N * N]float;
+var b [N * N]float;
+var c [N * N]float;
+func main() int {
+	var i int; var j int; var k int;
+	for (i = 0; i < N * N; i = i + 1) {
+		var sv int = rand();
+		a[i] = float(sv % 23) * 0.1;
+		b[i] = float((sv >> 8) % 19) * 0.1;
+	}
+	var pass int;
+	for (pass = 0; pass < 3; pass = pass + 1) {
+		for (i = 0; i < N; i = i + 1) {
+			for (j = 0; j < N; j = j + 1) {
+				var s float = 0.0;
+				for (k = 0; k < N; k = k + 1) {
+					s = s + a[i * N + k] * b[k * N + j];
+				}
+				c[i * N + j] = s;
+			}
+		}
+		for (i = 0; i < N * N; i = i + 1) { a[i] = a[i] * 0.9 + c[i] * 0.001; }
+	}
+	for (i = 0; i < N * N; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int(c[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "idctrn",
+		Suite:   SuiteEEMBC,
+		Modeled: "8x8 inverse DCT over independent blocks: DOALL across blocks, cos() calls gate fn0",
+		Source: `
+var chkm [1]int;
+const BLOCKS = 36;
+const B = 64;
+var img [BLOCKS * B]float;
+var tmp [BLOCKS * B]float;
+func main() int {
+	var i int;
+	for (i = 0; i < BLOCKS * B; i = i + 1) {
+		var sv int = rand();
+		img[i] = float(sv % 255) - 128.0;
+	}
+	var blk int;
+	for (blk = 0; blk < BLOCKS; blk = blk + 1) {
+		var r int;
+		for (r = 0; r < 8; r = r + 1) {
+			var cidx int;
+			for (cidx = 0; cidx < 8; cidx = cidx + 1) {
+				var acc float = 0.0;
+				var u int;
+				for (u = 0; u < 8; u = u + 1) {
+					acc = acc + img[blk * B + r * 8 + u] * cos(float(u * cidx) * 0.19635);
+				}
+				tmp[blk * B + r * 8 + cidx] = acc * 0.25;
+			}
+		}
+	}
+	for (i = 0; i < BLOCKS * B; i = i + 9) {
+		chkm[0] = (chkm[0] * 31 + int(tmp[i])) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "iirflt",
+		Suite:   SuiteEEMBC,
+		Modeled: "IIR biquad: y[n] depends on y[n-1], y[n-2] — a frequent float register LCD produced mid-iteration",
+		Source: `
+var chkm [1]int;
+const N = 3000;
+var x [N]float;
+var y [N]float;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		x[i] = float(sv % 32) * 0.03125 - 0.5;
+	}
+	var y1 float = 0.0;
+	var y2 float = 0.0;
+	for (i = 0; i < N; i = i + 1) {
+		var v float = x[i] + 1.6 * y1 - 0.64 * y2;
+		y2 = y1;
+		y1 = v;
+		// Post-processing of the output sample (independent tail).
+		var w float = v * 0.5;
+		var w2 float = w * w;
+		var w4 float = w2 * w2;
+		y[i] = w + w2 * 0.01 - w2 * w * 0.001 + w4 * 0.0001 - w4 * w * 0.00001;
+	}
+	for (i = 0; i < N; i = i + 7) {
+		chkm[0] = (chkm[0] * 31 + int(y[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "pntrch",
+		Suite:   SuiteEEMBC,
+		Modeled: "pointer chase through a linked ring: unpredictable register LCD produced early, small search tail",
+		Source: `
+var chkm [1]int;
+const N = 1021;
+var nxt [N]int;
+var val [N]int;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		nxt[i] = sv % N;
+		val[i] = (sv >> 8) % 29;
+	}
+	var p int = 0;
+	var found int = 0;
+	for (i = 0; i < 3000; i = i + 1) {
+		// Next pointer and match counter produced at the top.
+		p = (nxt[p] + i) % N;
+		var v int = val[p];
+		if (v == 13) { found = found + 1; }
+		// Independent: score the visited record.
+		var score int = v;
+		var k int;
+		for (k = 0; k < 8; k = k + 1) { score = (score * 3 + k) % 211; }
+		val[p] = score;
+	}
+	chkm[0] = found * 1000 + p;
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "tblook",
+		Suite:   SuiteEEMBC,
+		Modeled: "table lookup with interpolation: cursor strided by a memory-loaded step (dep2), independent interpolation",
+		Source: `
+var chkm [1]int;
+const T = 256;
+const N = 1800;
+var table [T]float;
+var out [N]float;
+var step [1]int;
+func main() int {
+	var i int;
+	for (i = 0; i < T; i = i + 1) {
+		var sv int = rand();
+		table[i] = float(sv % 100) * 0.5;
+	}
+	step[0] = 97;
+	// The key cursor advances by a loaded stride: non-computable,
+	// predictable (dep2 unlocks this loop).
+	var key int = 13;
+	for (i = 0; i < N; i = i + 1) {
+		key = (key + step[0]) % (T - 1);
+		var frac float = float((i * 31) % 100) * 0.01;
+		out[i] = table[key] + (table[key + 1] - table[key]) * frac;
+	}
+	for (i = 0; i < N; i = i + 7) {
+		chkm[0] = (chkm[0] * 31 + int(out[i] * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "canrdr",
+		Suite:   SuiteEEMBC,
+		Modeled: "CAN frame decoder: frame state machine advanced early; per-byte filter work independent",
+		Source: `
+var chkm [1]int;
+const N = 2600;
+var stream [N]int;
+var counts [16]int;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		stream[i] = sv % 256;
+	}
+	var state int = 0;
+	var frames int = 0;
+	for (i = 0; i < N; i = i + 1) {
+		var byteval int = stream[i];
+		// Frame state advanced at the top of the iteration.
+		state = ((state << 3) ^ byteval) & 1023;
+		if ((state & 7) == 3) {
+			frames = frames + 1;
+			counts[byteval % 16] = counts[byteval % 16] + 1;
+			state = 0;
+		}
+		// Independent: acceptance filter arithmetic for this byte.
+		var f int = byteval;
+		var k int;
+		for (k = 0; k < 12; k = k + 1) { f = ((f << 1) ^ (f >> 3) ^ k) & 1023; }
+		stream[i] = f;
+	}
+	chkm[0] = frames + state;
+	for (i = 0; i < 16; i = i + 1) {
+		chkm[0] = (chkm[0] * 31 + counts[i]) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+}

@@ -1,0 +1,443 @@
+package bench
+
+// SpecFP2000-like kernels: regular scientific loop nests. Each kernel is a
+// composite of the phases the limit study distinguishes: a strictly
+// sequential "input read" (seed mixing through memory, produced early so
+// only HELIX extracts anything), map/stencil loops (parallel under plain
+// DOALL), dot-product reductions (unlocked by reduc1), loops with pure math
+// or instrumented helper calls (unlocked by fn2), and a serial mixing
+// checksum. FP2000 leans on reductions, matching the paper's note that it
+// benefits most from reduc1.
+
+func init() {
+	register(&Benchmark{
+		Name:    "168.wupwise",
+		Suite:   SuiteFP2000,
+		Modeled: "complex matrix-vector sweeps: row dot-product reductions (reduc1) plus map updates (DOALL)",
+		Source: `
+var chkm [1]int;
+const N = 40;
+var mre [N * N]float;
+var mim [N * N]float;
+var vre [N]float;
+var vim [N]float;
+var ore [N]float;
+var oim [N]float;
+func main() int {
+	var i int; var j int;
+	for (i = 0; i < N * N; i = i + 1) {
+		var sv int = rand();
+		mre[i] = float(sv % 37) * 0.05 - 0.9;
+		mim[i] = float((sv >> 8) % 41) * 0.05 - 1.0;
+	}
+	for (i = 0; i < N; i = i + 1) {
+		vre[i] = float(i % 9) * 0.2;
+		vim[i] = float(i % 5) * 0.3;
+	}
+	var sweep int;
+	for (sweep = 0; sweep < 12; sweep = sweep + 1) {
+		for (i = 0; i < N; i = i + 1) {
+			var sre float = 0.0;
+			var sim float = 0.0;
+			for (j = 0; j < N; j = j + 1) {
+				var ar float = mre[i * N + j];
+				var ai float = mim[i * N + j];
+				sre = sre + ar * vre[j] - ai * vim[j];
+				sim = sim + ar * vim[j] + ai * vre[j];
+			}
+			ore[i] = sre;
+			oim[i] = sim;
+		}
+		// Map update: DOALL-parallel.
+		for (i = 0; i < N; i = i + 1) {
+			vre[i] = ore[i] * 0.01 + vre[i] * 0.5;
+			vim[i] = oim[i] * 0.01 + vim[i] * 0.5;
+		}
+		// Convergence norm: a reduction over the vector.
+		var nrm float = 0.0;
+		for (i = 0; i < N; i = i + 1) { nrm = nrm + vre[i] * vre[i] + vim[i] * vim[i]; }
+		vre[0] = vre[0] + nrm * 0.0001;
+	}
+	for (i = 0; i < N; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int((vre[i] + vim[i]) * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "171.swim",
+		Suite:   SuiteFP2000,
+		Modeled: "shallow-water 2D stencil: grid updates DOALL within a step; serial grid input",
+		Source: `
+var chkm [1]int;
+const W = 30;
+const H = 30;
+var u [W * H]float;
+var v [W * H]float;
+var unew [W * H]float;
+func main() int {
+	var i int; var j int;
+	for (i = 0; i < W * H; i = i + 1) {
+		var sv int = rand();
+		u[i] = float(sv % 23) * 0.1 + float((sv >> 4) % 7) * 0.01;
+		v[i] = float((sv >> 6) % 19) * 0.1 - float((sv >> 12) % 5) * 0.02;
+	}
+	var t int;
+	var norm float = 0.0;
+	for (t = 0; t < 16; t = t + 1) {
+		for (i = 1; i < H - 1; i = i + 1) {
+			for (j = 1; j < W - 1; j = j + 1) {
+				var c int = i * W + j;
+				unew[c] = 0.2 * (u[c] + u[c - 1] + u[c + 1] + u[c - W] + u[c + W]) + 0.05 * v[c];
+			}
+		}
+		for (i = 1; i < H - 1; i = i + 1) {
+			for (j = 1; j < W - 1; j = j + 1) {
+				var c int = i * W + j;
+				u[c] = unew[c];
+				v[c] = v[c] * 0.99 + unew[c] * 0.01;
+			}
+		}
+		// In-place boundary relaxation: u[i] depends on u[i-1],
+		// written first with independent smoothing work after — the
+		// HELIX-pipelinable recurrence of SSOR-style codes.
+		for (i = 1; i < W * H; i = i + 1) {
+			u[i] = u[i] * 0.9 + u[i - 1] * 0.1;
+			var w float = u[i];
+			v[i] = v[i] * 0.95 + (w * w * 0.003 + w * 0.01) * 0.05;
+		}
+		// Stability check: a whole-grid reduction every step.
+		norm = 0.0;
+		for (i = 0; i < W * H; i = i + 1) { norm = norm + fabs(u[i]); }
+	}
+	chkm[0] = int(norm);
+	for (i = 0; i < W * H; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int(u[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "172.mgrid",
+		Suite:   SuiteFP2000,
+		Modeled: "multigrid smoother: 3D 7-point stencil (DOALL) with residual-norm reductions (reduc1)",
+		Source: `
+var chkm [1]int;
+const D = 10;
+var a [D * D * D]float;
+var b [D * D * D]float;
+func main() int {
+	var i int;
+	for (i = 0; i < D * D * D; i = i + 1) {
+		var sv int = rand();
+		a[i] = float(sv % 31) * 0.1;
+	}
+	var it int;
+	var norm float = 0.0;
+	for (it = 0; it < 14; it = it + 1) {
+		var z int;
+		for (z = 1; z < D - 1; z = z + 1) {
+			var y int;
+			for (y = 1; y < D - 1; y = y + 1) {
+				var x int;
+				for (x = 1; x < D - 1; x = x + 1) {
+					var c int = (z * D + y) * D + x;
+					b[c] = a[c] * 0.4
+						+ 0.1 * (a[c - 1] + a[c + 1] + a[c - D] + a[c + D] + a[c - D * D] + a[c + D * D]);
+				}
+			}
+		}
+		// In-place line relaxation: a recurrence along the grid with
+		// the producer first and smoothing work after.
+		for (i = 1; i < D * D * D; i = i + 1) {
+			b[i] = b[i] * 0.85 + b[i - 1] * 0.15;
+			var w float = b[i];
+			a[i] = a[i] * 0.5 + (w * 0.2 + w * w * 0.001) * 0.5;
+		}
+		// Residual norm: a reduction over the whole grid.
+		norm = 0.0;
+		for (i = 0; i < D * D * D; i = i + 1) {
+			norm = norm + fabs(b[i] - a[i]);
+		}
+		for (i = 0; i < D * D * D; i = i + 1) { a[i] = b[i]; }
+	}
+	chkm[0] = int(norm);
+	for (i = 0; i < D * D * D; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int(a[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "173.applu",
+		Suite:   SuiteFP2000,
+		Modeled: "SSOR wavefront: row sweeps with a frequent memory LCD whose producer lands early (HELIX territory)",
+		Source: `
+var chkm [1]int;
+const N = 56;
+const STEPS = 120;
+var grid [N * N]float;
+var scratch [N]float;
+func main() int {
+	var i int;
+	for (i = 0; i < N * N; i = i + 1) {
+		var sv int = rand();
+		grid[i] = float(sv % 17) * 0.25;
+	}
+	var s int;
+	for (s = 0; s < STEPS; s = s + 1) {
+		var r int = (s * 7) % (N - 1) + 1;
+		var j int;
+		for (j = 1; j < N; j = j + 1) {
+			// The recurrence write lands first; smoothing work after.
+			grid[r * N + j] = grid[(r - 1) * N + j] * 0.5 + grid[r * N + j - 1] * 0.3 + 0.2;
+			var w float = grid[r * N + j];
+			var w2 float = w * w;
+			var w3 float = w2 * w;
+			scratch[j] = w2 * 0.25 + w * 0.5 + w3 * 0.01 + float(j % 3) * 0.125 - w2 * w2 * 0.0001;
+		}
+		for (j = 1; j < N; j = j + 1) {
+			grid[(r - 1) * N + j] = grid[(r - 1) * N + j] * 0.9 + scratch[j] * 0.1;
+		}
+	}
+	for (i = 0; i < N * N; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int(grid[i] * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "177.mesa",
+		Suite:   SuiteFP2000,
+		Modeled: "vertex pipeline: per-vertex independence gated by pure math calls (fn-gated)",
+		Source: `
+var chkm [1]int;
+const N = 600;
+var vx [N]float;
+var vy [N]float;
+var vz [N]float;
+var ox [N]float;
+var oy [N]float;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		vx[i] = float(sv % 40) * 0.1 - 2.0;
+		vy[i] = float((sv >> 8) % 40) * 0.1 - 2.0;
+		vz[i] = float((sv >> 16) % 30) * 0.1 + 1.0;
+	}
+	var frame int;
+	for (frame = 0; frame < 6; frame = frame + 1) {
+		var angle float = 0.35 + float(frame) * 0.02;
+		for (i = 0; i < N; i = i + 1) {
+			var c float = cos(angle);
+			var s float = sin(angle);
+			var x float = vx[i] * c - vy[i] * s;
+			var y float = vx[i] * s + vy[i] * c;
+			var inv float = 1.0 / sqrt(vz[i]);
+			ox[i] = x * inv + ox[i] * 0.1;
+			oy[i] = y * inv + oy[i] * 0.1;
+		}
+	}
+	for (i = 0; i < N; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int((ox[i] + oy[i]) * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "179.art",
+		Suite:   SuiteFP2000,
+		Modeled: "ART F1 match: independent per-feature work with a rare late winner update (prefers PDOALL over HELIX)",
+		Source: `
+var chkm [1]int;
+const F = 420;
+const PASSES = 26;
+var weights [F]float;
+var input [F]float;
+var winner [4]float;
+func main() int {
+	var i int;
+	for (i = 0; i < F; i = i + 1) {
+		var sv int = rand();
+		weights[i] = float(sv % 50) * 0.02;
+		input[i] = float((sv >> 8) % 50) * 0.02;
+	}
+	var p int;
+	winner[1] = 0.5;
+	for (p = 0; p < PASSES; p = p + 1) {
+		var passbest float = 0.0;
+		for (i = 0; i < F; i = i + 1) {
+			// Vigilance read at the very top of the iteration.
+			var vig float = winner[0];
+			var m float = fmin(weights[i], input[(i + p * 37) % F]);
+			weights[i] = weights[i] * 0.999 + m * 0.001;
+			passbest = fmax(passbest, m);
+			// Rare winner update at the very end: early-consumer,
+			// late-producer, so HELIX synchronization buys nothing
+			// while PDOALL restarts only on the rare improvements.
+			if (m > vig) {
+				winner[0] = m;
+			}
+		}
+		// Pass threshold: produced after the whole pass, consumed by
+		// the next pass's first iterations through winner[1].
+		winner[1] = winner[1] * 0.5 + passbest * 0.5;
+		weights[p % F] = weights[p % F] + winner[1] * 0.001;
+	}
+	chkm[0] = int(winner[0] * 1000.0);
+	for (i = 0; i < F; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int(weights[i] * 1000.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "183.equake",
+		Suite:   SuiteFP2000,
+		Modeled: "sparse matvec: per-row gather reductions (reduc1) over indirect read-only indices",
+		Source: `
+var chkm [1]int;
+const NODES = 400;
+const PER = 5;
+var col [NODES * PER]int;
+var valm [NODES * PER]float;
+var x [NODES]float;
+var y [NODES]float;
+func main() int {
+	var i int;
+	for (i = 0; i < NODES * PER; i = i + 1) {
+		var sv int = rand();
+		col[i] = sv % NODES;
+		valm[i] = float((sv >> 8) % 13) * 0.1;
+	}
+	for (i = 0; i < NODES; i = i + 1) { x[i] = float(i % 21) * 0.05; }
+	var step int;
+	for (step = 0; step < 18; step = step + 1) {
+		for (i = 0; i < NODES; i = i + 1) {
+			var acc float = 0.0;
+			var k int;
+			for (k = 0; k < PER; k = k + 1) {
+				acc = acc + valm[i * PER + k] * x[col[i * PER + k]];
+			}
+			y[i] = acc;
+		}
+		// Implicit time integration: x[i] depends on x[i-1], written
+		// first, with damping work after (HELIX-pipelinable).
+		for (i = 1; i < NODES; i = i + 1) {
+			x[i] = x[i] + x[i - 1] * 0.05;
+			var w float = x[i];
+			y[i] = y[i] * 0.9 + (w * 0.1 + w * w * 0.002) * 0.1;
+		}
+		// Energy norm: a whole-vector reduction every step.
+		var en float = 0.0;
+		for (i = 0; i < NODES; i = i + 1) { en = en + y[i] * y[i]; }
+		for (i = 0; i < NODES; i = i + 1) { x[i] = x[i] * 0.9 + y[i] * 0.001 + en * 0.000001; }
+	}
+	for (i = 0; i < NODES; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int(x[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "188.ammp",
+		Suite:   SuiteFP2000,
+		Modeled: "molecular dynamics: pairwise force loops calling an instrumented helper (fn2), per-atom reductions (reduc1)",
+		Source: `
+var chkm [1]int;
+const ATOMS = 70;
+var px [ATOMS]float;
+var py [ATOMS]float;
+var fx [ATOMS]float;
+var fy [ATOMS]float;
+func pair_force(d2 float) float {
+	var inv float = 1.0 / (d2 + 0.1);
+	return inv * inv - 0.05 * inv;
+}
+func main() int {
+	var i int; var j int;
+	for (i = 0; i < ATOMS; i = i + 1) {
+		var sv int = rand();
+		px[i] = float(sv % 100) * 0.1;
+		py[i] = float((sv >> 8) % 100) * 0.1;
+	}
+	var step int;
+	for (step = 0; step < 4; step = step + 1) {
+		for (i = 0; i < ATOMS; i = i + 1) {
+			var sx float = 0.0;
+			var sy float = 0.0;
+			for (j = 0; j < ATOMS; j = j + 1) {
+				if (j != i) {
+					var dx float = px[j] - px[i];
+					var dy float = py[j] - py[i];
+					var f float = pair_force(dx * dx + dy * dy);
+					sx = sx + f * dx;
+					sy = sy + f * dy;
+				}
+			}
+			fx[i] = sx;
+			fy[i] = sy;
+		}
+		for (i = 0; i < ATOMS; i = i + 1) {
+			px[i] = px[i] + fx[i] * 0.001;
+			py[i] = py[i] + fy[i] * 0.001;
+		}
+	}
+	for (i = 0; i < ATOMS; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int((px[i] + py[i]) * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "301.apsi",
+		Suite:   SuiteFP2000,
+		Modeled: "column physics: columns independent, each carrying a predictable vertical recurrence (dep2 territory via the per-column seed cursor)",
+		Source: `
+var chkm [1]int;
+const COLS = 80;
+const LEVELS = 36;
+var temp [COLS * LEVELS]float;
+var outp [COLS * LEVELS]float;
+var stride [1]int;
+func main() int {
+	var i int;
+	for (i = 0; i < COLS * LEVELS; i = i + 1) {
+		var sv int = rand();
+		temp[i] = float(sv % 43) * 0.1;
+	}
+	stride[0] = LEVELS;
+	var sweepn int;
+	for (sweepn = 0; sweepn < 12; sweepn = sweepn + 1) {
+		// Column cursor advances by a memory-loaded stride:
+		// non-computable for SCEV, trivially predictable at run
+		// time (dep2).
+		var base int = 0;
+		var c int;
+		for (c = 0; c < COLS; c = c + 1) {
+			var accum float = float(sweepn) * 0.01;
+			var l int;
+			for (l = 0; l < LEVELS; l = l + 1) {
+				accum = accum * 0.95 + temp[base + l] * 0.05;
+				outp[base + l] = accum;
+			}
+			base = base + stride[0];
+		}
+		for (i = 0; i < COLS * LEVELS; i = i + 1) { temp[i] = temp[i] * 0.98 + outp[i] * 0.02; }
+	}
+	for (i = 0; i < COLS * LEVELS; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int(outp[i] * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+}

@@ -1,0 +1,215 @@
+package bench
+
+// Additional SpecFP2000-like kernels completing the suite roster the
+// paper's Figure 4 draws from. Profiles follow the templates of fp2000.go:
+// rand()-gated input, composite hot phases, sampled mixing checksum.
+
+func init() {
+	register(&Benchmark{
+		Name:    "178.galgel",
+		Suite:   SuiteFP2000,
+		Modeled: "Galerkin spectral solver: dense matvec reductions (reduc1) with a Gauss-Seidel-style in-place update (HELIX)",
+		Source: `
+var chkm [1]int;
+const N = 44;
+var a [N * N]float;
+var x [N]float;
+var y [N]float;
+func main() int {
+	var i int; var j int;
+	for (i = 0; i < N * N; i = i + 1) {
+		var sv int = rand();
+		a[i] = float(sv % 19) * 0.05 - 0.45;
+	}
+	for (i = 0; i < N; i = i + 1) { x[i] = float(i % 7) * 0.1; }
+	var it int;
+	for (it = 0; it < 10; it = it + 1) {
+		// Dense matvec: per-row dot reductions.
+		for (i = 0; i < N; i = i + 1) {
+			var s float = 0.0;
+			for (j = 0; j < N; j = j + 1) { s = s + a[i * N + j] * x[j]; }
+			y[i] = s;
+		}
+		// Gauss-Seidel sweep: in-place, produced first.
+		for (i = 1; i < N; i = i + 1) {
+			x[i] = x[i] * 0.8 + x[i - 1] * 0.1 + y[i] * 0.01;
+			var w float = x[i];
+			y[i] = y[i] * 0.9 + (w * w * 0.01 + w * 0.05) * 0.1;
+		}
+	}
+	for (i = 0; i < N; i = i + 1) {
+		chkm[0] = (chkm[0] * 31 + int(x[i] * 1000.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "187.facerec",
+		Suite:   SuiteFP2000,
+		Modeled: "face recognition: gallery distance reductions with a rare best-match update, late-produced (prefers PDOALL)",
+		Source: `
+var chkm [1]int;
+const GALLERY = 90;
+const DIM = 32;
+var probe [DIM]float;
+var gallery [GALLERY * DIM]float;
+var best [4]float;
+var dists [GALLERY]float;
+func main() int {
+	var i int;
+	for (i = 0; i < DIM; i = i + 1) {
+		var sv int = rand();
+		probe[i] = float(sv % 40) * 0.05;
+	}
+	for (i = 0; i < GALLERY * DIM; i = i + 1) {
+		var sv int = rand();
+		gallery[i] = float(sv % 40) * 0.05;
+	}
+	best[0] = 1000000.0;
+	var pass int;
+	for (pass = 0; pass < 6; pass = pass + 1) {
+		var g int;
+		for (g = 0; g < GALLERY; g = g + 1) {
+			var thr float = best[0];
+			var d float = 0.0;
+			var k int;
+			for (k = 0; k < DIM; k = k + 1) {
+				var e float = probe[k] - gallery[g * DIM + k];
+				d = d + e * e;
+			}
+			dists[g] = d + thr * 0.0000001;
+			if (d < best[0]) { best[0] = d; }
+		}
+	}
+	chkm[0] = int(best[0] * 1000.0);
+	for (i = 0; i < GALLERY; i = i + 3) {
+		chkm[0] = (chkm[0] * 31 + int(dists[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "189.lucas",
+		Suite:   SuiteFP2000,
+		Modeled: "Lucas-Lehmer style FFT butterfly passes: log-depth map loops (DOALL) with a carry-propagation recurrence (HELIX)",
+		Source: `
+var chkm [1]int;
+const N = 512;
+var re [N]float;
+var im [N]float;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		re[i] = float(sv % 50) * 0.04 - 1.0;
+		im[i] = 0.0;
+	}
+	var pass int;
+	for (pass = 0; pass < 4; pass = pass + 1) {
+		// Butterfly pass: disjoint pairs, DOALL.
+		var half int = 1 << (pass % 5 + 1);
+		for (i = 0; i < N - half; i = i + 1) {
+			var ar float = re[i];
+			var br float = re[(i + half) % N];
+			re[i] = ar + br * 0.5;
+			im[i] = im[i] + (ar - br) * 0.25;
+		}
+		// Carry propagation: recurrence, carry produced first.
+		var carry float = 0.0;
+		for (i = 0; i < N; i = i + 1) {
+			var v float = re[i] + carry;
+			carry = floor(v * 0.125);
+			var w float = v - carry * 8.0;
+			re[i] = w;
+			im[i] = im[i] * 0.99 + w * 0.001;
+		}
+	}
+	for (i = 0; i < N; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int((re[i] + im[i]) * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "191.fma3d",
+		Suite:   SuiteFP2000,
+		Modeled: "crash simulation: per-element stress helpers (fn2) plus nodal scatter with shared-node conflicts",
+		Source: `
+var chkm [1]int;
+const ELEMS = 300;
+const NODES2 = 320;
+var enode [ELEMS * 2]int;
+var stress [ELEMS]float;
+var nodal [NODES2]float;
+func elem_stress(s float, strain float) float {
+	var e float = strain * 2.1;
+	return s * 0.98 + e / (1.0 + fabs(e));
+}
+func main() int {
+	var i int;
+	for (i = 0; i < ELEMS * 2; i = i + 1) {
+		var sv int = rand();
+		enode[i] = sv % NODES2;
+	}
+	var step int;
+	for (step = 0; step < 5; step = step + 1) {
+		var e int;
+		for (e = 0; e < ELEMS; e = e + 1) {
+			var n1 int = enode[e * 2];
+			var n2 int = enode[e * 2 + 1];
+			var strain float = nodal[n1] - nodal[n2] + float((e + step) % 5) * 0.1;
+			stress[e] = elem_stress(stress[e], strain);
+			// Scatter to shared nodes: occasional conflicts.
+			nodal[n1] = nodal[n1] + stress[e] * 0.01;
+			nodal[n2] = nodal[n2] - stress[e] * 0.01;
+		}
+	}
+	for (i = 0; i < ELEMS; i = i + 4) {
+		chkm[0] = (chkm[0] * 31 + int(stress[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "200.sixtrack",
+		Suite:   SuiteFP2000,
+		Modeled: "particle tracking: per-particle independence gated by math calls, with per-turn aperture reductions",
+		Source: `
+var chkm [1]int;
+const PARTICLES = 220;
+var px [PARTICLES]float;
+var pv [PARTICLES]float;
+var lost [4]float;
+func main() int {
+	var i int;
+	for (i = 0; i < PARTICLES; i = i + 1) {
+		var sv int = rand();
+		px[i] = float(sv % 100) * 0.01 - 0.5;
+		pv[i] = float((sv >> 8) % 100) * 0.002 - 0.1;
+	}
+	var turn int;
+	for (turn = 0; turn < 8; turn = turn + 1) {
+		for (i = 0; i < PARTICLES; i = i + 1) {
+			var phase float = px[i] * 6.28;
+			px[i] = px[i] + pv[i] + sin(phase) * 0.001;
+			pv[i] = pv[i] * 0.999 - cos(phase) * 0.0005;
+		}
+		// Aperture check: a whole-beam reduction per turn.
+		var inside float = 0.0;
+		for (i = 0; i < PARTICLES; i = i + 1) {
+			inside = inside + fabs(px[i]);
+		}
+		lost[0] = inside;
+	}
+	chkm[0] = int(lost[0] * 100.0);
+	for (i = 0; i < PARTICLES; i = i + 4) {
+		chkm[0] = (chkm[0] * 31 + int(px[i] * 1000.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+}

@@ -1,0 +1,337 @@
+package bench
+
+// SpecFP2006-like kernels. Compared with FP2000 these lean more on dep2
+// (predictable non-computable cursors through memory) and on instrumented
+// helper calls, matching the paper's note that FP2006 and EEMBC benefit
+// more from dep2 than from reduc1. soplex and sphinx3 carry the
+// rare-late-update pattern that prefers PDOALL over HELIX (Figure 4).
+
+func init() {
+	register(&Benchmark{
+		Name:    "433.milc",
+		Suite:   SuiteFP2006,
+		Modeled: "lattice QCD: site loop strided by a memory-loaded offset (dep2) over small complex matrix multiplies",
+		Source: `
+var chkm [1]int;
+const SITES = 120;
+const M = 9;
+var are [SITES * M]float;
+var aim [SITES * M]float;
+var bre [SITES * M]float;
+var bim [SITES * M]float;
+var cre [SITES * M]float;
+var cim [SITES * M]float;
+var stride [1]int;
+func main() int {
+	var i int;
+	for (i = 0; i < SITES * M; i = i + 1) {
+		var sv int = rand();
+		are[i] = float(sv % 21) * 0.1 - 1.0;
+		aim[i] = float((sv >> 8) % 19) * 0.1 - 0.9;
+		bre[i] = float((sv >> 4) % 23) * 0.1 - 1.1;
+		bim[i] = float((sv >> 12) % 17) * 0.1 - 0.8;
+	}
+	stride[0] = M;
+	var pass int;
+	for (pass = 0; pass < 4; pass = pass + 1) {
+		// The site base advances by a loaded stride: non-computable,
+		// trivially predictable (dep2).
+		var base int = 0;
+		var s int;
+		for (s = 0; s < SITES; s = s + 1) {
+			var r int;
+			for (r = 0; r < 3; r = r + 1) {
+				var c int;
+				for (c = 0; c < 3; c = c + 1) {
+					var sre float = 0.0;
+					var sim float = 0.0;
+					var k int;
+					for (k = 0; k < 3; k = k + 1) {
+						var ia int = base + r * 3 + k;
+						var ib int = base + k * 3 + c;
+						sre = sre + are[ia] * bre[ib] - aim[ia] * bim[ib];
+						sim = sim + are[ia] * bim[ib] + aim[ia] * bre[ib];
+					}
+					cre[base + r * 3 + c] = sre;
+					cim[base + r * 3 + c] = sim;
+				}
+			}
+			base = base + stride[0];
+		}
+		for (i = 0; i < SITES * M; i = i + 1) { are[i] = are[i] * 0.99 + cre[i] * 0.01; }
+	}
+	for (i = 0; i < SITES * M; i = i + 7) {
+		chkm[0] = (chkm[0] * 31 + int((cre[i] + cim[i]) * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "444.namd",
+		Suite:   SuiteFP2006,
+		Modeled: "short-range forces: neighbor loop with cutoff branch and sqrt calls (fn-gated), per-atom reductions",
+		Source: `
+var chkm [1]int;
+const ATOMS = 80;
+const NEIGH = 16;
+var px [ATOMS]float;
+var pz [ATOMS]float;
+var nlist [ATOMS * NEIGH]int;
+var force [ATOMS]float;
+func main() int {
+	var i int; var k int;
+	for (i = 0; i < ATOMS; i = i + 1) {
+		var sv int = rand();
+		px[i] = float(sv % 64) * 0.2;
+		pz[i] = float((sv >> 8) % 64) * 0.2;
+	}
+	for (i = 0; i < ATOMS * NEIGH; i = i + 1) { nlist[i] = (i * 53 + 11) % ATOMS; }
+	var step int;
+	for (step = 0; step < 8; step = step + 1) {
+		for (i = 0; i < ATOMS; i = i + 1) {
+			var acc float = 0.0;
+			for (k = 0; k < NEIGH; k = k + 1) {
+				var j int = nlist[i * NEIGH + k];
+				var dx float = px[j] - px[i];
+				var dz float = pz[j] - pz[i];
+				var d2 float = dx * dx + dz * dz + 0.01;
+				if (d2 < 40.0) {
+					acc = acc + 1.0 / (d2 * sqrt(d2));
+				}
+			}
+			force[i] = acc;
+		}
+		for (i = 0; i < ATOMS; i = i + 1) { px[i] = px[i] + force[i] * 0.0001; }
+	}
+	for (i = 0; i < ATOMS; i = i + 1) {
+		chkm[0] = (chkm[0] * 31 + int(force[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "447.dealII",
+		Suite:   SuiteFP2006,
+		Modeled: "FEM assembly: dense per-element work with occasional shared-node scatter conflicts (infrequent memory LCDs)",
+		Source: `
+var chkm [1]int;
+const ELEMS = 200;
+const DOF = 4;
+const NODES = 512;
+var conn [ELEMS * DOF]int;
+var global [NODES]float;
+var local [16]float;
+func main() int {
+	var i int;
+	for (i = 0; i < ELEMS * DOF; i = i + 1) {
+		var sv int = rand();
+		conn[i] = sv % NODES;
+	}
+	var pass int;
+	for (pass = 0; pass < 3; pass = pass + 1) {
+		var e int;
+		for (e = 0; e < ELEMS; e = e + 1) {
+			var a int; var b int;
+			var det float = 0.0;
+			for (a = 0; a < DOF; a = a + 1) {
+				for (b = 0; b < DOF; b = b + 1) {
+					var w float = float((e + a * 3 + b + pass) % 11) * 0.1;
+					det = det + w * w;
+				}
+			}
+			// Scatter: conflicts only when nearby elements share a node.
+			for (a = 0; a < DOF; a = a + 1) {
+				var n int = conn[e * DOF + a];
+				global[n] = global[n] + det * 0.25;
+			}
+		}
+	}
+	for (i = 0; i < NODES; i = i + 3) {
+		chkm[0] = (chkm[0] * 31 + int(global[i] * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "450.soplex",
+		Suite:   SuiteFP2006,
+		Modeled: "simplex pricing: independent row scans; a rare better-pivot update read early and written late (prefers PDOALL)",
+		Source: `
+var chkm [1]int;
+const ROWS = 110;
+const COLS = 50;
+var tab [ROWS * COLS]float;
+var pivotv [4]float;
+func main() int {
+	var i int; var j int;
+	for (i = 0; i < ROWS * COLS; i = i + 1) {
+		var sv int = rand();
+		tab[i] = float(sv % 31) * 0.1 - 1.5;
+	}
+	var iter int;
+	for (iter = 0; iter < 10; iter = iter + 1) {
+		for (i = 0; i < ROWS; i = i + 1) {
+			// Current best pivot read at the top.
+			var best float = pivotv[0];
+			var s float = 0.0;
+			for (j = 0; j < COLS; j = j + 1) { s = s + tab[i * COLS + j]; }
+			tab[i * COLS + (iter % COLS)] = s * 0.001;
+			// Rare improvement written at the very end.
+			if (s > best + 60.0) { pivotv[0] = s; }
+		}
+	}
+	chkm[0] = int(pivotv[0] * 100.0);
+	for (i = 0; i < ROWS * COLS; i = i + 9) {
+		chkm[0] = (chkm[0] * 31 + int(tab[i] * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "453.povray",
+		Suite:   SuiteFP2006,
+		Modeled: "per-pixel ray shading: independent pixels calling instrumented shading helpers (fn2-gated)",
+		Source: `
+var chkm [1]int;
+const W = 40;
+const H = 30;
+var img [W * H]float;
+var depth [W * H]float;
+func shade(t float, nx float) float {
+	var d float = fmax(0.0, nx * 0.8 + 0.2);
+	return d / (1.0 + t * t * 0.01);
+}
+func intersect(ox float, dx float) float {
+	var b float = ox * dx;
+	var disc float = b * b - ox * ox + 4.0;
+	if (disc < 0.0) { return -1.0; }
+	return -b + sqrt(disc);
+}
+func main() int {
+	var y int; var x int;
+	var i int;
+	for (i = 0; i < W * H; i = i + 1) {
+		var sv int = rand();
+		depth[i] = float(sv % 5) * 0.01;
+	}
+	var frame int;
+	for (frame = 0; frame < 3; frame = frame + 1) {
+		for (y = 0; y < H; y = y + 1) {
+			for (x = 0; x < W; x = x + 1) {
+				var ox float = float(x - W / 2) * 0.1 + float(frame) * 0.01;
+				var dx float = float(y - H / 2) * 0.07;
+				var t float = intersect(ox, dx);
+				if (t >= 0.0) {
+					img[y * W + x] = shade(t, ox + dx);
+					depth[y * W + x] = t;
+				} else {
+					img[y * W + x] = 0.05;
+				}
+			}
+		}
+	}
+	for (i = 0; i < W * H; i = i + 5) {
+		chkm[0] = (chkm[0] * 31 + int((img[i] + depth[i]) * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "470.lbm",
+		Suite:   SuiteFP2006,
+		Modeled: "lattice Boltzmann: collide (DOALL) plus an in-place streaming recurrence (HELIX-pipelinable)",
+		Source: `
+var chkm [1]int;
+const CELLS = 400;
+const Q = 5;
+var fsrc [CELLS * Q]float;
+var fdst [CELLS * Q]float;
+func main() int {
+	var i int;
+	for (i = 0; i < CELLS * Q; i = i + 1) {
+		var sv int = rand();
+		fsrc[i] = float(sv % 9) * 0.111;
+	}
+	var t int;
+	for (t = 0; t < 10; t = t + 1) {
+		var c int;
+		for (c = 1; c < CELLS - 1; c = c + 1) {
+			var rho float = 0.0;
+			var q int;
+			for (q = 0; q < Q; q = q + 1) { rho = rho + fsrc[c * Q + q]; }
+			var eq float = rho * 0.2;
+			for (q = 0; q < Q; q = q + 1) {
+				fdst[c * Q + q] = fsrc[c * Q + q] * 0.4 + eq * 0.6;
+			}
+		}
+		// In-place streaming: cell i depends on cell i-1, written
+		// first, with relaxation work after.
+		for (i = 1; i < CELLS * Q; i = i + 1) {
+			fsrc[i] = fdst[i] * 0.8 + fsrc[i - 1] * 0.2;
+			var w float = fsrc[i];
+			fdst[i] = fdst[i] * 0.9 + (w * 0.05 + w * w * 0.001) * 0.1;
+		}
+	}
+	for (i = 0; i < CELLS * Q; i = i + 7) {
+		chkm[0] = (chkm[0] * 31 + int(fsrc[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "482.sphinx3",
+		Suite:   SuiteFP2006,
+		Modeled: "GMM scoring: senone dot-product reductions; a rare global best-score update read early, written late (prefers PDOALL)",
+		Source: `
+var chkm [1]int;
+const FRAMES = 30;
+const SENONES = 50;
+const DIM = 12;
+var feat [FRAMES * DIM]float;
+var mean [SENONES * DIM]float;
+var best [4]float;
+var scores [FRAMES]float;
+func main() int {
+	var i int;
+	for (i = 0; i < FRAMES * DIM; i = i + 1) {
+		var sv int = rand();
+		feat[i] = float(sv % 25) * 0.08;
+	}
+	for (i = 0; i < SENONES * DIM; i = i + 1) {
+		var sv int = rand();
+		mean[i] = float(sv % 25) * 0.08;
+	}
+	var f int;
+	best[0] = -1000000.0;
+	for (f = 0; f < FRAMES; f = f + 1) {
+		// Global pruning threshold read at the top of the frame.
+		var thresh float = best[0];
+		var bestlocal float = -1000000.0;
+		var s int;
+		for (s = 0; s < SENONES; s = s + 1) {
+			var d2 float = 0.0;
+			var k int;
+			for (k = 0; k < DIM; k = k + 1) {
+				var d float = feat[f * DIM + k] - mean[s * DIM + k];
+				d2 = d2 + d * d;
+			}
+			bestlocal = fmax(bestlocal, 0.0 - d2);
+		}
+		scores[f] = bestlocal - thresh * 0.0001;
+		// Rare improvement written at the very end of the frame.
+		if (bestlocal > best[0]) { best[0] = bestlocal; }
+	}
+	chkm[0] = int(best[0] * 100.0);
+	for (i = 0; i < FRAMES; i = i + 1) {
+		chkm[0] = (chkm[0] * 31 + int(scores[i] * 10.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+}

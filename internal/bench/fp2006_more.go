@@ -1,0 +1,198 @@
+package bench
+
+// Additional SpecFP2006-like kernels completing the suite roster of the
+// paper's Figure 4. Same templates as fp2006.go.
+
+func init() {
+	register(&Benchmark{
+		Name:    "410.bwaves",
+		Suite:   SuiteFP2006,
+		Modeled: "blast-wave CFD: flux stencil (DOALL) plus a tridiagonal forward sweep (HELIX recurrence, early producer)",
+		Source: `
+var chkm [1]int;
+const N = 900;
+var u [N]float;
+var flux [N]float;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		u[i] = float(sv % 31) * 0.1;
+	}
+	var step int;
+	for (step = 0; step < 8; step = step + 1) {
+		// Flux computation: independent per cell.
+		for (i = 1; i < N - 1; i = i + 1) {
+			flux[i] = (u[i + 1] - u[i - 1]) * 0.5 + u[i] * 0.1;
+		}
+		// Tridiagonal forward elimination: recurrence, written first.
+		for (i = 1; i < N; i = i + 1) {
+			u[i] = u[i] - u[i - 1] * 0.2 + flux[i] * 0.05;
+			var w float = u[i];
+			flux[i] = flux[i] * 0.9 + (w * 0.1 + w * w * 0.001) * 0.1;
+		}
+	}
+	for (i = 0; i < N; i = i + 7) {
+		chkm[0] = (chkm[0] * 31 + int(u[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "435.gromacs",
+		Suite:   SuiteFP2006,
+		Modeled: "MD nonbonded kernel: neighbor-list forces via instrumented helpers (fn2), per-molecule reductions",
+		Source: `
+var chkm [1]int;
+const MOLS = 90;
+const NEIGH = 12;
+var pos [MOLS]float;
+var vel [MOLS]float;
+var nlist [MOLS * NEIGH]int;
+func lj(r2 float) float {
+	var inv float = 1.0 / (r2 + 0.2);
+	var i6 float = inv * inv * inv;
+	return i6 * (i6 - 0.5);
+}
+func main() int {
+	var i int; var k int;
+	for (i = 0; i < MOLS; i = i + 1) {
+		var sv int = rand();
+		pos[i] = float(sv % 80) * 0.1;
+	}
+	for (i = 0; i < MOLS * NEIGH; i = i + 1) { nlist[i] = (i * 59 + 7) % MOLS; }
+	var step int;
+	for (step = 0; step < 7; step = step + 1) {
+		for (i = 0; i < MOLS; i = i + 1) {
+			var f float = 0.0;
+			for (k = 0; k < NEIGH; k = k + 1) {
+				var j int = nlist[i * NEIGH + k];
+				var dr float = pos[j] - pos[i];
+				f = f + lj(dr * dr) * dr;
+			}
+			vel[i] = vel[i] * 0.995 + f * 0.001;
+		}
+		for (i = 0; i < MOLS; i = i + 1) { pos[i] = pos[i] + vel[i] * 0.01; }
+	}
+	for (i = 0; i < MOLS; i = i + 2) {
+		chkm[0] = (chkm[0] * 31 + int(pos[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "436.cactusADM",
+		Suite:   SuiteFP2006,
+		Modeled: "numerical relativity: wide 3D-ish stencil updates, double-buffered (DOALL floor of the suite)",
+		Source: `
+var chkm [1]int;
+const D = 14;
+var g [D * D * D]float;
+var gn [D * D * D]float;
+func main() int {
+	var i int;
+	for (i = 0; i < D * D * D; i = i + 1) {
+		var sv int = rand();
+		g[i] = float(sv % 23) * 0.05;
+	}
+	var it int;
+	for (it = 0; it < 6; it = it + 1) {
+		var z int;
+		for (z = 1; z < D - 1; z = z + 1) {
+			var y int;
+			for (y = 1; y < D - 1; y = y + 1) {
+				var x int;
+				for (x = 1; x < D - 1; x = x + 1) {
+					var c int = (z * D + y) * D + x;
+					gn[c] = g[c] * 0.5
+						+ 0.08 * (g[c - 1] + g[c + 1] + g[c - D] + g[c + D] + g[c - D * D] + g[c + D * D])
+						+ 0.002 * g[c] * g[c];
+				}
+			}
+		}
+		for (i = 0; i < D * D * D; i = i + 1) { g[i] = gn[i]; }
+	}
+	for (i = 0; i < D * D * D; i = i + 9) {
+		chkm[0] = (chkm[0] * 31 + int(g[i] * 1000.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "437.leslie3d",
+		Suite:   SuiteFP2006,
+		Modeled: "turbulence LES: strided-plane cursor (dep2-predictable through memory) over independent plane updates",
+		Source: `
+var chkm [1]int;
+const PLANES = 60;
+const PSZ = 48;
+var field [PLANES * PSZ]float;
+var planestep [1]int;
+func main() int {
+	var i int;
+	for (i = 0; i < PLANES * PSZ; i = i + 1) {
+		var sv int = rand();
+		field[i] = float(sv % 29) * 0.1;
+	}
+	planestep[0] = PSZ;
+	var sweep int;
+	for (sweep = 0; sweep < 6; sweep = sweep + 1) {
+		var base int = 0;
+		var p int;
+		for (p = 0; p < PLANES; p = p + 1) {
+			var j int;
+			for (j = 1; j < PSZ - 1; j = j + 1) {
+				field[base + j] = field[base + j] * 0.8
+					+ (field[base + j - 1] + field[base + j + 1]) * 0.1;
+			}
+			base = base + planestep[0];
+		}
+	}
+	for (i = 0; i < PLANES * PSZ; i = i + 11) {
+		chkm[0] = (chkm[0] * 31 + int(field[i] * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "459.GemsFDTD",
+		Suite:   SuiteFP2006,
+		Modeled: "FDTD electromagnetics: leapfrogged E/H field maps (DOALL) with a boundary recurrence (HELIX)",
+		Source: `
+var chkm [1]int;
+const N = 700;
+var ef [N]float;
+var hf [N]float;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		var sv int = rand();
+		ef[i] = float(sv % 17) * 0.05;
+	}
+	var t int;
+	for (t = 0; t < 9; t = t + 1) {
+		// H update from E: independent.
+		for (i = 0; i < N - 1; i = i + 1) {
+			hf[i] = hf[i] - (ef[i + 1] - ef[i]) * 0.4;
+		}
+		// E update from H: independent.
+		for (i = 1; i < N; i = i + 1) {
+			ef[i] = ef[i] - (hf[i] - hf[i - 1]) * 0.4;
+		}
+		// Absorbing boundary: short recurrence written first.
+		for (i = 1; i < N; i = i + 8) {
+			ef[i] = ef[i] * 0.7 + ef[i - 1] * 0.3;
+			hf[i] = hf[i] * 0.95 + ef[i] * 0.01;
+		}
+	}
+	for (i = 0; i < N; i = i + 7) {
+		chkm[0] = (chkm[0] * 31 + int((ef[i] + hf[i]) * 100.0)) % 65521;
+	}
+	return chkm[0];
+}`,
+	})
+}

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"loopapalooza/internal/core"
+)
+
+// Harness runs benchmark × configuration sweeps and assembles the paper's
+// figures. Reports are cached, so regenerating several figures shares work.
+type Harness struct {
+	mu      sync.Mutex
+	reports map[string]*core.Report // key: bench + "|" + config
+	errs    map[string]error
+}
+
+// NewHarness returns an empty harness.
+func NewHarness() *Harness {
+	return &Harness{reports: map[string]*core.Report{}, errs: map[string]error{}}
+}
+
+func key(b *Benchmark, cfg core.Config) string { return b.Name + "|" + cfg.String() }
+
+// Report runs (or recalls) one benchmark under one configuration.
+func (h *Harness) Report(b *Benchmark, cfg core.Config) (*core.Report, error) {
+	h.mu.Lock()
+	if r := h.reports[key(b, cfg)]; r != nil {
+		h.mu.Unlock()
+		return r, nil
+	}
+	if err := h.errs[key(b, cfg)]; err != nil {
+		h.mu.Unlock()
+		return nil, err
+	}
+	h.mu.Unlock()
+
+	r, err := b.Run(cfg)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		h.errs[key(b, cfg)] = err
+		return nil, err
+	}
+	h.reports[key(b, cfg)] = r
+	return r, nil
+}
+
+// Prefetch runs every (benchmark, config) pair concurrently, bounded by
+// GOMAXPROCS workers, and returns the first error.
+func (h *Harness) Prefetch(benches []*Benchmark, cfgs []core.Config) error {
+	type job struct {
+		b   *Benchmark
+		cfg core.Config
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := h.Report(j.b, j.cfg); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	// Analyze serially first: analysis mutates shared state once per
+	// benchmark and is cheap relative to the runs.
+	for _, b := range benches {
+		if _, err := b.Analyze(); err != nil {
+			close(jobs)
+			wg.Wait()
+			return err
+		}
+	}
+	for _, b := range benches {
+		for _, cfg := range cfgs {
+			jobs <- job{b, cfg}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// GeoMean returns the geometric mean of xs (1 if empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 1e-12 {
+			x = 1e-12
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// SuiteSpeedup returns the geometric-mean speedup of a suite under cfg.
+func (h *Harness) SuiteSpeedup(s Suite, cfg core.Config) (float64, error) {
+	var xs []float64
+	for _, b := range BySuite(s) {
+		r, err := h.Report(b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		xs = append(xs, r.Speedup())
+	}
+	return GeoMean(xs), nil
+}
+
+// SuiteCoverage returns the geometric-mean dynamic coverage (in percent) of
+// a suite under cfg.
+func (h *Harness) SuiteCoverage(s Suite, cfg core.Config) (float64, error) {
+	var xs []float64
+	for _, b := range BySuite(s) {
+		r, err := h.Report(b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		c := 100 * r.Coverage()
+		if c < 0.1 {
+			c = 0.1 // keep the geomean meaningful for zero-coverage runs
+		}
+		xs = append(xs, c)
+	}
+	return GeoMean(xs), nil
+}
+
+// FigureRow is one bar group of Figures 2/3: a configuration and the
+// geomean speedup per suite.
+type FigureRow struct {
+	Config   core.Config
+	PerSuite map[Suite]float64
+}
+
+// SpeedupFigure computes a Figure 2/3 style table: every paper
+// configuration × the given suites.
+func (h *Harness) SpeedupFigure(suites []Suite) ([]FigureRow, error) {
+	var benches []*Benchmark
+	for _, s := range suites {
+		benches = append(benches, BySuite(s)...)
+	}
+	if err := h.Prefetch(benches, core.PaperConfigs()); err != nil {
+		return nil, err
+	}
+	var rows []FigureRow
+	for _, cfg := range core.PaperConfigs() {
+		row := FigureRow{Config: cfg, PerSuite: map[Suite]float64{}}
+		for _, s := range suites {
+			v, err := h.SuiteSpeedup(s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.PerSuite[s] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure2 regenerates the non-numeric speedup figure.
+func (h *Harness) Figure2() ([]FigureRow, error) { return h.SpeedupFigure(NonNumericSuites()) }
+
+// Figure3 regenerates the numeric speedup figure.
+func (h *Harness) Figure3() ([]FigureRow, error) { return h.SpeedupFigure(NumericSuites()) }
+
+// Figure4Row is one benchmark of Figure 4.
+type Figure4Row struct {
+	Name          string
+	Suite         Suite
+	PDOALLSpeedup float64
+	HELIXSpeedup  float64
+}
+
+// Figure4 regenerates the per-benchmark best-PDOALL vs best-HELIX
+// comparison across the four SPEC suites.
+func (h *Harness) Figure4() ([]Figure4Row, error) {
+	suites := []Suite{SuiteINT2000, SuiteINT2006, SuiteFP2000, SuiteFP2006}
+	var benches []*Benchmark
+	for _, s := range suites {
+		benches = append(benches, BySuite(s)...)
+	}
+	if err := h.Prefetch(benches, []core.Config{core.BestPDOALL(), core.BestHELIX()}); err != nil {
+		return nil, err
+	}
+	var rows []Figure4Row
+	for _, b := range benches {
+		rp, err := h.Report(b, core.BestPDOALL())
+		if err != nil {
+			return nil, err
+		}
+		rh, err := h.Report(b, core.BestHELIX())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure4Row{
+			Name: b.Name, Suite: b.Suite,
+			PDOALLSpeedup: rp.Speedup(), HELIXSpeedup: rh.Speedup(),
+		})
+	}
+	return rows, nil
+}
+
+// Figure5Configs are the coverage configurations of Figure 5.
+func Figure5Configs() []core.Config {
+	return []core.Config{
+		{Model: core.PDOALL, Reduc: 0, Dep: 0, Fn: 2},
+		{Model: core.HELIX, Reduc: 0, Dep: 0, Fn: 2},
+		{Model: core.HELIX, Reduc: 0, Dep: 1, Fn: 2},
+	}
+}
+
+// Figure5Row is one bar group of Figure 5: geomean coverage (percent) per
+// suite for one configuration.
+type Figure5Row struct {
+	Config   core.Config
+	PerSuite map[Suite]float64
+}
+
+// Figure5 regenerates the dynamic-coverage figure.
+func (h *Harness) Figure5() ([]Figure5Row, error) {
+	if err := h.Prefetch(All(), Figure5Configs()); err != nil {
+		return nil, err
+	}
+	var rows []Figure5Row
+	for _, cfg := range Figure5Configs() {
+		row := Figure5Row{Config: cfg, PerSuite: map[Suite]float64{}}
+		for _, s := range AllSuites() {
+			v, err := h.SuiteCoverage(s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.PerSuite[s] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSpeedupFigure renders Figure 2/3 rows as a text table.
+func FormatSpeedupFigure(title string, suites []Suite, rows []FigureRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s", "configuration")
+	for _, s := range suites {
+		fmt.Fprintf(&b, " %10s", string(s))
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s", r.Config.String())
+		for _, s := range suites {
+			fmt.Fprintf(&b, " %9.2fx", r.PerSuite[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders Figure 4 rows as a text table sorted by suite.
+func FormatFigure4(rows []Figure4Row) string {
+	sorted := append([]Figure4Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Suite != sorted[j].Suite {
+			return sorted[i].Suite < sorted[j].Suite
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	var b strings.Builder
+	b.WriteString("Figure 4: per-benchmark speedups, best PDOALL (reduc1-dep2-fn2) vs best HELIX (reduc1-dep1-fn2)\n")
+	fmt.Fprintf(&b, "%-16s %-10s %12s %12s %8s\n", "benchmark", "suite", "PDOALL", "HELIX", "winner")
+	for _, r := range sorted {
+		winner := "HELIX"
+		if r.PDOALLSpeedup > r.HELIXSpeedup {
+			winner = "PDOALL"
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %11.2fx %11.2fx %8s\n",
+			r.Name, string(r.Suite), r.PDOALLSpeedup, r.HELIXSpeedup, winner)
+	}
+	return b.String()
+}
+
+// FormatFigure5 renders Figure 5 rows as a text table.
+func FormatFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: GEOMEAN dynamic coverage (% of instructions in parallel loops)\n")
+	fmt.Fprintf(&b, "%-28s", "configuration")
+	for _, s := range AllSuites() {
+		fmt.Fprintf(&b, " %10s", string(s))
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s", r.Config.String())
+		for _, s := range AllSuites() {
+			fmt.Fprintf(&b, " %9.1f%%", r.PerSuite[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/core"
+)
+
+func TestGeoMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{4}, 4},
+		{[]float64{1, 4}, 2},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := GeoMean(c.xs); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("GeoMean(%v) = %f, want %f", c.xs, got, c.want)
+		}
+	}
+	if got := GeoMean([]float64{0, 100}); math.IsInf(got, -1) || math.IsNaN(got) {
+		t.Errorf("GeoMean with zero = %f, want finite", got)
+	}
+}
+
+func TestSuitesPartition(t *testing.T) {
+	seen := map[string]bool{}
+	total := 0
+	for _, s := range AllSuites() {
+		bs := BySuite(s)
+		if len(bs) < 7 {
+			t.Errorf("suite %s has only %d benchmarks", s, len(bs))
+		}
+		for _, b := range bs {
+			if seen[b.Name] {
+				t.Errorf("benchmark %s in two suites", b.Name)
+			}
+			seen[b.Name] = true
+			total++
+		}
+	}
+	if total != len(All()) {
+		t.Errorf("suites cover %d benchmarks, registry has %d", total, len(All()))
+	}
+	if ByName("181.mcf") == nil || ByName("no-such") != nil {
+		t.Error("ByName lookup broken")
+	}
+}
+
+func TestHarnessCachesReports(t *testing.T) {
+	h := NewHarness()
+	b := ByName("aifirf")
+	cfg := core.Config{Model: core.DOALL}
+	r1, err := h.Report(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Report(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("harness did not cache the report")
+	}
+}
+
+// TestFigureShapes is the reproduction gate: it asserts the qualitative
+// "shape" criteria of DESIGN.md §4 against the live harness. It runs the
+// full benchmark × configuration sweep, so it is skipped in -short mode.
+func TestFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	h := NewHarness()
+
+	get := func(s Suite, cfg core.Config) float64 {
+		v, err := h.SuiteSpeedup(s, cfg)
+		if err != nil {
+			t.Fatalf("%s %s: %v", s, cfg, err)
+		}
+		return v
+	}
+	doall := core.Config{Model: core.DOALL}
+	doallR1 := core.Config{Model: core.DOALL, Reduc: 1}
+	pdD2 := core.Config{Model: core.PDOALL, Dep: 2}
+	pdBest := core.BestPDOALL()
+	pdD3F3 := core.Config{Model: core.PDOALL, Dep: 3, Fn: 3}
+	hxD0F2 := core.Config{Model: core.HELIX, Fn: 2}
+	hxBest := core.BestHELIX()
+
+	// Criterion 1: DOALL gains are small for non-numeric, larger for
+	// numeric suites.
+	for _, s := range NonNumericSuites() {
+		if v := get(s, doall); v > 1.5 {
+			t.Errorf("%s DOALL = %.2f, want near 1 (paper: 1.1-1.3)", s, v)
+		}
+	}
+	for _, s := range NumericSuites() {
+		v := get(s, doall)
+		if v < 1.3 || v > 8 {
+			t.Errorf("%s DOALL = %.2f, want 1.3-8 (paper: 1.6-3.1)", s, v)
+		}
+	}
+
+	// Criterion 2: each relaxation is monotone for non-numeric suites:
+	// dep2 helps, fn2 helps, HELIX-dep1 helps most.
+	for _, s := range NonNumericSuites() {
+		base := get(s, doall)
+		d2 := get(s, pdD2)
+		best := get(s, hxBest)
+		if d2 < base {
+			t.Errorf("%s: dep2 (%.2f) below DOALL (%.2f)", s, d2, base)
+		}
+		if best < d2 {
+			t.Errorf("%s: best HELIX (%.2f) below PDOALL dep2 (%.2f)", s, best, d2)
+		}
+		if best < 2 {
+			t.Errorf("%s: best HELIX = %.2f, want substantial (paper: 4.6/7.2)", s, best)
+		}
+	}
+
+	// Criterion 3: reduc1 matters for numeric code.
+	for _, s := range NumericSuites() {
+		if r0, r1 := get(s, doall), get(s, doallR1); r1 < r0 {
+			t.Errorf("%s: reduc1 DOALL (%.2f) below reduc0 (%.2f)", s, r1, r0)
+		}
+	}
+
+	// Criterion 4: the unrealistic dep3-fn3 dominates every realistic
+	// PDOALL configuration, dramatically for numeric suites.
+	for _, s := range AllSuites() {
+		if d3, best := get(s, pdD3F3), get(s, pdBest); d3 < best*0.99 {
+			t.Errorf("%s: dep3-fn3 (%.2f) below realistic PDOALL (%.2f)", s, d3, best)
+		}
+	}
+	for _, s := range NumericSuites() {
+		if d3 := get(s, pdD3F3); d3 < 15 {
+			t.Errorf("%s: dep3-fn3 = %.2f, want large (paper: 10x-92x)", s, d3)
+		}
+	}
+
+	// Criterion 5: best-HELIX beats best-PDOALL overall, and coverage
+	// explains it (Figure 5's staircase).
+	for _, s := range AllSuites() {
+		pb, hb := get(s, pdBest), get(s, hxBest)
+		if s == SuiteINT2000 || s == SuiteINT2006 {
+			if hb < pb {
+				t.Errorf("%s: HELIX best (%.2f) below PDOALL best (%.2f)", s, hb, pb)
+			}
+		}
+		covPD, err := h.SuiteCoverage(s, core.Config{Model: core.PDOALL, Fn: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		covHX0, err := h.SuiteCoverage(s, hxD0F2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covHX1, err := h.SuiteCoverage(s, core.Config{Model: core.HELIX, Dep: 1, Fn: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covHX1 < covHX0 || covHX1 < covPD {
+			t.Errorf("%s coverage staircase broken: PDOALL %.1f%%, HELIX-dep0 %.1f%%, HELIX-dep1 %.1f%%",
+				s, covPD, covHX0, covHX1)
+		}
+		if covHX1 < 50 {
+			t.Errorf("%s: HELIX-dep1 coverage = %.1f%%, want majority", s, covHX1)
+		}
+	}
+
+	// Criterion 6: the paper's called-out PDOALL winners (Figure 4).
+	rows, err := h.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	winners := map[string]bool{}
+	for _, r := range rows {
+		winners[r.Name] = r.PDOALLSpeedup > r.HELIXSpeedup
+	}
+	for _, name := range []string{"179.art", "429.mcf", "482.sphinx3"} {
+		if !winners[name] {
+			t.Errorf("%s should prefer PDOALL over HELIX (paper §IV)", name)
+		}
+	}
+	helixWinners := 0
+	for _, r := range rows {
+		if r.Suite == SuiteINT2000 || r.Suite == SuiteINT2006 {
+			if !winners[r.Name] {
+				helixWinners++
+			}
+		}
+	}
+	if helixWinners < 14 {
+		t.Errorf("only %d INT benchmarks prefer HELIX; the paper reports consistent HELIX gains", helixWinners)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	rows := []FigureRow{{Config: core.BestHELIX(), PerSuite: map[Suite]float64{SuiteINT2000: 4.6}}}
+	s := FormatSpeedupFigure("Figure 2", NonNumericSuites(), rows)
+	if !strings.Contains(s, "Figure 2") || !strings.Contains(s, "4.60x") {
+		t.Errorf("speedup table malformed:\n%s", s)
+	}
+	f4 := FormatFigure4([]Figure4Row{{Name: "181.mcf", Suite: SuiteINT2000, PDOALLSpeedup: 3, HELIXSpeedup: 1.2}})
+	if !strings.Contains(f4, "PDOALL") || !strings.Contains(f4, "181.mcf") {
+		t.Errorf("figure 4 table malformed:\n%s", f4)
+	}
+	f5 := FormatFigure5([]Figure5Row{{Config: Figure5Configs()[0], PerSuite: map[Suite]float64{SuiteEEMBC: 42}}})
+	if !strings.Contains(f5, "42.0%") {
+		t.Errorf("figure 5 table malformed:\n%s", f5)
+	}
+}

@@ -1,0 +1,530 @@
+package bench
+
+// SpecINT2000-like kernels. Non-numeric loop behaviour: frequent
+// non-computable register LCDs (cursors, state machines, output positions),
+// frequent read-modify-write memory LCDs through shared tables, and calls
+// inside hot loops. Producers of the hand-off values mostly execute early in
+// the iteration with independent work after them — the structure HELIX-style
+// synchronization (dep1-fn2) exploits while DOALL/PDOALL cannot.
+//
+// Every kernel starts with a serial "input read" (a seedm[0]-mixing recurrence,
+// standing in for the strictly sequential file input of the real programs)
+// and ends with a mixing checksum, so a genuinely sequential fraction bounds
+// all configurations, as in the paper's measurements.
+
+func init() {
+	register(&Benchmark{
+		Name:    "164.gzip",
+		Suite:   SuiteINT2000,
+		Modeled: "LZ77 deflate: data-dependent cursor advance produced early; hash-chain RMW each token; CRC helper call",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const N = 3000;
+const HASHSZ = 32;
+var data [N]int;
+var hashtab [HASHSZ]int;
+var window [N]int;
+var outbuf [N]int;
+func crc8(code int) int {
+	var crc int = code;
+	var k int;
+	for (k = 0; k < 14; k = k + 1) {
+		crc = ((crc << 1) ^ (crc >> 7) ^ k) & 255;
+	}
+	return crc;
+}
+func main() int {
+	var i int;
+	seedm[0] = 9157;
+	for (i = 0; i < N; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		data[i] = seedm[0] % 251;
+	}
+	// Pre-filter the window: independent per byte (DOALL-able).
+	for (i = 0; i < N; i = i + 1) {
+		window[i] = (data[i] * 3 + (data[i] >> 2)) % 256;
+	}
+	var pos int = 0;
+	var outp int = 0;
+	while (pos < N - 8) {
+		// Cursor hand-off produced at the top of the iteration.
+		var h int = (window[pos] * 33 + window[pos + 1]) % HASHSZ;
+		var cand int = hashtab[h];
+		hashtab[h] = pos;
+		var mlen int = 1;
+		if (cand > 0 && data[cand % N] == data[pos]) { mlen = 2 + (data[pos] % 3); }
+		pos = pos + mlen;
+		// Independent tail: emit and CRC the token.
+		outbuf[outp % N] = crc8(data[pos % N] * 4 + mlen);
+		outp = outp + 1;
+	}
+	chkm[0] = pos + outp;
+	for (i = 0; i < N; i = i + 1) { chkm[0] = (chkm[0] * 31 + outbuf[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "175.vpr",
+		Suite:   SuiteINT2000,
+		Modeled: "placement annealing: per-net bounding boxes via pure helpers; running cost feeds the accept decision; committed moves mutate shared pin state",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const NETS = 260;
+const PINS = 6;
+var pinx [NETS * PINS]int;
+var piny [NETS * PINS]int;
+var netcost [NETS]int;
+func main() int {
+	var i int;
+	seedm[0] = 4099;
+	for (i = 0; i < NETS * PINS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		pinx[i] = seedm[0] % 64;
+		piny[i] = (seedm[0] >> 8) % 64;
+	}
+	var pass int;
+	var total int = 0;
+	for (pass = 0; pass < 4; pass = pass + 1) {
+		var n int;
+		for (n = 0; n < NETS; n = n + 1) {
+			var xmin int = 1000; var xmax int = 0;
+			var ymin int = 1000; var ymax int = 0;
+			var p int;
+			for (p = 0; p < PINS; p = p + 1) {
+				xmin = min(xmin, pinx[n * PINS + p]);
+				xmax = max(xmax, pinx[n * PINS + p]);
+				ymin = min(ymin, piny[n * PINS + p]);
+				ymax = max(ymax, piny[n * PINS + p]);
+			}
+			var cost int = (xmax - xmin) + (ymax - ymin);
+			netcost[n] = cost;
+			// The running total feeds the accept decision: a
+			// register LCD no reduction rewrite can decouple.
+			total = total + cost;
+			if (total % 13 < 4) {
+				var victim int = (n + 1 + total % 6) % NETS;
+				pinx[victim * PINS] = (pinx[victim * PINS] + total) % 64;
+			}
+		}
+	}
+	chkm[0] = total;
+	for (i = 0; i < NETS; i = i + 1) { chkm[0] = (chkm[0] * 31 + netcost[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "176.gcc",
+		Suite:   SuiteINT2000,
+		Modeled: "dataflow sweep: def/use table RMW per insn (frequent, early producer); cost estimation helper per insn",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const INSNS = 2200;
+const REGS = 24;
+var opcode [INSNS]int;
+var def [INSNS]int;
+var use1 [INSNS]int;
+var lastdef [REGS]int;
+var chains [INSNS]int;
+func insn_cost(op int, base int) int {
+	var cost int = 0;
+	var k int;
+	for (k = 0; k < 3 + op % 4; k = k + 1) { cost = cost + ((base + k) * 7) % 13; }
+	return cost;
+}
+func main() int {
+	var i int;
+	seedm[0] = 77;
+	for (i = 0; i < INSNS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		opcode[i] = seedm[0] % 8;
+		def[i] = (seedm[0] >> 4) % REGS;
+		use1[i] = (seedm[0] >> 10) % REGS;
+	}
+	for (i = 0; i < INSNS; i = i + 1) {
+		// Def-use chain RMW early in the iteration.
+		var src int = lastdef[use1[i]];
+		lastdef[def[i]] = i;
+		chains[i] = src + insn_cost(opcode[i], i) * 100;
+	}
+	chkm[0] = 0;
+	for (i = 0; i < INSNS; i = i + 1) { chkm[0] = (chkm[0] * 31 + chains[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "181.mcf",
+		Suite:   SuiteINT2000,
+		Modeled: "network simplex pricing: arc scans with infrequent potential updates written late (a PDOALL-friendly profile)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const ARCS = 2000;
+const NODES = 48;
+var tail [ARCS]int;
+var head [ARCS]int;
+var arccost [ARCS]int;
+var potential [NODES]int;
+func main() int {
+	var i int;
+	seedm[0] = 311;
+	for (i = 0; i < ARCS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		tail[i] = seedm[0] % NODES;
+		head[i] = (seedm[0] >> 7) % NODES;
+		arccost[i] = (seedm[0] >> 14) % 50 - 25;
+	}
+	for (i = 0; i < NODES; i = i + 1) { potential[i] = (i * 11) % 40; }
+	var pass int;
+	var pushes int = 0;
+	for (pass = 0; pass < 4; pass = pass + 1) {
+		var a int;
+		for (a = 0; a < ARCS; a = a + 1) {
+			var red int = arccost[a] + potential[tail[a]] - potential[head[a]];
+			// Infrequent: only strongly negative arcs update the
+			// potentials, and the write lands late in the iteration.
+			if (red < -30) {
+				potential[head[a]] = potential[head[a]] + red / 2;
+				pushes = pushes + 1;
+			}
+		}
+	}
+	chkm[0] = pushes;
+	for (i = 0; i < NODES; i = i + 1) { chkm[0] = (chkm[0] * 31 + potential[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "186.crafty",
+		Suite:   SuiteINT2000,
+		Modeled: "move evaluation: popcount helper per move; running best-score bound consumed by pruning (late producer); history table RMW",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const MOVES = 1200;
+const HIST = 96;
+var board [64]int;
+var history [HIST]int;
+var scores [MOVES]int;
+func popcount(x int) int {
+	var c int = 0;
+	var v int = x;
+	while (v != 0) {
+		c = c + (v & 1);
+		v = v >> 1;
+	}
+	return c;
+}
+func main() int {
+	var i int;
+	seedm[0] = 5501;
+	for (i = 0; i < 64; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		board[i] = seedm[0] % 256;
+	}
+	var m int;
+	var bound int = 0;
+	for (m = 0; m < MOVES; m = m + 1) {
+		var from int = (m * 17) % 64;
+		var to int = (m * 41 + 9) % 64;
+		var atk int = board[from] ^ board[to];
+		// Node counter: an every-iteration RMW through memory.
+		history[0] = history[0] + 1;
+		var sc int = popcount(atk & 85) * 4 + popcount(atk & 170);
+		if (sc > bound - 3) {
+			history[(from * 2 + to) % HIST] = history[(from * 2 + to) % HIST] + sc;
+			// The pruning bound is produced at the very end of the
+			// iteration and consumed at the top of the next.
+			bound = (bound * 3 + sc) / 4;
+		}
+		scores[m] = sc;
+	}
+	chkm[0] = bound;
+	for (i = 0; i < HIST; i = i + 1) { chkm[0] = (chkm[0] * 31 + history[i]) % 65521; }
+	for (i = 0; i < MOVES; i = i + 1) { chkm[0] = (chkm[0] * 31 + scores[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "197.parser",
+		Suite:   SuiteINT2000,
+		Modeled: "tokenizer: cursor/state advance early; dictionary bucket RMW each token (frequent memory LCD); scoring fills the body",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const N = 2800;
+const DICT = 96;
+var text [N]int;
+var dict [DICT]int;
+var links [N]int;
+func main() int {
+	var i int;
+	seedm[0] = 8231;
+	for (i = 0; i < N; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		text[i] = seedm[0] % 27;
+	}
+	for (i = 0; i < DICT; i = i + 1) { dict[i] = (i * 37 + 11) % 100; }
+	var pos int = 0;
+	var state int = 1;
+	var nlinks int = 0;
+	while (pos < N - 4) {
+		// Cursor and parse state produced first.
+		var tlen int = 1 + (text[pos] % 3);
+		var tok int = text[pos] * 27 + text[pos + 1];
+		pos = pos + tlen;
+		state = (state * 5 + tok) % 211;
+		// Dictionary stat + bucket update: frequent RMW, still early.
+		dict[0] = (dict[0] + tlen) % 997;
+		var bucket int = 1 + tok % (DICT - 1);
+		dict[bucket] = (dict[bucket] + state) % 997;
+		// Independent: score the token.
+		var score int = tok;
+		var k int;
+		for (k = 0; k < 14; k = k + 1) { score = (score * 3 + k) % 997; }
+		links[nlinks % N] = score;
+		nlinks = nlinks + 1;
+	}
+	chkm[0] = state + nlinks;
+	for (i = 0; i < N; i = i + 1) { chkm[0] = (chkm[0] * 31 + links[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "253.perlbmk",
+		Suite:   SuiteINT2000,
+		Modeled: "bytecode interpreter: accumulator/stack state advance early; symbol-table RMW per op; opcode body is independent hashing",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const OPS = 1800;
+const HSIZE = 128;
+var prog [OPS]int;
+var hashtab [HSIZE]int;
+var stackv [64]int;
+func main() int {
+	var i int;
+	seedm[0] = 40961;
+	for (i = 0; i < OPS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		prog[i] = seedm[0] % 64;
+	}
+	var sp int = 0;
+	var acc int = 7;
+	for (i = 0; i < OPS; i = i + 1) {
+		var op int = prog[i];
+		// Interpreter state first.
+		acc = (acc * 33 + op) % 65536;
+		if (op % 4 == 0 && sp < 63) { sp = sp + 1; }
+		if (op % 7 == 0 && sp > 0) { sp = sp - 1; }
+		stackv[sp] = acc % 1000;
+		// Op counter + symbol table RMW (frequent, early).
+		hashtab[0] = hashtab[0] + 1;
+		var h int = 1 + (op * 97 + 13) % (HSIZE - 1);
+		hashtab[h] = (hashtab[h] + acc) % 9973;
+		// Independent: probe-sequence hashing.
+		var probe int = 0;
+		var k int;
+		for (k = 0; k < 12; k = k + 1) { probe = (probe * 2 + ((op >> (k % 6)) & 1)) % 509; }
+		stackv[(sp + probe) % 64] = probe;
+	}
+	chkm[0] = acc + sp;
+	for (i = 0; i < HSIZE; i = i + 1) { chkm[0] = (chkm[0] * 31 + hashtab[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "254.gap",
+		Suite:   SuiteINT2000,
+		Modeled: "orbit computation: worklist head/tail produced early; permutation power arithmetic independent",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const N = 1009;
+var orbit [N]int;
+var seen [N]int;
+var queue [2048]int;
+func main() int {
+	var i int;
+	seedm[0] = 6709;
+	for (i = 0; i < N; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		orbit[i] = seedm[0] % N;
+	}
+	var headp int = 0;
+	var tailp int = 1;
+	queue[0] = 1;
+	seen[1] = 1;
+	var steps int = 0;
+	while (headp < tailp && steps < 1600) {
+		// Worklist cursor produced first.
+		var x int = queue[headp];
+		headp = headp + 1;
+		steps = steps + 1;
+		var y int = orbit[x];
+		if (seen[y] == 0 && tailp < 2048) {
+			seen[y] = 1;
+			queue[tailp] = y;
+			tailp = tailp + 1;
+		}
+		// Independent: permutation power arithmetic.
+		var p int = x;
+		var k int;
+		for (k = 0; k < 16; k = k + 1) { p = (p * p + 3) % N; }
+		orbit[x] = (orbit[x] + p) % N;
+	}
+	chkm[0] = headp * 3 + tailp;
+	for (i = 0; i < N; i = i + 1) { chkm[0] = (chkm[0] * 31 + orbit[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "255.vortex",
+		Suite:   SuiteINT2000,
+		Modeled: "object database transactions: instrumented accessor calls touching a small shared record table (frequent RMW inside callees)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const RECORDS = 96;
+const TXNS = 800;
+var keys [RECORDS]int;
+var vals [RECORDS]int;
+var journal [TXNS]int;
+func db_lookup(k int) int {
+	var idx int = (k * 131 + 17) % RECORDS;
+	var probe int = 0;
+	while (probe < 3 && keys[idx] != k && keys[idx] != 0) {
+		idx = (idx + 1) % RECORDS;
+		probe = probe + 1;
+	}
+	return idx;
+}
+func db_update(idx int, v int) int {
+	vals[0] = vals[0] + 1;          // transaction sequence number
+	vals[idx] = vals[idx] + v;
+	return vals[idx];
+}
+func main() int {
+	var i int;
+	for (i = 0; i < RECORDS; i = i + 1) { keys[i] = (i * 7 + 1) % 512; }
+	var t int;
+	var commit int = 0;
+	for (t = 0; t < TXNS; t = t + 1) {
+		var k int = (t * 179 + 23) % 512;
+		var idx int = db_lookup(k);
+		var v int = db_update(idx, (t % 9) + 1);
+		journal[t] = v % 251;
+		commit = commit + 1;
+	}
+	chkm[0] = commit;
+	for (i = 0; i < TXNS; i = i + 1) { chkm[0] = (chkm[0] * 31 + journal[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "256.bzip2",
+		Suite:   SuiteINT2000,
+		Modeled: "move-to-front + RLE: rank scan carries a conditional register LCD; MTF table RMW every symbol; RLE state produced late",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const N = 2400;
+const ALPHA = 16;
+var input [N]int;
+var mtf [ALPHA]int;
+var outv [N]int;
+func main() int {
+	var i int;
+	seedm[0] = 30011;
+	for (i = 0; i < N; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		input[i] = seedm[0] % ALPHA;
+	}
+	for (i = 0; i < ALPHA; i = i + 1) { mtf[i] = i; }
+	var run int = 0;
+	var prev int = -1;
+	for (i = 0; i < N; i = i + 1) {
+		var sym int = input[i];
+		// Rank scan: conditional rank assignment is a register LCD
+		// within the scan; the scan reads cells the previous outer
+		// iteration reordered (frequent memory LCD).
+		var rank int = 0;
+		var k int;
+		for (k = ALPHA - 1; k >= 0; k = k - 1) {
+			if (mtf[k] == sym) { rank = k; }
+		}
+		// Shift to front.
+		var r int = rank;
+		while (r > 0) {
+			mtf[r] = mtf[r - 1];
+			r = r - 1;
+		}
+		mtf[0] = sym;
+		// RLE state, produced at the end of the iteration.
+		if (rank == prev) { run = run + 1; } else { run = 0; }
+		prev = rank;
+		outv[i] = rank * 4 + min(run, 3);
+	}
+	chkm[0] = run;
+	for (i = 0; i < N; i = i + 1) { chkm[0] = (chkm[0] * 31 + outv[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "300.twolf",
+		Suite:   SuiteINT2000,
+		Modeled: "cell swap evaluation: wirelength deltas via abs helpers; moderately frequent committed swaps written late (HELIX-hostile, PDOALL-limited)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const CELLS = 64;
+const CANDS = 1000;
+var cellx [CELLS]int;
+var celly [CELLS]int;
+var gains [CANDS]int;
+func main() int {
+	var i int;
+	seedm[0] = 16127;
+	for (i = 0; i < CELLS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		cellx[i] = seedm[0] % 100;
+		celly[i] = (seedm[0] >> 9) % 100;
+	}
+	var c int;
+	var accepted int = 0;
+	for (c = 0; c < CANDS; c = c + 1) {
+		var a int = (c * 13 + 1) % CELLS;
+		var b int = (c * 29 + 3) % CELLS;
+		var dax int = cellx[a] - cellx[b];
+		var day int = celly[a] - celly[b];
+		var before int = abs(dax) + abs(day);
+		var after int = abs(dax - 3) + abs(day + 2);
+		var gain int = before - after;
+		gains[c] = gain;
+		// Commit ~10% of candidates: mutates placement other
+		// iterations read, written at the end of the iteration.
+		if (gain > 0 && (before % 7) < 1) {
+			var tx int = cellx[a];
+			cellx[a] = cellx[b];
+			cellx[b] = tx;
+			accepted = accepted + 1;
+		}
+	}
+	chkm[0] = accepted;
+	for (i = 0; i < CANDS; i = i + 1) { chkm[0] = (chkm[0] * 31 + gains[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+}

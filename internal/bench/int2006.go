@@ -1,0 +1,509 @@
+package bench
+
+// SpecINT2006-like kernels. Slightly larger and more call-heavy than the
+// 2000-era set, with a few kernels (456.hmmer, 462.libquantum) whose hot
+// loops are data-parallel once calls and reductions are admitted — the
+// reason the paper's INT2006 numbers exceed INT2000 under every
+// configuration. As in int2000.go, every kernel carries a serial
+// seedm[0]-mixing "input read" and a mixing checksum tail.
+
+func init() {
+	register(&Benchmark{
+		Name:    "400.perlbench",
+		Suite:   SuiteINT2006,
+		Modeled: "regex/DFA scan: cursor and state hand-off early; per-state visit counters RMW; capture scoring independent",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const N = 2600;
+const STATES = 32;
+var text [N]int;
+var delta [STATES * 8]int;
+var visits [STATES]int;
+var hits [N]int;
+func main() int {
+	var i int;
+	seedm[0] = 52501;
+	for (i = 0; i < N; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		text[i] = seedm[0] % 8;
+	}
+	for (i = 0; i < STATES * 8; i = i + 1) { delta[i] = (i * 29 + 7) % STATES; }
+	var pos int = 0;
+	var state int = 0;
+	var nhits int = 0;
+	while (pos < N - 2) {
+		// DFA step: state and cursor hand-off at the top.
+		var ch int = text[pos];
+		state = delta[state * 8 + ch];
+		pos = pos + 1 + (ch % 2);
+		visits[state] = visits[state] + 1;
+		// Independent: capture-group scoring at this position.
+		var score int = 0;
+		var k int;
+		for (k = 0; k < 6; k = k + 1) { score = (score * 5 + text[(pos + k) % N]) % 127; }
+		if (state == 3) {
+			hits[nhits % N] = score;
+			nhits = nhits + 1;
+		}
+	}
+	chkm[0] = state + nhits;
+	for (i = 0; i < N; i = i + 1) { chkm[0] = (chkm[0] * 31 + hits[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "401.bzip2",
+		Suite:   SuiteINT2006,
+		Modeled: "block-sort: per-position bucket histogram RMW (early) plus bounded suffix ranking (independent)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const N = 1800;
+var data [N]int;
+var bucket [256]int;
+var ranksum [N]int;
+func main() int {
+	var i int;
+	seedm[0] = 71993;
+	for (i = 0; i < N; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		data[i] = seedm[0] % 256;
+	}
+	for (i = 0; i < N; i = i + 1) {
+		// Histogram update first (frequent, early producer).
+		bucket[data[i]] = bucket[data[i]] + 1;
+		// Independent: bounded suffix comparison at this position.
+		var r int = 0;
+		var k int;
+		for (k = 1; k < 7; k = k + 1) {
+			if (data[(i + k) % N] > data[(i + k * 2) % N]) { r = r + k; }
+		}
+		ranksum[i] = r;
+	}
+	chkm[0] = 0;
+	for (i = 0; i < 256; i = i + 1) { chkm[0] = (chkm[0] * 31 + bucket[i]) % 65521; }
+	for (i = 0; i < N; i = i + 1) { chkm[0] = (chkm[0] * 31 + ranksum[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "403.gcc",
+		Suite:   SuiteINT2006,
+		Modeled: "constant-propagation sweep: lattice RMW early per insn; fold-cost helper per insn",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const INSNS = 2000;
+const VALS = 32;
+var op1 [INSNS]int;
+var op2 [INSNS]int;
+var lattice [VALS]int;
+var folded [INSNS]int;
+func fold_cost(v int) int {
+	var cost int = 0;
+	var k int;
+	for (k = 0; k < 5; k = k + 1) { cost = cost + ((v + k) * 3) % 11; }
+	return cost;
+}
+func main() int {
+	var i int;
+	seedm[0] = 2803;
+	for (i = 0; i < INSNS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		op1[i] = seedm[0] % VALS;
+		op2[i] = (seedm[0] >> 8) % VALS;
+	}
+	var pass int;
+	for (pass = 0; pass < 2; pass = pass + 1) {
+		for (i = 0; i < INSNS; i = i + 1) {
+			// Lattice meet: RMW on the value table, early.
+			var a int = lattice[op1[i]];
+			var b int = lattice[op2[i]];
+			var v int = (a + b + i) % 100;
+			lattice[(op1[i] + op2[i]) % VALS] = v;
+			folded[i] = fold_cost(v);
+		}
+	}
+	chkm[0] = 0;
+	for (i = 0; i < INSNS; i = i + 1) { chkm[0] = (chkm[0] * 31 + folded[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "429.mcf",
+		Suite:   SuiteINT2006,
+		Modeled: "shortest-path relaxation: arc scans, improvements rare and written late (prefers PDOALL over HELIX)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const NODES = 160;
+const ARCS = 2400;
+var au [ARCS]int;
+var av [ARCS]int;
+var aw [ARCS]int;
+var dist [NODES]int;
+func main() int {
+	var i int;
+	seedm[0] = 9973;
+	for (i = 0; i < ARCS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		au[i] = seedm[0] % NODES;
+		av[i] = (seedm[0] >> 8) % NODES;
+		aw[i] = (seedm[0] >> 16) % 30 + 1;
+	}
+	for (i = 0; i < NODES; i = i + 1) { dist[i] = 10000 + (i * 13) % 50; }
+	dist[0] = 0;
+	var round int;
+	var relaxed int = 0;
+	for (round = 0; round < 3; round = round + 1) {
+		var a int;
+		for (a = 0; a < ARCS; a = a + 1) {
+			var nd int = dist[au[a]] + aw[a];
+			if (nd < dist[av[a]]) {
+				dist[av[a]] = nd;
+				relaxed = relaxed + 1;
+			}
+		}
+	}
+	chkm[0] = relaxed;
+	for (i = 0; i < NODES; i = i + 1) { chkm[0] = (chkm[0] * 31 + dist[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "445.gobmk",
+		Suite:   SuiteINT2006,
+		Modeled: "playout statistics: pattern helper per candidate; playout counter RMW early; win tables keyed by point",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const POINTS = 361;
+const MOVES = 700;
+var boardv [POINTS]int;
+var wins [POINTS]int;
+var visits [POINTS]int;
+func pattern_score(p int) int {
+	var s int = 0;
+	var k int;
+	for (k = 0; k < 8; k = k + 1) {
+		s = s + boardv[(p + k * 19) % POINTS] * ((k % 3) + 1);
+	}
+	return s % 64;
+}
+func main() int {
+	var i int;
+	seedm[0] = 36187;
+	for (i = 0; i < POINTS; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		boardv[i] = seedm[0] % 3;
+	}
+	var m int;
+	for (m = 0; m < MOVES; m = m + 1) {
+		var p int = (m * 149 + 31) % POINTS;
+		// Total playout counter: every-iteration RMW, early.
+		visits[0] = visits[0] + 1;
+		var sc int = pattern_score(p);
+		visits[1 + p % (POINTS - 1)] = visits[1 + p % (POINTS - 1)] + 1;
+		if (sc > 30) { wins[p] = wins[p] + 1; }
+	}
+	chkm[0] = 0;
+	for (i = 0; i < POINTS; i = i + 1) { chkm[0] = (chkm[0] * 31 + wins[i] * 2 + visits[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "456.hmmer",
+		Suite:   SuiteINT2006,
+		Modeled: "profile HMM Viterbi: row-major DP, cells within a row independent given the previous row (the suite's vectorizable winner)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const SEQ = 60;
+const STATES = 48;
+var emit [STATES * 4]int;
+var prev [STATES]int;
+var cur [STATES]int;
+var seq [SEQ]int;
+func main() int {
+	var i int;
+	seedm[0] = 15273;
+	for (i = 0; i < STATES * 4; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		emit[i] = seedm[0] % 40;
+	}
+	for (i = 0; i < SEQ; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		seq[i] = seedm[0] % 4;
+	}
+	for (i = 0; i < STATES; i = i + 1) { prev[i] = (i * 3) % 17; }
+	var t int;
+	for (t = 0; t < SEQ; t = t + 1) {
+		var s int;
+		for (s = 0; s < STATES; s = s + 1) {
+			var stay int = prev[s] + 2;
+			var move int = prev[(s + STATES - 1) % STATES] + 5;
+			cur[s] = min(stay, move) + emit[s * 4 + seq[t]];
+		}
+		for (s = 0; s < STATES; s = s + 1) { prev[s] = cur[s]; }
+	}
+	var best int = 1000000;
+	for (i = 0; i < STATES; i = i + 1) { best = min(best, prev[i]); }
+	chkm[0] = best;
+	for (i = 0; i < STATES; i = i + 1) { chkm[0] = (chkm[0] * 31 + prev[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "458.sjeng",
+		Suite:   SuiteINT2006,
+		Modeled: "alpha-beta node loop: transposition-table RMW every node; drifting alpha bound produced late, consumed at the top (HELIX-hostile)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const NODES = 1000;
+const TT = 256;
+var ttkey [TT]int;
+var ttval [TT]int;
+var pv [NODES]int;
+func main() int {
+	var n int;
+	seedm[0] = 60913;
+	for (n = 0; n < TT; n = n + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		ttval[n] = seedm[0] % 100;
+	}
+	var alpha int = -30000;
+	var stored int = 0;
+	for (n = 0; n < NODES; n = n + 1) {
+		var key int = (n * 73 + 11) % TT;
+		// TT probe + store: every-node RMW.
+		var hit int = ttval[key];
+		ttval[key] = (hit + n) % 4096;
+		if (hit > alpha) { alpha = hit; }
+		// Static evaluation of this node.
+		var ev int = 0;
+		var k int;
+		for (k = 0; k < 9; k = k + 1) { ev = ev + ((n * 3 + k * 7) % 23) - 11; }
+		if (ev > alpha - 8) {
+			// Alpha drifts most nodes, produced at the very end.
+			alpha = (alpha * 3 + ev) / 4;
+			ttkey[key] = n % 512;
+			stored = stored + 1;
+		}
+		pv[n] = alpha;
+	}
+	chkm[0] = alpha + stored;
+	for (n = 0; n < NODES; n = n + 1) { chkm[0] = (chkm[0] * 31 + pv[n]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "462.libquantum",
+		Suite:   SuiteINT2006,
+		Modeled: "quantum gate application: helper call per amplitude, amplitudes independent (the suite's enormous outlier once fn2 admits the calls)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const AMPS = 2048;
+const GATES = 6;
+var state [AMPS]int;
+func toffoli_cell(v int, g int, flip int) int {
+	if (flip == 1) { return (v * 3 + 7) % 251; }
+	return (v + g) % 251;
+}
+func main() int {
+	var i int;
+	for (i = 0; i < AMPS; i = i + 1) { state[i] = (i * 37 + 11) % 251; }
+	var g int;
+	for (g = 0; g < GATES; g = g + 1) {
+		var target int = g % 11;
+		for (i = 0; i < AMPS; i = i + 1) {
+			state[i] = toffoli_cell(state[i], g, (i >> target) & 1);
+		}
+	}
+	chkm[0] = 0;
+	for (i = 0; i < AMPS; i = i + 16) { chkm[0] = (chkm[0] * 31 + state[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "464.h264ref",
+		Suite:   SuiteINT2006,
+		Modeled: "motion estimation: SAD reductions per candidate; running best-SAD bound updated late and consumed by early termination",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const W = 48;
+const H = 32;
+const CANDS = 110;
+var ref [W * H]int;
+var curf [W * H]int;
+var sads [CANDS]int;
+func main() int {
+	var i int;
+	seedm[0] = 44497;
+	for (i = 0; i < W * H; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		ref[i] = seedm[0] % 256;
+		curf[i] = (seedm[0] >> 8) % 256;
+	}
+	var c int;
+	var bestsad int = 1000000;
+	var bestc int = 0;
+	for (c = 0; c < CANDS; c = c + 1) {
+		var ox int = (c * 7) % 16;
+		var oy int = (c * 11) % 8;
+		var sad int = 0;
+		var y int;
+		for (y = 0; y < 8; y = y + 1) {
+			var x int;
+			for (x = 0; x < 8; x = x + 1) {
+				var a int = curf[y * W + x];
+				var b int = ref[(y + oy) * W + x + ox];
+				sad = sad + abs(a - b);
+			}
+		}
+		sads[c] = sad;
+		// Best update: rare after warm-up, produced at iteration end.
+		if (sad < bestsad) {
+			bestsad = sad;
+			bestc = c;
+		}
+	}
+	chkm[0] = bestsad * 7 + bestc;
+	for (c = 0; c < CANDS; c = c + 1) { chkm[0] = (chkm[0] * 31 + sads[c]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "471.omnetpp",
+		Suite:   SuiteINT2006,
+		Modeled: "discrete event simulation: heap pop/push every event (frequent memory LCDs through the event queue)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const HEAP = 512;
+const EVENTS = 1100;
+var heapt [HEAP]int;
+var heapn int = 0;
+var handled [16]int;
+func main() int {
+	var i int;
+	var e int;
+	for (e = 0; e < 40; e = e + 1) {
+		heapt[heapn] = (e * 97 + 13) % 1000;
+		heapn = heapn + 1;
+	}
+	var now int = 0;
+	for (e = 0; e < EVENTS; e = e + 1) {
+		// Pop-min (linear scan heap): the sequential spine.
+		var besti int = 0;
+		for (i = 1; i < heapn; i = i + 1) {
+			if (heapt[i] < heapt[besti]) { besti = i; }
+		}
+		now = heapt[besti];
+		heapt[besti] = heapt[heapn - 1];
+		heapn = heapn - 1;
+		// Handle: module processing, schedules a follow-up event.
+		var kind int = now % 16;
+		handled[kind] = handled[kind] + 1;
+		if (heapn < HEAP - 1) {
+			heapt[heapn] = now + 3 + (now * 7) % 41;
+			heapn = heapn + 1;
+		}
+	}
+	chkm[0] = now;
+	for (i = 0; i < 16; i = i + 1) { chkm[0] = (chkm[0] * 31 + handled[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "473.astar",
+		Suite:   SuiteINT2006,
+		Modeled: "grid relaxation wave: left/up wavefront dependency with early distance writes (HELIX territory)",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const W = 48;
+const H = 48;
+var grid [W * H]int;
+var dist [W * H]int;
+func main() int {
+	var i int;
+	seedm[0] = 88801;
+	for (i = 0; i < W * H; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		grid[i] = 1 + seedm[0] % 9;
+		dist[i] = 100000;
+	}
+	dist[0] = 0;
+	var sweep int;
+	for (sweep = 0; sweep < 4; sweep = sweep + 1) {
+		for (i = 1; i < W * H; i = i + 1) {
+			var best int = dist[i];
+			if (i % W != 0) { best = min(best, dist[i - 1] + grid[i]); }
+			if (i >= W) { best = min(best, dist[i - W] + grid[i]); }
+			dist[i] = best;
+		}
+	}
+	chkm[0] = dist[W * H - 1];
+	for (i = 0; i < W * H; i = i + 1) { chkm[0] = (chkm[0] * 31 + dist[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+
+	register(&Benchmark{
+		Name:    "483.xalancbmk",
+		Suite:   SuiteINT2006,
+		Modeled: "XML transformation: node cursor chase early; tag-count table RMW per node; template evaluation independent",
+		Source: `
+var seedm [1]int;
+var chkm [1]int;
+const NODESN = 1024;
+var child [NODESN]int;
+var sibling [NODESN]int;
+var tag [NODESN]int;
+var tagcount [12]int;
+var outv [NODESN]int;
+func main() int {
+	var i int;
+	seedm[0] = 3361;
+	for (i = 0; i < NODESN; i = i + 1) {
+		seedm[0] = (seedm[0] * 1103515245 + 12345) % 2147483647;
+		child[i] = seedm[0] % NODESN;
+		sibling[i] = (seedm[0] >> 8) % NODESN;
+		tag[i] = (seedm[0] >> 16) % 12;
+	}
+	var node int = 0;
+	var visited int = 0;
+	var v int;
+	for (v = 0; v < 1400; v = v + 1) {
+		// Traversal hand-off first.
+		var t int = tag[node];
+		if (t % 3 == 0) { node = child[node]; } else { node = sibling[node]; }
+		node = (node + v) % NODESN;
+		visited = visited + 1;
+		tagcount[t] = tagcount[t] + 1;
+		// Independent: template evaluation for the visited node.
+		var acc int = 0;
+		var k int;
+		for (k = 0; k < 14; k = k + 1) { acc = (acc * 3 + t + k) % 211; }
+		outv[v % NODESN] = acc;
+	}
+	chkm[0] = visited + node;
+	for (i = 0; i < NODESN; i = i + 1) { chkm[0] = (chkm[0] * 31 + outv[i]) % 65521; }
+	return chkm[0];
+}`,
+	})
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"loopapalooza/internal/core"
+)
+
+// TestAllBenchmarksCompileAndRun is the substrate smoke test: every
+// registered kernel must compile, analyze, execute deterministically, and
+// produce a sane report under a representative configuration.
+func TestAllBenchmarksCompileAndRun(t *testing.T) {
+	if len(All()) == 0 {
+		t.Fatal("no benchmarks registered")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			r1, err := b.Run(core.Config{Model: core.HELIX, Reduc: 1, Dep: 1, Fn: 2})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if r1.SerialCost < 10_000 {
+				t.Errorf("serial cost = %d, suspiciously small workload", r1.SerialCost)
+			}
+			if r1.SerialCost > 20_000_000 {
+				t.Errorf("serial cost = %d, workload too large for the harness", r1.SerialCost)
+			}
+			if s := r1.Speedup(); s < 1 || s > 100000 {
+				t.Errorf("speedup = %.2f out of sane range", s)
+			}
+			if c := r1.Coverage(); c < 0 || c > 1.0000001 {
+				t.Errorf("coverage = %f out of [0,1]", c)
+			}
+			if len(r1.Loops) == 0 {
+				t.Error("no loops found")
+			}
+			// Determinism.
+			r2, err := b.Run(core.Config{Model: core.HELIX, Reduc: 1, Dep: 1, Fn: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.SerialCost != r2.SerialCost || r1.ParallelCost != r2.ParallelCost {
+				t.Errorf("nondeterministic run: %d/%d vs %d/%d",
+					r1.SerialCost, r1.ParallelCost, r2.SerialCost, r2.ParallelCost)
+			}
+		})
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements the Loopapalooza run-time component: the
+// limit-study engine that consumes instrumentation events, tracks
+// loop-carried dependencies, applies the DOALL / Partial-DOALL /
+// HELIX-style execution models, and computes limit speedups and coverage
+// (paper §III-B).
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Model selects the parallel execution model (paper §II-C, Figure 1).
+type Model uint8
+
+// Execution models.
+const (
+	// DOALL: any cross-iteration conflict marks the loop sequential;
+	// otherwise the loop costs its slowest iteration.
+	DOALL Model = iota
+	// PDOALL (Partial-DOALL): conflicts split execution into phases;
+	// each phase costs its slowest iteration; loops whose iterations
+	// conflict more than ConflictIterLimit of the time are sequential.
+	PDOALL
+	// HELIX: generalized DOACROSS; frequent dependencies are satisfied
+	// by inter-iteration synchronization with cost
+	// iter_slowest + delta_largest * num_iter.
+	HELIX
+)
+
+var modelNames = [...]string{DOALL: "DOALL", PDOALL: "PDOALL", HELIX: "HELIX"}
+
+// String returns the model name.
+func (m Model) String() string { return modelNames[m] }
+
+// ConflictIterLimit is the Partial-DOALL give-up threshold: if more than
+// this fraction of iterations conflict, the loop is marked sequential
+// (paper §III-B: 80%).
+const ConflictIterLimit = 0.8
+
+// FrequentLCDThreshold classifies a dynamic dependency as "frequent" when
+// it manifests in at least this fraction of iterations (Table I reporting).
+const FrequentLCDThreshold = 0.5
+
+// Config is one limit-study configuration: an execution model plus the
+// Table II relaxation flags.
+type Config struct {
+	// Model is the parallel execution model.
+	Model Model
+	// Reduc: 0 = reductions are treated as non-computable LCDs;
+	// 1 = reductions are considered parallel with no overhead.
+	Reduc int
+	// Dep: 0 = non-computable register LCDs are not parallelizable;
+	// 1 = lowered to memory and synchronized (HELIX only);
+	// 2 = accelerated with realistic value prediction;
+	// 3 = accelerated with perfect value prediction.
+	Dep int
+	// Fn: 0 = loops with any calls are sequential; 1 = only pure calls
+	// allowed; 2 = pure + thread-safe + instrumented calls allowed;
+	// 3 = all calls allowed.
+	Fn int
+	// AmortizeHelixDelta is an ABLATION knob, not part of Table II: when
+	// set, a manifesting LCD's HELIX delta is divided by the iteration
+	// distance between producer and consumer ((p-c)/(j-i)) instead of
+	// the paper's literal p-c. The amortized variant models perfectly
+	// elastic pipelining and is strictly more optimistic for HELIX; the
+	// ablation (BenchmarkAblationHelixDelta, TestAblationHelixDelta)
+	// shows it inflates HELIX on distant-dependence loops and flips
+	// Figure 4 winners toward HELIX.
+	AmortizeHelixDelta bool
+}
+
+// String renders the paper's configuration naming, e.g.
+// "reduc1-dep1-fn2 HELIX".
+func (c Config) String() string {
+	return fmt.Sprintf("reduc%d-dep%d-fn%d %s", c.Reduc, c.Dep, c.Fn, c.Model)
+}
+
+// Validate rejects flag combinations the models cannot express
+// (paper §IV: dep1–dep3 are incompatible with DOALL; dep1 lowers register
+// LCDs to memory, which only HELIX synchronization supports).
+func (c Config) Validate() error {
+	if c.Reduc < 0 || c.Reduc > 1 {
+		return fmt.Errorf("core: reduc flag %d out of range", c.Reduc)
+	}
+	if c.Dep < 0 || c.Dep > 3 {
+		return fmt.Errorf("core: dep flag %d out of range", c.Dep)
+	}
+	if c.Fn < 0 || c.Fn > 3 {
+		return fmt.Errorf("core: fn flag %d out of range", c.Fn)
+	}
+	if c.Model == DOALL && c.Dep != 0 {
+		return fmt.Errorf("core: DOALL does not support non-computable register LCDs (dep%d)", c.Dep)
+	}
+	if c.Dep == 1 && c.Model != HELIX {
+		return fmt.Errorf("core: dep1 (lower register LCDs to memory) requires HELIX synchronization")
+	}
+	return nil
+}
+
+// ParseConfig parses "reduc1-dep1-fn2 HELIX" (case-insensitive; the model
+// may also come first, or be separated by ':' or '@').
+func ParseConfig(s string) (Config, error) {
+	fields := strings.FieldsFunc(strings.TrimSpace(s), func(r rune) bool {
+		return r == ' ' || r == ':' || r == '@'
+	})
+	var cfg Config
+	modelSet, flagsSet := false, false
+	for _, f := range fields {
+		switch strings.ToUpper(f) {
+		case "DOALL":
+			cfg.Model, modelSet = DOALL, true
+			continue
+		case "PDOALL", "PARTIAL-DOALL", "PARTIALDOALL":
+			cfg.Model, modelSet = PDOALL, true
+			continue
+		case "HELIX", "DOACROSS":
+			cfg.Model, modelSet = HELIX, true
+			continue
+		}
+		var r, d, fn int
+		if _, err := fmt.Sscanf(strings.ToLower(f), "reduc%d-dep%d-fn%d", &r, &d, &fn); err != nil {
+			return Config{}, fmt.Errorf("core: cannot parse configuration field %q", f)
+		}
+		cfg.Reduc, cfg.Dep, cfg.Fn = r, d, fn
+		flagsSet = true
+	}
+	if !modelSet || !flagsSet {
+		return Config{}, fmt.Errorf("core: configuration %q must name a model and reducR-depD-fnF flags", s)
+	}
+	return cfg, cfg.Validate()
+}
+
+// PaperConfigs returns, in presentation order, the configurations of
+// Figures 2 and 3 (bottom to top).
+func PaperConfigs() []Config {
+	return []Config{
+		{Model: DOALL, Reduc: 0, Dep: 0, Fn: 0},
+		{Model: DOALL, Reduc: 1, Dep: 0, Fn: 0},
+		{Model: PDOALL, Reduc: 0, Dep: 0, Fn: 0},
+		{Model: PDOALL, Reduc: 0, Dep: 2, Fn: 0},
+		{Model: PDOALL, Reduc: 1, Dep: 2, Fn: 0},
+		{Model: PDOALL, Reduc: 0, Dep: 0, Fn: 2},
+		{Model: PDOALL, Reduc: 0, Dep: 2, Fn: 2},
+		{Model: PDOALL, Reduc: 1, Dep: 2, Fn: 2},
+		{Model: PDOALL, Reduc: 0, Dep: 3, Fn: 2},
+		{Model: PDOALL, Reduc: 0, Dep: 3, Fn: 3},
+		{Model: HELIX, Reduc: 0, Dep: 0, Fn: 2},
+		{Model: HELIX, Reduc: 1, Dep: 0, Fn: 2},
+		{Model: HELIX, Reduc: 0, Dep: 1, Fn: 2},
+		{Model: HELIX, Reduc: 1, Dep: 1, Fn: 2},
+	}
+}
+
+// BestPDOALL is the best realistic Partial-DOALL configuration of Figure 4.
+func BestPDOALL() Config { return Config{Model: PDOALL, Reduc: 1, Dep: 2, Fn: 2} }
+
+// BestHELIX is the best realistic HELIX configuration of Figure 4.
+func BestHELIX() Config { return Config{Model: HELIX, Reduc: 1, Dep: 1, Fn: 2} }

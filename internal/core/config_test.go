@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigFlags(t *testing.T) {
+	// Table II: every paper configuration must validate and round-trip
+	// through the parser.
+	for _, cfg := range PaperConfigs() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg, err)
+		}
+		parsed, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", cfg.String(), err)
+			continue
+		}
+		if parsed != cfg {
+			t.Errorf("round trip %s -> %s", cfg, parsed)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Model: DOALL, Dep: 1},
+		{Model: DOALL, Dep: 2},
+		{Model: DOALL, Dep: 3},
+		{Model: PDOALL, Dep: 1}, // dep1 needs HELIX
+		{Model: HELIX, Dep: 4},
+		{Model: HELIX, Reduc: 2},
+		{Model: HELIX, Fn: 9},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v validated but should not", c)
+		}
+	}
+	good := []Config{
+		{Model: HELIX, Dep: 1, Fn: 2},
+		{Model: PDOALL, Dep: 3, Fn: 3},
+		{Model: HELIX, Dep: 2, Fn: 0},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+	}
+}
+
+func TestParseConfigForms(t *testing.T) {
+	want := Config{Model: HELIX, Reduc: 1, Dep: 1, Fn: 2}
+	for _, s := range []string{
+		"reduc1-dep1-fn2 HELIX",
+		"HELIX reduc1-dep1-fn2",
+		"helix:reduc1-dep1-fn2",
+		"REDUC1-DEP1-FN2 helix",
+		"doacross@reduc1-dep1-fn2",
+	} {
+		got, err := ParseConfig(s)
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseConfig(%q) = %s, want %s", s, got, want)
+		}
+	}
+	for _, s := range []string{"", "helix", "reduc1-dep1-fn2", "bogus stuff", "doall:reduc0-dep2-fn0"} {
+		if _, err := ParseConfig(s); err == nil {
+			t.Errorf("ParseConfig(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Model: PDOALL, Reduc: 1, Dep: 2, Fn: 2}
+	if got := c.String(); got != "reduc1-dep2-fn2 PDOALL" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBestConfigs(t *testing.T) {
+	if BestPDOALL().String() != "reduc1-dep2-fn2 PDOALL" {
+		t.Errorf("BestPDOALL = %s", BestPDOALL())
+	}
+	if BestHELIX().String() != "reduc1-dep1-fn2 HELIX" {
+		t.Errorf("BestHELIX = %s", BestHELIX())
+	}
+}
+
+func TestTableICategories(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 8 {
+		t.Fatalf("Table I categories = %d, want 8", len(cats))
+	}
+	var c DepCensus
+	c.Add(DepComputable, 3)
+	c.Add(DepMemFrequent, 1)
+	if c.Count(DepComputable) != 3 || c.Count(DepMemFrequent) != 1 || c.Count(DepReduction) != 0 {
+		t.Error("census bookkeeping wrong")
+	}
+	for _, cat := range cats {
+		if cat.String() == "" || strings.HasPrefix(cat.String(), "kind(") {
+			t.Errorf("category %d lacks a name", cat)
+		}
+	}
+}

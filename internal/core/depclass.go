@@ -1,0 +1,111 @@
+package core
+
+// This file realizes Table I of the paper: the categorization of ordering
+// constraints and loop-carried dependencies (LCDs) that restrict parallel
+// execution of loop iterations. The static portion of the classification
+// comes from the analysis package (SCEV / reductions / purity); the dynamic
+// portion (frequency, predictability) is measured by the engine.
+
+// DepCategory names one row of Table I.
+type DepCategory uint8
+
+// Table I categories.
+const (
+	// DepComputable: (mutual) induction variables — true register RAW
+	// LCDs with a compile-time scalar evolution; never a constraint.
+	DepComputable DepCategory = iota
+	// DepReduction: reduction accumulators — frequent true register RAW
+	// LCDs with a decouplable update pattern.
+	DepReduction
+	// DepPredictableReg: non-computable register LCDs that run-time
+	// value prediction captures; effectively infrequent.
+	DepPredictableReg
+	// DepUnpredictableReg: non-computable, unpredictable register LCDs —
+	// frequent true register RAW; only DOACROSS/HELIX-style
+	// synchronization supports them.
+	DepUnpredictableReg
+	// DepMemFrequent: dynamically manifesting memory RAW LCDs occurring
+	// in most iterations.
+	DepMemFrequent
+	// DepMemInfrequent: dynamically manifesting memory RAW LCDs
+	// occurring rarely (aliasing or rare control paths).
+	DepMemInfrequent
+	// DepFalse: WAW/WAR through registers or memory — assumed resolved
+	// by lazy versioning with in-order commit (§II-D); never tracked.
+	DepFalse
+	// DepStructural: call-stack reuse across iterations — assumed
+	// resolved by cactus-stack-style frame versioning (§II-E).
+	DepStructural
+)
+
+var depCategoryNames = [...]string{
+	DepComputable:       "computable (IV/MIV)",
+	DepReduction:        "reduction accumulator",
+	DepPredictableReg:   "predictable register LCD",
+	DepUnpredictableReg: "unpredictable register LCD",
+	DepMemFrequent:      "frequent memory LCD",
+	DepMemInfrequent:    "infrequent memory LCD",
+	DepFalse:            "false dependency (WAW/WAR)",
+	DepStructural:       "structural (call stack)",
+}
+
+// String returns the category name.
+func (c DepCategory) String() string { return depCategoryNames[c] }
+
+// PredictableHitRate is the hit-rate threshold above which a non-computable
+// register LCD counts as "predictable" in the Table I census.
+const PredictableHitRate = 0.9
+
+// DepCensus counts, per program run, how many static dependencies landed in
+// each Table I category.
+type DepCensus struct {
+	counts [DepStructural + 1]int64
+}
+
+// Add increments a category.
+func (c *DepCensus) Add(cat DepCategory, n int64) { c.counts[cat] += n }
+
+// Count returns the tally for one category.
+func (c *DepCensus) Count(cat DepCategory) int64 { return c.counts[cat] }
+
+// Categories lists every category in Table I order.
+func Categories() []DepCategory {
+	return []DepCategory{
+		DepComputable, DepReduction, DepPredictableReg, DepUnpredictableReg,
+		DepMemFrequent, DepMemInfrequent, DepFalse, DepStructural,
+	}
+}
+
+// SerialReason explains why a loop ended up sequential under a
+// configuration.
+type SerialReason uint8
+
+// Reasons a loop is serialized.
+const (
+	// SerialNone: the loop ran parallel.
+	SerialNone SerialReason = iota
+	// SerialRegLCD: non-computable register LCDs present and the dep
+	// flag does not relax them.
+	SerialRegLCD
+	// SerialReduction: reductions present under reduc0 with a dep flag
+	// that does not relax them.
+	SerialReduction
+	// SerialCall: a call the fn flag does not admit.
+	SerialCall
+	// SerialConflict: DOALL conflict, or PDOALL over the 80% limit.
+	SerialConflict
+	// SerialNoGain: HELIX synchronized cost exceeded serial cost.
+	SerialNoGain
+)
+
+var serialReasonNames = [...]string{
+	SerialNone:      "parallel",
+	SerialRegLCD:    "register LCD",
+	SerialReduction: "reduction (reduc0)",
+	SerialCall:      "function call",
+	SerialConflict:  "memory conflicts",
+	SerialNoGain:    "sync cost >= serial",
+}
+
+// String returns the reason name.
+func (r SerialReason) String() string { return serialReasonNames[r] }

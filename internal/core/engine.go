@@ -1,0 +1,470 @@
+package core
+
+import (
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/interp"
+	"loopapalooza/internal/predict"
+)
+
+// Engine is the limit-study run-time: it implements interp.Hooks, tracks
+// dynamic loop-carried dependencies, applies one execution model under one
+// configuration, and produces limit speedups via an adjusted clock.
+//
+// Time accounting. The serial clock advances one unit per dynamic IR
+// instruction. When a loop instance exits and its model cost is lower than
+// its serial cost, the difference is added to a global savings counter; the
+// *adjusted* clock (serial − savings) is the program's parallel execution
+// time. Because enclosing loops measure their iteration lengths on the
+// adjusted clock, inner-loop speedups propagate outward — the paper's
+// bottom-up cost propagation, and SWARM/T4-style multi-level nested
+// parallelism, realized online.
+type Engine struct {
+	info *analysis.ModuleInfo
+	cfg  Config
+
+	clock   int64 // serial time: dynamic IR instructions
+	savings int64 // Σ (serial − model cost) over parallel loop instances
+
+	stack      []*instance
+	stats      map[*analysis.LoopMeta]*LoopStat
+	coveredTop int64 // serial ticks inside outermost parallel instances
+}
+
+// LoopStat aggregates one static loop's behaviour over the whole run.
+type LoopStat struct {
+	// Meta is the loop's compile-time record.
+	Meta *analysis.LoopMeta
+	// Reason is SerialNone while the loop is considered parallelizable;
+	// any other value permanently serializes future instances ("mark
+	// the loop as suitable for serial execution only", §III-B).
+	Reason SerialReason
+	// StaticallySerial marks loops rejected before execution (Table II
+	// flag constraints), as opposed to dynamically discovered reasons.
+	StaticallySerial bool
+	// Instances counts dynamic loop instances.
+	Instances int64
+	// ParallelInstances counts instances that finished with a parallel
+	// model cost.
+	ParallelInstances int64
+	// Iters counts back edges over all instances.
+	Iters int64
+	// ConflictIters counts iterations that manifested a conflict.
+	ConflictIters int64
+	// SerialTicks sums the serial time spent inside the loop.
+	SerialTicks int64
+	// LastDelta records the HELIX delta_largest of the most recent
+	// tracked instance (diagnostics).
+	LastDelta int64
+	// LastSlowest records the slowest iteration of the most recent
+	// tracked instance (diagnostics).
+	LastSlowest int64
+	// preds are the per-observed-LCD value predictors (nil under dep
+	// flags that do not predict).
+	preds []predict.Observer
+}
+
+// instance is one dynamic execution of a loop.
+type instance struct {
+	meta *analysis.LoopMeta
+	stat *LoopStat
+	// serialized: this instance contributes no savings.
+	serialized bool
+	// tracked: dependence tracking active (false when serialized).
+	tracked bool
+
+	enterAdj        int64
+	enterSerial     int64
+	iterStartAdj    int64
+	iterStartSerial int64
+	iterStartSP     int64
+	iters           int64 // completed back edges; also the 0-based index
+	// of the current iteration
+
+	slowestIter    int64
+	phaseSlowest   int64
+	parallelAcc    int64 // PDOALL: closed phases
+	phaseFirstIter int64 // PDOALL: first iteration of the current phase
+	deltaLargest   int64 // HELIX: largest per-iteration sync slope
+
+	conflictIters     int64
+	curIterConflicted bool
+
+	writes map[int64]writeRec
+
+	// coveredChildren accumulates covered serial ticks reported by
+	// child instances, consumed if this instance ends up serial.
+	coveredChildren int64
+}
+
+type writeRec struct {
+	iter int64 // writer iteration index
+	off  int64 // adjusted offset of the write within its iteration
+}
+
+// NewEngine prepares an engine for one run of one configuration. The
+// configuration must Validate.
+func NewEngine(info *analysis.ModuleInfo, cfg Config) *Engine {
+	e := &Engine{info: info, cfg: cfg, stats: map[*analysis.LoopMeta]*LoopStat{}}
+	for _, lm := range info.Loops {
+		e.stats[lm] = e.newStat(lm)
+	}
+	return e
+}
+
+// newStat applies the static Table II constraints to one loop.
+func (e *Engine) newStat(lm *analysis.LoopMeta) *LoopStat {
+	st := &LoopStat{Meta: lm}
+	// fn flags: calls the configuration does not admit.
+	switch e.cfg.Fn {
+	case 0:
+		if lm.HasCall {
+			st.Reason = SerialCall
+		}
+	case 1:
+		if lm.HasNonPureCall {
+			st.Reason = SerialCall
+		}
+	case 2:
+		if lm.HasUnsafeOrIOCall {
+			st.Reason = SerialCall
+		}
+	}
+	// dep flags: non-computable register LCDs (and reductions under
+	// reduc0) bar parallelization when dep0.
+	if st.Reason == SerialNone && e.cfg.Dep == 0 {
+		if len(lm.NonComputable) > 0 {
+			st.Reason = SerialRegLCD
+		} else if e.cfg.Reduc == 0 && len(lm.Reductions) > 0 {
+			st.Reason = SerialReduction
+		}
+	}
+	st.StaticallySerial = st.Reason != SerialNone
+
+	// Predictors for the constrained observations (dep2 realistic,
+	// dep3 perfect).
+	n := len(lm.Observed)
+	if n > 0 && (e.cfg.Dep == 2 || e.cfg.Dep == 3) {
+		st.preds = make([]predict.Observer, n)
+		for i := range st.preds {
+			if e.cfg.Dep == 3 {
+				st.preds[i] = &predict.Perfect{}
+			} else {
+				st.preds[i] = predict.NewHybrid()
+			}
+		}
+	}
+	return st
+}
+
+// constrained reports whether observed-LCD index k restricts parallelism
+// under the configuration: plain non-computable LCDs always do, reduction
+// phis only under reduc0.
+func (e *Engine) constrained(lm *analysis.LoopMeta, k int) bool {
+	if k < lm.NumObservedNonComputable() {
+		return true
+	}
+	return e.cfg.Reduc == 0
+}
+
+func (e *Engine) adj() int64 { return e.clock - e.savings }
+
+// Tick implements interp.Hooks.
+func (e *Engine) Tick(n int64) { e.clock += n }
+
+// EnterLoop implements interp.Hooks.
+func (e *Engine) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
+	st := e.stats[lm]
+	if st == nil {
+		st = e.newStat(lm)
+		e.stats[lm] = st
+	}
+	st.Instances++
+	inst := &instance{meta: lm, stat: st}
+	if st.Reason != SerialNone {
+		inst.serialized = true
+	} else {
+		inst.tracked = true
+		now, ser := e.adj(), e.clock
+		inst.enterAdj, inst.enterSerial = now, ser
+		inst.iterStartAdj, inst.iterStartSerial = now, ser
+		inst.iterStartSP = sp
+		inst.writes = map[int64]writeRec{}
+		// Train predictors on the live-in values (iteration 0 values
+		// are available at entry; no prediction needed for them).
+		if st.preds != nil {
+			for k, v := range init {
+				st.preds[k].Observe(v.Bits())
+			}
+		}
+	}
+	e.stack = append(e.stack, inst)
+}
+
+// IterLoop implements interp.Hooks.
+func (e *Engine) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
+	if len(e.stack) == 0 {
+		return
+	}
+	inst := e.stack[len(e.stack)-1]
+	if inst.meta != lm {
+		return
+	}
+	inst.iters++
+	if !inst.tracked {
+		return
+	}
+	now := e.adj()
+	iterLen := now - inst.iterStartAdj
+	if iterLen > inst.slowestIter {
+		inst.slowestIter = iterLen
+	}
+	if iterLen > inst.phaseSlowest {
+		inst.phaseSlowest = iterLen
+	}
+
+	// Register LCD handling for the next iteration's values.
+	nextConflicted := false
+	for k, o := range obs {
+		if !e.constrained(lm, k) {
+			continue
+		}
+		switch e.cfg.Dep {
+		case 2, 3:
+			hit := inst.stat.preds[k].Observe(o.Val.Bits())
+			if hit {
+				continue
+			}
+			// Mispredicted: the consumer (next iteration, offset 0)
+			// must wait for the producer in the just-finished
+			// iteration.
+			switch e.cfg.Model {
+			case PDOALL:
+				nextConflicted = true
+			case HELIX:
+				e.regSlope(inst, o, iterLen)
+			}
+		case 1: // HELIX-only: lowered to memory, synchronized always.
+			e.regSlope(inst, o, iterLen)
+		}
+	}
+
+	if nextConflicted {
+		// The upcoming iteration starts conflicted: close the phase
+		// ending with the just-finished iteration. (curIterConflicted
+		// only deduplicates conflicts within one iteration; a new
+		// iteration always opens fresh.)
+		inst.parallelAcc += inst.phaseSlowest
+		inst.phaseSlowest = 0
+		inst.phaseFirstIter = inst.iters
+		inst.conflictIters++
+	}
+	inst.curIterConflicted = nextConflicted
+
+	inst.iterStartAdj = now
+	inst.iterStartSerial = e.clock
+	inst.iterStartSP = sp
+}
+
+// regSlope records the HELIX synchronization slope for a register LCD whose
+// producer executed at serial tick DefTick within the just-finished
+// iteration.
+func (e *Engine) regSlope(inst *instance, o interp.LCDObs, iterLen int64) {
+	var off int64
+	if o.DefTick >= 0 {
+		off = o.DefTick - inst.iterStartSerial
+	}
+	if off < 0 {
+		off = 0
+	}
+	// Serial offsets can exceed the adjusted iteration length when nested
+	// parallel loops compressed the iteration; clamp conservatively.
+	if off > iterLen {
+		off = iterLen
+	}
+	if off > inst.deltaLargest {
+		inst.deltaLargest = off
+	}
+}
+
+// ExitLoop implements interp.Hooks.
+func (e *Engine) ExitLoop(lm *analysis.LoopMeta) {
+	if len(e.stack) == 0 {
+		return
+	}
+	inst := e.stack[len(e.stack)-1]
+	if inst.meta != lm {
+		return
+	}
+	e.stack = e.stack[:len(e.stack)-1]
+	st := inst.stat
+
+	var covered int64
+	if inst.tracked {
+		now, ser := e.adj(), e.clock
+		// The trailing header-only segment counts as the final
+		// (partial) iteration of the last phase.
+		tail := now - inst.iterStartAdj
+		if tail > inst.slowestIter {
+			inst.slowestIter = tail
+		}
+		if tail > inst.phaseSlowest {
+			inst.phaseSlowest = tail
+		}
+		serialAdj := now - inst.enterAdj
+
+		var parallel int64
+		switch e.cfg.Model {
+		case DOALL:
+			parallel = inst.slowestIter
+		case PDOALL:
+			if inst.iters > 0 && float64(inst.conflictIters) > ConflictIterLimit*float64(inst.iters) {
+				inst.serialized = true
+				st.Reason = SerialConflict
+				parallel = serialAdj
+			} else {
+				parallel = inst.parallelAcc + inst.phaseSlowest
+			}
+		case HELIX:
+			parallel = inst.slowestIter + inst.deltaLargest*inst.iters
+			st.LastDelta = inst.deltaLargest
+			st.LastSlowest = inst.slowestIter
+			if parallel >= serialAdj {
+				inst.serialized = true
+				st.Reason = SerialNoGain
+				parallel = serialAdj
+			}
+		}
+		if parallel > serialAdj {
+			parallel = serialAdj
+		}
+		if parallel < 1 && serialAdj > 0 {
+			parallel = 1
+		}
+		if !inst.serialized {
+			e.savings += serialAdj - parallel
+			covered = ser - inst.enterSerial
+			st.ParallelInstances++
+		} else {
+			covered = inst.coveredChildren
+		}
+		st.SerialTicks += ser - inst.enterSerial
+	} else {
+		covered = inst.coveredChildren
+		st.SerialTicks += 0 // untracked instances do not re-measure
+	}
+	st.Iters += inst.iters
+	st.ConflictIters += inst.conflictIters
+
+	if len(e.stack) > 0 {
+		e.stack[len(e.stack)-1].coveredChildren += covered
+	} else {
+		e.coveredTop += covered
+	}
+}
+
+// Load implements interp.Hooks: RAW detection against earlier-iteration
+// writes, per active loop instance.
+func (e *Engine) Load(addr int64) {
+	for idx := len(e.stack) - 1; idx >= 0; idx-- {
+		inst := e.stack[idx]
+		if !inst.tracked || inst.serialized {
+			continue
+		}
+		if interp.IsStackAddr(addr) && addr < inst.iterStartSP {
+			// Cactus-stack exemption (§II-E): frames pushed after
+			// this iteration began are iteration-private.
+			continue
+		}
+		rec, ok := inst.writes[addr]
+		if !ok || rec.iter >= inst.iters {
+			continue // no cross-iteration RAW for this loop
+		}
+		if e.cfg.Model == PDOALL && rec.iter < inst.phaseFirstIter {
+			// The writer belongs to an already-committed phase: its
+			// value is architecturally visible, so the read is not a
+			// violation (§II-C: execution restarts after the
+			// conflict is resolved).
+			continue
+		}
+		e.memConflict(inst, rec)
+	}
+}
+
+// memConflict applies one manifesting memory RAW LCD to an instance.
+func (e *Engine) memConflict(inst *instance, rec writeRec) {
+	switch e.cfg.Model {
+	case DOALL:
+		// First conflict marks the loop sequential for good (§III-B).
+		inst.serialized = true
+		inst.stat.Reason = SerialConflict
+		if !inst.curIterConflicted {
+			inst.curIterConflicted = true
+			inst.conflictIters++
+		}
+		inst.writes = nil
+	case PDOALL:
+		if inst.curIterConflicted {
+			return
+		}
+		inst.curIterConflicted = true
+		inst.conflictIters++
+		// Delay this iteration to the end of the slowest iteration
+		// of the conflict-free phase that just ended; the new phase
+		// begins with this (restarted) iteration.
+		inst.parallelAcc += inst.phaseSlowest
+		inst.phaseSlowest = 0
+		inst.phaseFirstIter = inst.iters
+	case HELIX:
+		// Paper §III-B: assuming all iterations start at the same
+		// time-stamp, record the largest producer-consumer offset
+		// delta of any manifesting LCD. Note the delta is NOT
+		// amortized over the iteration distance — HELIX synchronizes
+		// every neighboring pair of iterations, which is exactly why
+		// rare-conflict loops can prefer PDOALL (paper §IV).
+		c := e.adj() - inst.iterStartAdj
+		gap := inst.iters - rec.iter
+		if gap <= 0 {
+			return
+		}
+		slope := rec.off - c
+		if e.cfg.AmortizeHelixDelta {
+			slope = slope / gap
+		}
+		if slope < 0 {
+			slope = 0
+		}
+		if slope > inst.deltaLargest {
+			inst.deltaLargest = slope
+		}
+		if !inst.curIterConflicted {
+			inst.curIterConflicted = true
+			inst.conflictIters++
+		}
+	}
+}
+
+// Store implements interp.Hooks: record the write for RAW detection.
+func (e *Engine) Store(addr int64) {
+	for idx := len(e.stack) - 1; idx >= 0; idx-- {
+		inst := e.stack[idx]
+		if !inst.tracked || inst.serialized {
+			continue
+		}
+		if interp.IsStackAddr(addr) && addr < inst.iterStartSP {
+			continue
+		}
+		inst.writes[addr] = writeRec{iter: inst.iters, off: e.adj() - inst.iterStartAdj}
+	}
+}
+
+// SerialCost returns the total dynamic IR instruction count (serial time).
+func (e *Engine) SerialCost() int64 { return e.clock }
+
+// ParallelCost returns the adjusted (limit parallel) time.
+func (e *Engine) ParallelCost() int64 { return e.adj() }
+
+// CoveredTicks returns the serial ticks spent inside parallel loops.
+func (e *Engine) CoveredTicks() int64 { return e.coveredTop }
+
+// Stats exposes the per-loop statistics (keyed by loop metadata).
+func (e *Engine) Stats() map[*analysis.LoopMeta]*LoopStat { return e.stats }

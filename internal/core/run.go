@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/interp"
+	"loopapalooza/internal/lang"
+)
+
+// RunOptions controls one limit-study execution.
+type RunOptions struct {
+	// Out receives program output (nil discards).
+	Out io.Writer
+	// MaxSteps bounds execution (0 = interpreter default).
+	MaxSteps int64
+	// EntryArgs are passed to main (usually none).
+	EntryArgs []interp.Val
+}
+
+// Run executes the analyzed module's main function under one configuration
+// and returns the limit-study report.
+func Run(info *analysis.ModuleInfo, cfg Config, opts RunOptions) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	engine := NewEngine(info, cfg)
+	in := interp.New(info, interp.Config{Out: opts.Out, MaxSteps: opts.MaxSteps, Hooks: engine})
+	if _, err := in.Run("main", opts.EntryArgs...); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", info.Mod.Name, err)
+	}
+	return engine.Report(info.Mod.Name), nil
+}
+
+// RunSource compiles LPC source, analyzes it, and runs the limit study —
+// the one-call entry point used by the CLI, examples, and benches.
+func RunSource(name, src string, cfg Config, opts RunOptions) (*Report, error) {
+	info, err := AnalyzeSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(info, cfg, opts)
+}
+
+// AnalyzeSource compiles and canonicalizes LPC source, returning the
+// compile-time analysis. Reuse the result across configurations: the
+// analysis is configuration-independent.
+func AnalyzeSource(name, src string) (*analysis.ModuleInfo, error) {
+	m, err := lang.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.AnalyzeModule(m)
+}

@@ -1,0 +1,83 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"loopapalooza/internal/ir"
+)
+
+// execBuiltin evaluates a builtin call. Builtins charge their registry Cost
+// in dynamic instructions, standing in for their uninstrumented bodies
+// (paper §III-D).
+func (in *Interp) execBuiltin(fr *frame, i *ir.Instr) Val {
+	bi, ok := ir.BuiltinAttr(i.Builtin)
+	if !ok {
+		in.fail("unknown builtin %q", i.Builtin)
+	}
+	// The call instruction itself already cost 1 tick; add the body.
+	in.tick(bi.Cost)
+	arg := func(k int) Val { return in.val(fr, i.Args[k]) }
+	switch i.Builtin {
+	case "sqrt":
+		return FloatVal(math.Sqrt(arg(0).F))
+	case "sin":
+		return FloatVal(math.Sin(arg(0).F))
+	case "cos":
+		return FloatVal(math.Cos(arg(0).F))
+	case "exp":
+		return FloatVal(math.Exp(arg(0).F))
+	case "log":
+		return FloatVal(math.Log(arg(0).F))
+	case "pow":
+		return FloatVal(math.Pow(arg(0).F, arg(1).F))
+	case "floor":
+		return FloatVal(math.Floor(arg(0).F))
+	case "fabs":
+		return FloatVal(math.Abs(arg(0).F))
+	case "fmin":
+		return FloatVal(math.Min(arg(0).F, arg(1).F))
+	case "fmax":
+		return FloatVal(math.Max(arg(0).F, arg(1).F))
+	case "abs":
+		v := arg(0).I
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(v)
+	case "min":
+		a, b := arg(0).I, arg(1).I
+		if b < a {
+			a = b
+		}
+		return IntVal(a)
+	case "max":
+		a, b := arg(0).I, arg(1).I
+		if b > a {
+			a = b
+		}
+		return IntVal(a)
+	case "alloc", "allocf":
+		base, err := in.mem.heapAlloc(arg(0).I)
+		if err != nil {
+			in.fail("%v", err)
+		}
+		return PtrVal(base)
+	case "rand":
+		// Deterministic 64-bit LCG (Knuth), hidden library state:
+		// exactly the kind of non-re-entrant function fn2 excludes.
+		in.randState = in.randState*6364136223846793005 + 1442695040888963407
+		return IntVal(int64(in.randState>>33) & 0x7fffffff)
+	case "srand":
+		in.randState = uint64(arg(0).I)*2862933555777941757 + 3037000493
+		return Val{}
+	case "print_i64":
+		fmt.Fprintf(in.out, "%d\n", arg(0).I)
+		return Val{}
+	case "print_f64":
+		fmt.Fprintf(in.out, "%g\n", arg(0).F)
+		return Val{}
+	}
+	in.fail("builtin %q not implemented", i.Builtin)
+	return Val{}
+}

@@ -1,0 +1,504 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/ir"
+)
+
+// Config controls one execution.
+type Config struct {
+	// Out receives print_* output. Nil discards it.
+	Out io.Writer
+	// MaxSteps bounds the dynamic instruction count (0 = default).
+	MaxSteps int64
+	// Hooks receives instrumentation events. Nil disables them.
+	Hooks Hooks
+}
+
+// DefaultMaxSteps bounds runaway executions.
+const DefaultMaxSteps = 2_000_000_000
+
+// Result summarizes one execution.
+type Result struct {
+	// Ret is main's return value.
+	Ret Val
+	// Steps is the dynamic IR instruction count (the paper's sequential
+	// time metric).
+	Steps int64
+}
+
+// Interp executes one analyzed module.
+type Interp struct {
+	info  *analysis.ModuleInfo
+	mod   *ir.Module
+	hooks Hooks
+	out   io.Writer
+
+	mem        *memory
+	globalAddr map[*ir.Global]int64
+	layouts    map[*ir.Function]*layout
+
+	clock     int64
+	maxSteps  int64
+	randState uint64
+}
+
+// layout assigns dense register slots to a function's params and values.
+type layout struct {
+	slot map[ir.Value]int
+	n    int
+}
+
+func buildLayout(f *ir.Function) *layout {
+	l := &layout{slot: map[ir.Value]int{}}
+	for _, p := range f.Params {
+		l.slot[p] = l.n
+		l.n++
+	}
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op.HasResult() && i.Ty.Kind() != ir.KVoid {
+				l.slot[i] = l.n
+				l.n++
+			}
+		}
+	}
+	return l
+}
+
+// runtimeErr carries execution errors through panic/recover.
+type runtimeErr struct{ err error }
+
+func (in *Interp) fail(format string, args ...any) {
+	panic(runtimeErr{err: fmt.Errorf(format, args...)})
+}
+
+// New prepares an interpreter for an analyzed module: it lays out globals,
+// applies initializers, and caches per-function register layouts.
+func New(info *analysis.ModuleInfo, cfg Config) *Interp {
+	in := &Interp{
+		info:       info,
+		mod:        info.Mod,
+		hooks:      cfg.Hooks,
+		out:        cfg.Out,
+		globalAddr: map[*ir.Global]int64{},
+		layouts:    map[*ir.Function]*layout{},
+		maxSteps:   cfg.MaxSteps,
+		randState:  0x2545F4914F6CDD1D,
+	}
+	if in.hooks == nil {
+		in.hooks = NopHooks{}
+	}
+	if in.out == nil {
+		in.out = io.Discard
+	}
+	if in.maxSteps == 0 {
+		in.maxSteps = DefaultMaxSteps
+	}
+	total := int64(0)
+	for _, g := range in.mod.Globals {
+		in.globalAddr[g] = GlobalBase + total
+		total += g.Size
+	}
+	in.mem = newMemory(total)
+	for _, g := range in.mod.Globals {
+		base := in.globalAddr[g] - GlobalBase
+		for i, v := range g.InitInt {
+			k := g.Elem.Kind()
+			in.mem.globals[base+int64(i)] = Val{K: k, I: v}
+		}
+		for i, v := range g.InitFloat {
+			in.mem.globals[base+int64(i)] = FloatVal(v)
+		}
+	}
+	return in
+}
+
+// Run executes fn ("main" by convention) with the given arguments and
+// returns its result and the dynamic instruction count.
+func (in *Interp) Run(fnName string, args ...Val) (res Result, err error) {
+	fn := in.mod.Func(fnName)
+	if fn == nil {
+		return Result{}, fmt.Errorf("interp: no function %q", fnName)
+	}
+	if len(args) != len(fn.Params) {
+		return Result{}, fmt.Errorf("interp: %s takes %d args, got %d", fnName, len(fn.Params), len(args))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(runtimeErr)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("interp: %w (at step %d)", re.err, in.clock)
+		}
+	}()
+	ret := in.call(fn, args)
+	return Result{Ret: ret, Steps: in.clock}, nil
+}
+
+// Clock returns the current dynamic instruction count.
+func (in *Interp) Clock() int64 { return in.clock }
+
+func (in *Interp) layoutOf(f *ir.Function) *layout {
+	l := in.layouts[f]
+	if l == nil {
+		l = buildLayout(f)
+		in.layouts[f] = l
+	}
+	return l
+}
+
+func (in *Interp) tick(n int64) {
+	in.clock += n
+	if in.clock > in.maxSteps {
+		in.fail("step limit exceeded (%d)", in.maxSteps)
+	}
+	in.hooks.Tick(n)
+}
+
+// frame is one activation record.
+type frame struct {
+	fn       *ir.Function
+	lay      *layout
+	regs     []Val
+	defTicks []int64
+	savedSP  int64
+	loops    []*analysis.LoopMeta // loop instances entered in this frame
+	fi       *analysis.FuncInfo
+}
+
+func (in *Interp) val(fr *frame, v ir.Value) Val {
+	switch x := v.(type) {
+	case *ir.IntConst:
+		return IntVal(x.V)
+	case *ir.FloatConst:
+		return FloatVal(x.V)
+	case *ir.BoolConst:
+		return BoolVal(x.V)
+	case *ir.NullConst:
+		return PtrVal(NullAddr)
+	case *ir.Global:
+		return PtrVal(in.globalAddr[x])
+	case *ir.Param:
+		return fr.regs[fr.lay.slot[x]]
+	case *ir.Instr:
+		return fr.regs[fr.lay.slot[x]]
+	}
+	in.fail("unknown value %T", v)
+	return Val{}
+}
+
+// defTickOf returns when v became available, or -1 for values available at
+// iteration start (constants, params, loop-invariants).
+func (in *Interp) defTickOf(fr *frame, v ir.Value) int64 {
+	if i, ok := v.(*ir.Instr); ok {
+		return fr.defTicks[fr.lay.slot[i]]
+	}
+	return -1
+}
+
+func (in *Interp) call(fn *ir.Function, args []Val) Val {
+	lay := in.layoutOf(fn)
+	fr := &frame{
+		fn:       fn,
+		lay:      lay,
+		regs:     make([]Val, lay.n),
+		defTicks: make([]int64, lay.n),
+		savedSP:  in.mem.sp,
+		fi:       in.info.Funcs[fn],
+	}
+	copy(fr.regs, args)
+
+	cur := fn.Entry()
+	var prev *ir.Block
+	for {
+		// Loop events fire on the edge BEFORE the phi copies commit:
+		// back-edge observations must read the producers' definition
+		// times from the just-finished iteration, not the refreshed
+		// phi timestamps.
+		if fr.fi != nil {
+			in.loopEvents(fr, cur, prev)
+		}
+		// Phi copies: evaluate all incoming values first (parallel
+		// assignment semantics), then commit.
+		nPhi := cur.FirstNonPhi()
+		if nPhi > 0 && prev != nil {
+			in.execPhis(fr, cur, prev, nPhi)
+		}
+
+		next, retVal, returned := in.execBody(fr, cur, nPhi)
+		if returned {
+			// Leaving the function exits any loops still active in
+			// this frame.
+			for i := len(fr.loops) - 1; i >= 0; i-- {
+				in.hooks.ExitLoop(fr.loops[i])
+			}
+			in.mem.sp = fr.savedSP
+			return retVal
+		}
+		prev, cur = cur, next
+	}
+}
+
+// execPhis performs the parallel phi assignment for an edge prev->cur.
+func (in *Interp) execPhis(fr *frame, cur, prev *ir.Block, nPhi int) {
+	const maxStackPhis = 8
+	var buf [maxStackPhis]Val
+	var tmp []Val
+	if nPhi <= maxStackPhis {
+		tmp = buf[:nPhi]
+	} else {
+		tmp = make([]Val, nPhi)
+	}
+	for k := 0; k < nPhi; k++ {
+		phi := cur.Instrs[k]
+		inc := phi.PhiIncoming(prev)
+		if inc == nil {
+			in.fail("phi %%%s has no incoming from .%s", phi.Nm, prev.Name)
+		}
+		tmp[k] = in.val(fr, inc)
+	}
+	for k := 0; k < nPhi; k++ {
+		phi := cur.Instrs[k]
+		slot := fr.lay.slot[phi]
+		fr.regs[slot] = tmp[k]
+		fr.defTicks[slot] = in.clock
+		in.tick(1)
+	}
+}
+
+// loopEvents fires Enter/Iterate/Exit events for a control transfer
+// prev->cur within fr's function.
+func (in *Interp) loopEvents(fr *frame, cur, prev *ir.Block) {
+	// Exits: pop loops that do not contain the target.
+	for len(fr.loops) > 0 {
+		top := fr.loops[len(fr.loops)-1]
+		if top.Loop.Contains(cur) {
+			break
+		}
+		in.hooks.ExitLoop(top)
+		fr.loops = fr.loops[:len(fr.loops)-1]
+	}
+	lm := fr.fi.HeaderMeta[cur]
+	if lm == nil {
+		return
+	}
+	if len(fr.loops) > 0 && fr.loops[len(fr.loops)-1] == lm {
+		// Back edge: observe the next iteration's LCD values from the
+		// latch incomings (the phis have not been reassigned yet, so
+		// producer timestamps belong to the finished iteration).
+		obs := make([]LCDObs, len(lm.Observed))
+		for k, inc := range lm.ObservedLatch {
+			obs[k] = LCDObs{Val: in.val(fr, inc), DefTick: in.defTickOf(fr, inc)}
+		}
+		in.hooks.IterLoop(lm, in.mem.sp, obs)
+		return
+	}
+	// First arrival: loop entry. The iteration-zero values are the phi
+	// incomings along the entry edge.
+	fr.loops = append(fr.loops, lm)
+	init := make([]Val, len(lm.Observed))
+	for k, phi := range lm.Observed {
+		if prev != nil {
+			if inc := phi.PhiIncoming(prev); inc != nil {
+				init[k] = in.val(fr, inc)
+			}
+		}
+	}
+	in.hooks.EnterLoop(lm, in.mem.sp, init)
+}
+
+// execBody runs the non-phi instructions of a block. It returns the next
+// block, or the return value when the function returns.
+func (in *Interp) execBody(fr *frame, b *ir.Block, from int) (next *ir.Block, ret Val, returned bool) {
+	for k := from; k < len(b.Instrs); k++ {
+		i := b.Instrs[k]
+		switch i.Op {
+		case ir.OpJmp:
+			in.tick(1)
+			return i.Blocks[0], Val{}, false
+		case ir.OpBr:
+			in.tick(1)
+			if in.val(fr, i.Args[0]).I != 0 {
+				return i.Blocks[0], Val{}, false
+			}
+			return i.Blocks[1], Val{}, false
+		case ir.OpRet:
+			in.tick(1)
+			if len(i.Args) == 1 {
+				return nil, in.val(fr, i.Args[0]), true
+			}
+			return nil, Val{}, true
+		default:
+			in.execInstr(fr, i)
+		}
+	}
+	in.fail("block .%s fell off the end", b.Name)
+	return nil, Val{}, false
+}
+
+func (in *Interp) setReg(fr *frame, i *ir.Instr, v Val) {
+	slot := fr.lay.slot[i]
+	fr.regs[slot] = v
+	fr.defTicks[slot] = in.clock
+}
+
+func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
+	in.tick(1)
+	switch i.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		a, b := in.val(fr, i.Args[0]), in.val(fr, i.Args[1])
+		in.setReg(fr, i, in.intArith(i.Op, a, b))
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		a, b := in.val(fr, i.Args[0]), in.val(fr, i.Args[1])
+		in.setReg(fr, i, in.floatArith(i.Op, a.F, b.F))
+	case ir.OpNeg:
+		in.setReg(fr, i, IntVal(-in.val(fr, i.Args[0]).I))
+	case ir.OpFNeg:
+		in.setReg(fr, i, FloatVal(-in.val(fr, i.Args[0]).F))
+	case ir.OpNot:
+		in.setReg(fr, i, BoolVal(in.val(fr, i.Args[0]).I == 0))
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		in.setReg(fr, i, in.compare(i.Op, in.val(fr, i.Args[0]), in.val(fr, i.Args[1])))
+	case ir.OpIntToFloat:
+		in.setReg(fr, i, FloatVal(float64(in.val(fr, i.Args[0]).I)))
+	case ir.OpFloatToInt:
+		in.setReg(fr, i, IntVal(int64(in.val(fr, i.Args[0]).F)))
+	case ir.OpAlloca:
+		n := in.val(fr, i.Args[0]).I
+		addr, err := in.mem.alloca(n)
+		if err != nil {
+			in.fail("%v", err)
+		}
+		in.setReg(fr, i, PtrVal(addr))
+	case ir.OpLoad:
+		addr := in.val(fr, i.Args[0]).I
+		in.hooks.Load(addr)
+		v, err := in.mem.load(addr)
+		if err != nil {
+			in.fail("%v", err)
+		}
+		// Retag loads through typed pointers so uninitialized cells
+		// read back as zero values of the right kind.
+		if want := i.Ty.Kind(); v.K == ir.KVoid && want != ir.KVoid {
+			v.K = want
+		}
+		in.setReg(fr, i, v)
+	case ir.OpStore:
+		addr := in.val(fr, i.Args[0]).I
+		in.hooks.Store(addr)
+		if err := in.mem.store(addr, in.val(fr, i.Args[1])); err != nil {
+			in.fail("%v", err)
+		}
+	case ir.OpAddPtr:
+		base := in.val(fr, i.Args[0])
+		idx := in.val(fr, i.Args[1])
+		in.setReg(fr, i, PtrVal(base.I+idx.I))
+	case ir.OpCall:
+		in.execCall(fr, i)
+	default:
+		in.fail("unhandled opcode %s", i.Op)
+	}
+}
+
+func (in *Interp) intArith(op ir.Op, a, b Val) Val {
+	switch op {
+	case ir.OpAdd:
+		return IntVal(a.I + b.I)
+	case ir.OpSub:
+		return IntVal(a.I - b.I)
+	case ir.OpMul:
+		return IntVal(a.I * b.I)
+	case ir.OpDiv:
+		if b.I == 0 {
+			in.fail("integer division by zero")
+		}
+		if a.I == -1<<63 && b.I == -1 {
+			return IntVal(-1 << 63)
+		}
+		return IntVal(a.I / b.I)
+	case ir.OpRem:
+		if b.I == 0 {
+			in.fail("integer remainder by zero")
+		}
+		if a.I == -1<<63 && b.I == -1 {
+			return IntVal(0)
+		}
+		return IntVal(a.I % b.I)
+	case ir.OpAnd:
+		return IntVal(a.I & b.I)
+	case ir.OpOr:
+		return IntVal(a.I | b.I)
+	case ir.OpXor:
+		return IntVal(a.I ^ b.I)
+	case ir.OpShl:
+		return IntVal(a.I << (uint64(b.I) & 63))
+	case ir.OpShr:
+		return IntVal(a.I >> (uint64(b.I) & 63))
+	}
+	in.fail("bad int op %s", op)
+	return Val{}
+}
+
+func (in *Interp) floatArith(op ir.Op, a, b float64) Val {
+	switch op {
+	case ir.OpFAdd:
+		return FloatVal(a + b)
+	case ir.OpFSub:
+		return FloatVal(a - b)
+	case ir.OpFMul:
+		return FloatVal(a * b)
+	case ir.OpFDiv:
+		return FloatVal(a / b)
+	}
+	in.fail("bad float op %s", op)
+	return Val{}
+}
+
+func (in *Interp) compare(op ir.Op, a, b Val) Val {
+	var lt, eq bool
+	if a.K == ir.KFloat {
+		lt, eq = a.F < b.F, a.F == b.F
+	} else {
+		lt, eq = a.I < b.I, a.I == b.I
+	}
+	switch op {
+	case ir.OpEq:
+		return BoolVal(eq)
+	case ir.OpNe:
+		return BoolVal(!eq)
+	case ir.OpLt:
+		return BoolVal(lt)
+	case ir.OpLe:
+		return BoolVal(lt || eq)
+	case ir.OpGt:
+		return BoolVal(!lt && !eq)
+	case ir.OpGe:
+		return BoolVal(!lt)
+	}
+	in.fail("bad compare %s", op)
+	return Val{}
+}
+
+func (in *Interp) execCall(fr *frame, i *ir.Instr) {
+	if i.Callee != nil {
+		args := make([]Val, len(i.Args))
+		for k, a := range i.Args {
+			args[k] = in.val(fr, a)
+		}
+		ret := in.call(i.Callee, args)
+		if i.Ty.Kind() != ir.KVoid {
+			in.setReg(fr, i, ret)
+		}
+		return
+	}
+	ret := in.execBuiltin(fr, i)
+	if i.Ty.Kind() != ir.KVoid {
+		in.setReg(fr, i, ret)
+	}
+}

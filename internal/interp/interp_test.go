@@ -1,0 +1,449 @@
+package interp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/lang"
+)
+
+func run(t *testing.T, src string, cfg Config) (Result, *analysis.ModuleInfo) {
+	t.Helper()
+	m, err := lang.Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	in := New(info, cfg)
+	res, err := in.Run("main")
+	if err != nil {
+		t.Fatalf("Run: %v\n%s", err, m)
+	}
+	return res, info
+}
+
+func retOf(t *testing.T, src string) int64 {
+	t.Helper()
+	res, _ := run(t, src, Config{})
+	return res.Ret.I
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"17 % 5", 2},
+		{"-7 / 2", -3},
+		{"1 << 10", 1024},
+		{"-16 >> 2", -4},
+		{"12 & 10", 8},
+		{"12 | 3", 15},
+		{"12 ^ 10", 6},
+		{"int(3.9)", 3},
+		{"int(-3.9)", -3},
+		{"int(float(41) + 1.0)", 42},
+		{"abs(-5)", 5},
+		{"min(3, 9)", 3},
+		{"max(3, 9)", 9},
+		{"int(sqrt(81.0))", 9},
+		{"int(fmax(2.5, 7.5))", 7},
+	}
+	for _, c := range cases {
+		got := retOf(t, "func main() int { return "+c.expr+"; }")
+		if got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestBooleansAndControlFlow(t *testing.T) {
+	src := `
+func main() int {
+	var n int = 0;
+	if (1 < 2 && 3 < 4) { n = n + 1; }
+	if (1 > 2 || 4 > 3) { n = n + 2; }
+	if (!(1 == 2)) { n = n + 4; }
+	if (1 == 2) { n = n + 100; } else { n = n + 8; }
+	return n;
+}`
+	if got := retOf(t, src); got != 15 {
+		t.Errorf("got %d, want 15", got)
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `
+var hits int = 0;
+func bump() bool { hits = hits + 1; return true; }
+func main() int {
+	if (false && bump()) { }
+	if (true || bump()) { }
+	return hits;
+}`
+	if got := retOf(t, src); got != 0 {
+		t.Errorf("short-circuit evaluated rhs: hits = %d", got)
+	}
+}
+
+func TestLoopsAndArrays(t *testing.T) {
+	src := `
+const N = 10;
+var tab [N]int;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) { tab[i] = i * i; }
+	var s int = 0;
+	for (i = 0; i < N; i = i + 1) { s = s + tab[i]; }
+	return s;
+}`
+	if got := retOf(t, src); got != 285 {
+		t.Errorf("sum of squares = %d, want 285", got)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+func main() int {
+	var i int = 0;
+	var s int = 0;
+	while (true) {
+		i = i + 1;
+		if (i > 20) { break; }
+		if (i % 2 == 0) { continue; }
+		s = s + i;
+	}
+	return s;
+}`
+	if got := retOf(t, src); got != 100 {
+		t.Errorf("odd sum = %d, want 100", got)
+	}
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	src := `
+func main() int {
+	var p *int = alloc(8);
+	var i int;
+	for (i = 0; i < 8; i = i + 1) { p[i] = i + 1; }
+	var q *int = p + 3;
+	*q = 100;
+	var s int = 0;
+	for (i = 0; i < 8; i = i + 1) { s = s + p[i]; }
+	return s;
+}`
+	// 1+2+3+100+5+6+7+8 = 132
+	if got := retOf(t, src); got != 132 {
+		t.Errorf("got %d, want 132", got)
+	}
+}
+
+func TestAddressOfLocal(t *testing.T) {
+	src := `
+func set(p *int, v int) { *p = v; }
+func main() int {
+	var x int = 1;
+	set(&x, 41);
+	return x + 1;
+}`
+	if got := retOf(t, src); got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	src := `
+func main() int {
+	var buf [16]int;
+	var i int;
+	for (i = 0; i < 16; i = i + 1) { buf[i] = i; }
+	return buf[15] + buf[1];
+}`
+	if got := retOf(t, src); got != 16 {
+		t.Errorf("got %d, want 16", got)
+	}
+}
+
+func TestRecursionAndStack(t *testing.T) {
+	src := `
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() int { return fib(15); }`
+	if got := retOf(t, src); got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+var a int = 7;
+var b float = 2.5;
+var c bool = true;
+var d int = -3;
+func main() int {
+	var n int = 0;
+	if (c) { n = a + d; }
+	return n + int(b * 2.0);
+}`
+	if got := retOf(t, src); got != 9 {
+		t.Errorf("got %d, want 9", got)
+	}
+}
+
+func TestFloatMath(t *testing.T) {
+	src := `
+func main() int {
+	var x float = 2.0;
+	x = pow(x, 10.0);       // 1024
+	x = x / 2.0;            // 512
+	x = x - 12.0;           // 500
+	x = fabs(-x);           // 500
+	x = x + floor(2.9);     // 502
+	return int(x);
+}`
+	if got := retOf(t, src); got != 502 {
+		t.Errorf("got %d, want 502", got)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	var buf bytes.Buffer
+	src := `
+func main() int {
+	print_i64(42);
+	print_f64(2.5);
+	return 0;
+}`
+	run(t, src, Config{Out: &buf})
+	want := "42\n2.5\n"
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := `
+func main() int {
+	srand(12345);
+	var a int = rand();
+	var b int = rand();
+	if (a == b) { return -1; }
+	if (a < 0 || b < 0) { return -2; }
+	return a % 1000;
+}`
+	first := retOf(t, src)
+	second := retOf(t, src)
+	if first != second {
+		t.Errorf("rand not deterministic: %d vs %d", first, second)
+	}
+	if first < 0 {
+		t.Errorf("rand invariants violated: %d", first)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	m, err := lang.Compile("t", `func main() int { var z int = 0; return 1 / z; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(info, Config{}).Run("main"); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("want division-by-zero error, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m, err := lang.Compile("t", `func main() int { while (true) { } return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(info, Config{MaxSteps: 1000}).Run("main"); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("want step-limit error, got %v", err)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	res, _ := run(t, `func main() int { return 1 + 2; }`, Config{})
+	if res.Steps <= 0 {
+		t.Errorf("steps = %d, want > 0", res.Steps)
+	}
+	// A longer program must cost more.
+	res2, _ := run(t, `
+func main() int {
+	var s int = 0;
+	var i int;
+	for (i = 0; i < 100; i = i + 1) { s = s + i; }
+	return s;
+}`, Config{})
+	if res2.Ret.I != 4950 {
+		t.Errorf("sum = %d, want 4950", res2.Ret.I)
+	}
+	if res2.Steps < 100 {
+		t.Errorf("loop steps = %d, implausibly low", res2.Steps)
+	}
+}
+
+// recordingHooks counts events for loop-event tests.
+type recordingHooks struct {
+	NopHooks
+	enters, iters, exits int
+	loadAddrs            []int64
+	lastObs              []LCDObs
+}
+
+func (r *recordingHooks) EnterLoop(lm *analysis.LoopMeta, sp int64, init []Val) { r.enters++ }
+func (r *recordingHooks) IterLoop(lm *analysis.LoopMeta, sp int64, obs []LCDObs) {
+	r.iters++
+	r.lastObs = obs
+}
+func (r *recordingHooks) ExitLoop(lm *analysis.LoopMeta) { r.exits++ }
+func (r *recordingHooks) Load(addr int64)                { r.loadAddrs = append(r.loadAddrs, addr) }
+
+func TestLoopEvents(t *testing.T) {
+	rh := &recordingHooks{}
+	src := `
+func main() int {
+	var s int = 0;
+	var i int;
+	for (i = 0; i < 5; i = i + 1) {
+		var j int;
+		for (j = 0; j < 3; j = j + 1) { s = s + 1; }
+	}
+	return s;
+}`
+	res, _ := run(t, src, Config{Hooks: rh})
+	if res.Ret.I != 15 {
+		t.Fatalf("ret = %d, want 15", res.Ret.I)
+	}
+	// Every completed iteration ends with a back edge (the final one
+	// re-tests the condition before exiting): outer contributes 5 iter
+	// events, each of the 5 inner instances contributes 3.
+	if rh.enters != 6 {
+		t.Errorf("enters = %d, want 6", rh.enters)
+	}
+	if rh.iters != 5+15 {
+		t.Errorf("iters = %d, want 20", rh.iters)
+	}
+	if rh.exits != 6 {
+		t.Errorf("exits = %d, want 6", rh.exits)
+	}
+}
+
+func TestLoopEventsOnEarlyReturn(t *testing.T) {
+	rh := &recordingHooks{}
+	src := `
+func find(limit int) int {
+	var i int;
+	for (i = 0; i < 1000; i = i + 1) {
+		if (i * i > limit) { return i; }
+	}
+	return -1;
+}
+func main() int { return find(100); }`
+	res, _ := run(t, src, Config{Hooks: rh})
+	if res.Ret.I != 11 {
+		t.Fatalf("ret = %d, want 11", res.Ret.I)
+	}
+	if rh.enters != 1 || rh.exits != 1 {
+		t.Errorf("enter/exit = %d/%d, want 1/1 (exit on return)", rh.enters, rh.exits)
+	}
+}
+
+func TestLCDObservations(t *testing.T) {
+	rh := &recordingHooks{}
+	// x = tab[x] is a non-computable LCD; its per-iteration values are
+	// observed on every back edge.
+	src := `
+const N = 8;
+var next [N]int;
+func main() int {
+	next[0] = 3; next[3] = 5; next[5] = 1; next[1] = 0;
+	var x int = 0;
+	var i int;
+	for (i = 0; i < 4; i = i + 1) { x = next[x]; }
+	return x;
+}`
+	res, info := run(t, src, Config{Hooks: rh})
+	if res.Ret.I != 0 { // 0 -> 3 -> 5 -> 1 -> 0
+		t.Fatalf("ret = %d, want 0", res.Ret.I)
+	}
+	if len(info.Loops) != 1 || len(info.Loops[0].Observed) != 1 {
+		t.Fatalf("observed LCDs = %v", info.Loops)
+	}
+	if len(rh.lastObs) != 1 {
+		t.Fatalf("lastObs = %v", rh.lastObs)
+	}
+	if rh.lastObs[0].Val.I != 0 {
+		t.Errorf("final observation = %d, want 0", rh.lastObs[0].Val.I)
+	}
+	if rh.lastObs[0].DefTick <= 0 {
+		t.Errorf("DefTick = %d, want > 0 (produced mid-iteration)", rh.lastObs[0].DefTick)
+	}
+}
+
+func TestMemoryEventAddresses(t *testing.T) {
+	rh := &recordingHooks{}
+	src := `
+var g [4]int;
+func main() int {
+	g[2] = 9;
+	return g[2];
+}`
+	res, _ := run(t, src, Config{Hooks: rh})
+	if res.Ret.I != 9 {
+		t.Fatalf("ret = %d", res.Ret.I)
+	}
+	found := false
+	for _, a := range rh.loadAddrs {
+		if a == GlobalBase+2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no load at global address %d; loads = %v", GlobalBase+2, rh.loadAddrs)
+	}
+}
+
+func TestStackAddressClassification(t *testing.T) {
+	if !IsStackAddr(StackTop-1) || IsStackAddr(HeapBase) || IsStackAddr(GlobalBase) {
+		t.Error("IsStackAddr misclassifies")
+	}
+}
+
+func TestMultipleRunsIndependent(t *testing.T) {
+	m, err := lang.Compile("t", `
+var count int = 0;
+func main() int { count = count + 1; return count; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := New(info, Config{}).Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret.I != 1 {
+			t.Errorf("run %d: count = %d, want 1 (fresh memory per New)", i, res.Ret.I)
+		}
+	}
+}

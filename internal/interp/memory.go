@@ -1,0 +1,117 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Memory layout constants (word addresses).
+const (
+	// NullAddr is the null pointer.
+	NullAddr = 0
+	// GlobalBase is the first global address.
+	GlobalBase = 16
+	// HeapBase is the first heap address.
+	HeapBase = 1 << 30
+	// StackTop is one past the highest stack address; the stack grows
+	// down from here.
+	StackTop = 1 << 40
+	// DefaultStackWords bounds the stack (per execution).
+	DefaultStackWords = 1 << 22
+	// DefaultHeapWords bounds the heap (per execution).
+	DefaultHeapWords = 1 << 26
+)
+
+// IsStackAddr reports whether a word address lies in the stack segment.
+// The limit-study engine uses this to apply the cactus-stack exemption:
+// stack cells in frames younger than the current iteration are private.
+func IsStackAddr(addr int64) bool { return addr >= StackTop-DefaultStackWords && addr < StackTop }
+
+// memory is the simulated flat memory: three segments of 64-bit cells.
+type memory struct {
+	globals    []Val // addresses [GlobalBase, GlobalBase+len)
+	heap       []Val // addresses [HeapBase, HeapBase+len)
+	heapLimit  int64
+	stack      []Val // stack[i] holds address StackTop-1-i
+	stackLimit int64
+	sp         int64 // next free stack address + 1 boundary; valid cells are [sp, StackTop)
+}
+
+func newMemory(globalWords int64) *memory {
+	return &memory{
+		globals:    make([]Val, globalWords),
+		heapLimit:  DefaultHeapWords,
+		stackLimit: DefaultStackWords,
+		sp:         StackTop,
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// load reads the cell at addr.
+func (m *memory) load(addr int64) (Val, error) {
+	switch {
+	case addr >= GlobalBase && addr < GlobalBase+int64(len(m.globals)):
+		return m.globals[addr-GlobalBase], nil
+	case addr >= HeapBase && addr < HeapBase+int64(len(m.heap)):
+		return m.heap[addr-HeapBase], nil
+	case addr >= m.sp && addr < StackTop:
+		return m.stack[StackTop-1-addr], nil
+	case addr == NullAddr:
+		return Val{}, fmt.Errorf("null pointer load")
+	default:
+		return Val{}, fmt.Errorf("load from unmapped address %#x", addr)
+	}
+}
+
+// store writes the cell at addr.
+func (m *memory) store(addr int64, v Val) error {
+	switch {
+	case addr >= GlobalBase && addr < GlobalBase+int64(len(m.globals)):
+		m.globals[addr-GlobalBase] = v
+		return nil
+	case addr >= HeapBase && addr < HeapBase+int64(len(m.heap)):
+		m.heap[addr-HeapBase] = v
+		return nil
+	case addr >= m.sp && addr < StackTop:
+		m.stack[StackTop-1-addr] = v
+		return nil
+	case addr == NullAddr:
+		return fmt.Errorf("null pointer store")
+	default:
+		return fmt.Errorf("store to unmapped address %#x", addr)
+	}
+}
+
+// alloca reserves n stack cells and returns the base address.
+func (m *memory) alloca(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative alloca size %d", n)
+	}
+	newSP := m.sp - n
+	if StackTop-newSP > m.stackLimit {
+		return 0, fmt.Errorf("stack overflow (%d words)", StackTop-newSP)
+	}
+	for int64(len(m.stack)) < StackTop-newSP {
+		m.stack = append(m.stack, Val{})
+	}
+	// Zero the reused region (stack frames are reused across calls).
+	for a := newSP; a < m.sp; a++ {
+		m.stack[StackTop-1-a] = Val{}
+	}
+	m.sp = newSP
+	return newSP, nil
+}
+
+// heapAlloc reserves n heap cells (never freed) and returns the base.
+func (m *memory) heapAlloc(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative alloc size %d", n)
+	}
+	base := HeapBase + int64(len(m.heap))
+	if int64(len(m.heap))+n > m.heapLimit {
+		return 0, fmt.Errorf("heap exhausted (%d words)", int64(len(m.heap))+n)
+	}
+	m.heap = append(m.heap, make([]Val, n)...)
+	return base, nil
+}

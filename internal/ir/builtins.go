@@ -1,0 +1,60 @@
+package ir
+
+// BuiltinInfo describes a runtime-provided function: its signature and the
+// attributes the limit study's fn0..fn3 call classification needs
+// (paper §II-E, Table II).
+type BuiltinInfo struct {
+	// Params are the parameter types.
+	Params []Type
+	// Ret is the return type.
+	Ret Type
+	// Pure means read-only with no side effects (the fn1 class).
+	Pure bool
+	// ThreadSafe means re-entrant library code: callable from parallel
+	// iterations without ordering (the fn2 class). Every Pure builtin is
+	// implicitly thread-safe.
+	ThreadSafe bool
+	// IO means the builtin performs observable output and must retain
+	// strict sequential order under every configuration except fn3.
+	IO bool
+	// Cost is the dynamic IR-instruction-count charge for one call,
+	// standing in for the uninstrumented library body (paper §III-D).
+	Cost int64
+}
+
+// Builtins is the registry of runtime-provided functions available to LPC
+// programs. The interpreter implements exactly this set.
+var Builtins = map[string]BuiltinInfo{
+	// Math: pure, thread-safe.
+	"sqrt":  {Params: []Type{Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 4},
+	"sin":   {Params: []Type{Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 8},
+	"cos":   {Params: []Type{Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 8},
+	"exp":   {Params: []Type{Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 8},
+	"log":   {Params: []Type{Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 8},
+	"pow":   {Params: []Type{Float, Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 12},
+	"floor": {Params: []Type{Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 2},
+	"fabs":  {Params: []Type{Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 1},
+	"fmin":  {Params: []Type{Float, Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 1},
+	"fmax":  {Params: []Type{Float, Float}, Ret: Float, Pure: true, ThreadSafe: true, Cost: 1},
+	"abs":   {Params: []Type{Int}, Ret: Int, Pure: true, ThreadSafe: true, Cost: 1},
+	"min":   {Params: []Type{Int, Int}, Ret: Int, Pure: true, ThreadSafe: true, Cost: 1},
+	"max":   {Params: []Type{Int, Int}, Ret: Int, Pure: true, ThreadSafe: true, Cost: 1},
+
+	// Heap allocation: stateful but re-entrant (the fn2 class).
+	"alloc":  {Params: []Type{Int}, Ret: PtrTo(Int), ThreadSafe: true, Cost: 16},
+	"allocf": {Params: []Type{Int}, Ret: PtrTo(Float), ThreadSafe: true, Cost: 16},
+
+	// Pseudo-random numbers: hidden global state, not re-entrant.
+	"rand":  {Ret: Int, Cost: 6},
+	"srand": {Params: []Type{Int}, Ret: Void, Cost: 2},
+
+	// Output: observable side effects, strictly ordered.
+	"print_i64": {Params: []Type{Int}, Ret: Void, IO: true, Cost: 32},
+	"print_f64": {Params: []Type{Float}, Ret: Void, IO: true, Cost: 32},
+}
+
+// BuiltinAttr returns the registry entry for name.
+func BuiltinAttr(name string) (BuiltinInfo, bool) {
+	bi, ok := Builtins[name]
+	return bi, ok
+}

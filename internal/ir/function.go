@@ -1,0 +1,263 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Block is a basic block: a straight-line sequence of instructions ending in
+// exactly one terminator. Phi instructions, if any, appear first.
+type Block struct {
+	// Name is unique within the function.
+	Name string
+	// Instrs are the instructions, terminator last.
+	Instrs []*Instr
+	// Parent is the containing function.
+	Parent *Function
+	// Index is the position of the block in Parent.Blocks. It is kept
+	// up to date by Function.Renumber and used as a dense key by analyses.
+	Index int
+}
+
+// Terminator returns the block's terminator, or nil if the block is
+// unterminated (only during construction).
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the successor blocks in terminator order.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Blocks
+}
+
+// Phis returns the leading phi instructions of the block.
+func (b *Block) Phis() []*Instr {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == OpPhi {
+		n++
+	}
+	return b.Instrs[:n]
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == OpPhi {
+		n++
+	}
+	return n
+}
+
+// Append adds an instruction to the end of the block and sets its parent.
+func (b *Block) Append(i *Instr) {
+	i.Parent = b
+	b.Instrs = append(b.Instrs, i)
+}
+
+// InsertBefore inserts instruction i at position idx.
+func (b *Block) InsertBefore(idx int, i *Instr) {
+	i.Parent = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = i
+}
+
+// RemoveAt deletes the instruction at position idx.
+func (b *Block) RemoveAt(idx int) {
+	b.Instrs = append(b.Instrs[:idx], b.Instrs[idx+1:]...)
+}
+
+// String returns the block label.
+func (b *Block) String() string { return "." + b.Name }
+
+// Function is a user-defined function: a parameter list, a return type, and
+// a CFG of basic blocks (entry first).
+type Function struct {
+	// Name is the function's name, unique within the module.
+	Name string
+	// Params are the formal parameters.
+	Params []*Param
+	// Ret is the return type (Void for procedures).
+	Ret Type
+	// Blocks are the basic blocks; Blocks[0] is the entry.
+	Blocks []*Block
+	// Module is the containing module.
+	Module *Module
+
+	nameSeq int
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// NewBlock appends a fresh block with the given name hint to the function.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{Name: f.uniqueBlockName(name), Parent: f, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+func (f *Function) uniqueBlockName(hint string) string {
+	if hint == "" {
+		hint = "bb"
+	}
+	name := hint
+	for n := 1; ; n++ {
+		found := false
+		for _, b := range f.Blocks {
+			if b.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return name
+		}
+		name = fmt.Sprintf("%s%d", hint, n)
+	}
+}
+
+// NextName returns a fresh SSA value name with the given hint.
+func (f *Function) NextName(hint string) string {
+	if hint == "" {
+		hint = "t"
+	}
+	f.nameSeq++
+	return fmt.Sprintf("%s%d", hint, f.nameSeq)
+}
+
+// Renumber refreshes Block.Index after blocks have been added or removed.
+func (f *Function) Renumber() {
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+}
+
+// Preds returns, for every block, its predecessor blocks. The result is
+// indexed by Block.Index; call Renumber first if the block list changed.
+func (f *Function) Preds() [][]*Block {
+	preds := make([][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}
+
+// RemoveBlock deletes block b from the function and renumbers.
+// The caller is responsible for having removed all edges into b.
+func (f *Function) RemoveBlock(b *Block) {
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			break
+		}
+	}
+	f.Renumber()
+}
+
+// InstrCount returns the static number of instructions in the function.
+func (f *Function) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// String renders the function in an LLVM-flavoured text form.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s @%s(", f.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", p.Ty, p.Name())
+	}
+	sb.WriteString(") {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, ".%s:\n", b.Name)
+		for _, ins := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", ins)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Module is a compilation unit: globals plus functions.
+type Module struct {
+	// Name identifies the module (usually the source file or benchmark).
+	Name string
+	// Globals are module-level allocations in declaration order.
+	Globals []*Global
+	// Funcs are the functions in declaration order.
+	Funcs []*Function
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module { return &Module{Name: name} }
+
+// AddFunction creates an empty function (no blocks yet) in the module.
+func (m *Module) AddFunction(name string, ret Type, params ...*Param) *Function {
+	for i, p := range params {
+		p.Index = i
+	}
+	f := &Function{Name: name, Ret: ret, Params: params, Module: m}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// AddGlobal creates a module-level allocation of size words.
+func (m *Module) AddGlobal(name string, elem Type, size int64) *Global {
+	g := &Global{Nm: name, Elem: elem, Size: size}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Nm == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, g := range m.Globals {
+		sb.WriteString(g.String())
+		sb.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,114 @@
+// Package ir defines the typed, SSA-style intermediate representation that
+// the Loopapalooza limit-study framework analyzes and executes.
+//
+// The IR deliberately mirrors the subset of LLVM IR that the original paper's
+// compile-time component relies on: functions of basic blocks, explicit
+// control flow (conditional/unconditional branches and returns), phi nodes,
+// loads/stores against an addressable memory, pointer arithmetic (a GEP-like
+// AddPtr instruction), calls, and scalar arithmetic over 64-bit integers and
+// floats.
+//
+// Memory is word-addressed: every addressable cell holds one 64-bit value and
+// pointer arithmetic advances in cells, not bytes. This keeps dynamic
+// dependence tracking exact (no partial-overlap aliasing cases) without
+// changing anything the limit study measures.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the scalar type kinds of the IR.
+type Kind uint8
+
+// The IR type kinds.
+const (
+	// KVoid is the type of functions that return nothing. No value has
+	// kind KVoid.
+	KVoid Kind = iota
+	// KBool is the type of comparison results and branch conditions.
+	KBool
+	// KInt is a 64-bit signed integer.
+	KInt
+	// KFloat is a 64-bit IEEE-754 float.
+	KFloat
+	// KPtr is a pointer: a word address into the simulated memory.
+	KPtr
+)
+
+// Type describes the type of an IR value: a scalar kind plus an indirection
+// depth. Types are small values and are compared with ==.
+//
+//	{Base: KInt, Ptr: 0}  is i64
+//	{Base: KInt, Ptr: 1}  is i64*
+//	{Base: KInt, Ptr: 2}  is i64**
+type Type struct {
+	// Base is the ultimate scalar kind.
+	Base Kind
+	// Ptr is the indirection depth (0 for scalars).
+	Ptr uint8
+}
+
+// Predefined scalar types.
+var (
+	Void  = Type{Base: KVoid}
+	Bool  = Type{Base: KBool}
+	Int   = Type{Base: KInt}
+	Float = Type{Base: KFloat}
+)
+
+// Kind returns the effective kind of the value: KPtr for pointers, else the
+// base scalar kind.
+func (t Type) Kind() Kind {
+	if t.Ptr > 0 {
+		return KPtr
+	}
+	return t.Base
+}
+
+// PtrTo returns the pointer type whose cells hold values of type elem.
+func PtrTo(elem Type) Type { return Type{Base: elem.Base, Ptr: elem.Ptr + 1} }
+
+// Elem returns the type of the cells a pointer type points at.
+// It panics for non-pointer types.
+func (t Type) Elem() Type {
+	if t.Ptr == 0 {
+		panic("ir.Type.Elem of non-pointer " + t.String())
+	}
+	return Type{Base: t.Base, Ptr: t.Ptr - 1}
+}
+
+// IsPtr reports whether t is a pointer type.
+func (t Type) IsPtr() bool { return t.Ptr > 0 }
+
+// IsNumeric reports whether t is the scalar KInt or KFloat.
+func (t Type) IsNumeric() bool {
+	return t.Ptr == 0 && (t.Base == KInt || t.Base == KFloat)
+}
+
+// String returns an LLVM-flavoured spelling of the type.
+func (t Type) String() string {
+	var base string
+	switch t.Base {
+	case KVoid:
+		base = "void"
+	case KBool:
+		base = "i1"
+	case KInt:
+		base = "i64"
+	case KFloat:
+		base = "f64"
+	default:
+		base = fmt.Sprintf("type(%d)", t.Base)
+	}
+	return base + strings.Repeat("*", int(t.Ptr))
+}
+
+// String returns the spelling of the scalar kind.
+func (k Kind) String() string {
+	if k == KPtr {
+		return "ptr"
+	}
+	return Type{Base: k}.String()
+}

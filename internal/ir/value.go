@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// function parameters, globals, and the results of instructions.
+type Value interface {
+	// Type returns the static type of the value.
+	Type() Type
+	// Name returns the printable name of the value (e.g. "%x", "42").
+	Name() string
+}
+
+// IntConst is a 64-bit integer constant.
+type IntConst struct{ V int64 }
+
+// Type implements Value.
+func (c *IntConst) Type() Type { return Int }
+
+// Name implements Value.
+func (c *IntConst) Name() string { return strconv.FormatInt(c.V, 10) }
+
+// FloatConst is a 64-bit float constant.
+type FloatConst struct{ V float64 }
+
+// Type implements Value.
+func (c *FloatConst) Type() Type { return Float }
+
+// Name implements Value.
+func (c *FloatConst) Name() string { return strconv.FormatFloat(c.V, 'g', -1, 64) }
+
+// BoolConst is a boolean constant.
+type BoolConst struct{ V bool }
+
+// Type implements Value.
+func (c *BoolConst) Type() Type { return Bool }
+
+// Name implements Value.
+func (c *BoolConst) Name() string { return strconv.FormatBool(c.V) }
+
+// ConstInt returns a new integer constant value.
+func ConstInt(v int64) *IntConst { return &IntConst{V: v} }
+
+// ConstFloat returns a new float constant value.
+func ConstFloat(v float64) *FloatConst { return &FloatConst{V: v} }
+
+// ConstBool returns a new boolean constant value.
+func ConstBool(v bool) *BoolConst { return &BoolConst{V: v} }
+
+// NullConst is the null pointer constant of a given pointer type.
+type NullConst struct{ Ty Type }
+
+// Type implements Value.
+func (c *NullConst) Type() Type { return c.Ty }
+
+// Name implements Value.
+func (c *NullConst) Name() string { return "null" }
+
+// ConstNull returns the null pointer of type ty (which must be a pointer).
+func ConstNull(ty Type) *NullConst { return &NullConst{Ty: ty} }
+
+// IsConst reports whether v is a constant of any kind.
+func IsConst(v Value) bool {
+	switch v.(type) {
+	case *IntConst, *FloatConst, *BoolConst, *NullConst:
+		return true
+	}
+	return false
+}
+
+// ConstIntValue returns the integer payload of v and whether v is an
+// integer constant.
+func ConstIntValue(v Value) (int64, bool) {
+	c, ok := v.(*IntConst)
+	if !ok {
+		return 0, false
+	}
+	return c.V, true
+}
+
+// Param is a function parameter.
+type Param struct {
+	// Nm is the source-level parameter name.
+	Nm string
+	// Ty is the parameter type.
+	Ty Type
+	// Index is the zero-based position in the parameter list.
+	Index int
+}
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Ty }
+
+// Name implements Value.
+func (p *Param) Name() string { return "%" + p.Nm }
+
+// Global is a module-level allocation of Size words, optionally initialized.
+// Its value is the address of its first word; the address is assigned by the
+// interpreter at load time.
+type Global struct {
+	// Nm is the global's name.
+	Nm string
+	// Size is the allocation size in words (>= 1).
+	Size int64
+	// Elem is the type of the stored cells.
+	Elem Type
+	// InitInt holds initial values for integer/pointer cells
+	// (len <= Size; remaining cells are zero).
+	InitInt []int64
+	// InitFloat holds initial values for float cells.
+	InitFloat []float64
+}
+
+// Type implements Value: a global evaluates to the address of its storage.
+func (g *Global) Type() Type { return PtrTo(g.Elem) }
+
+// Name implements Value.
+func (g *Global) Name() string { return "@" + g.Nm }
+
+func (g *Global) String() string {
+	return fmt.Sprintf("%s = global [%d x %s]", g.Name(), g.Size, g.Elem)
+}

@@ -1,0 +1,307 @@
+// Package ast defines the abstract syntax tree of LPC and its source-level
+// type system.
+package ast
+
+import (
+	"fmt"
+
+	"loopapalooza/internal/lang/token"
+)
+
+// TypeKind enumerates the source-level type constructors.
+type TypeKind uint8
+
+// Source type kinds.
+const (
+	TInt TypeKind = iota
+	TFloat
+	TBool
+	TPtr   // *T where T is int or float
+	TArray // [N]T where T is int or float
+	TVoid
+)
+
+// Type is an LPC type. Types are compared with Equal.
+type Type struct {
+	Kind TypeKind
+	// Elem is the element kind for TPtr and TArray (TInt or TFloat).
+	Elem TypeKind
+	// Len is the length of a TArray.
+	Len int64
+}
+
+// Predefined types.
+var (
+	IntType   = Type{Kind: TInt}
+	FloatType = Type{Kind: TFloat}
+	BoolType  = Type{Kind: TBool}
+	VoidType  = Type{Kind: TVoid}
+)
+
+// PtrType returns *elem.
+func PtrType(elem TypeKind) Type { return Type{Kind: TPtr, Elem: elem} }
+
+// ArrayType returns [n]elem.
+func ArrayType(n int64, elem TypeKind) Type { return Type{Kind: TArray, Elem: elem, Len: n} }
+
+// Equal reports type identity.
+func (t Type) Equal(o Type) bool { return t == o }
+
+// IsNumeric reports int or float.
+func (t Type) IsNumeric() bool { return t.Kind == TInt || t.Kind == TFloat }
+
+// String spells the type in source syntax.
+func (t Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TVoid:
+		return "void"
+	case TPtr:
+		return "*" + Type{Kind: t.Elem}.String()
+	case TArray:
+		return fmt.Sprintf("[%d]%s", t.Len, Type{Kind: t.Elem})
+	}
+	return "badtype"
+}
+
+// Node is any AST node.
+type Node interface {
+	// Pos returns the node's source position.
+	Pos() token.Pos
+}
+
+// ---- Expressions ----
+
+// Expr is an expression node. The checker fills in Type() via SetType.
+type Expr interface {
+	Node
+	// Type returns the checked type (valid after sema).
+	Type() Type
+	// SetType records the checked type.
+	SetType(Type)
+}
+
+// exprBase carries position and checked type.
+type exprBase struct {
+	P  token.Pos
+	Ty Type
+}
+
+func (e *exprBase) Pos() token.Pos { return e.P }
+func (e *exprBase) Type() Type     { return e.Ty }
+func (e *exprBase) SetType(t Type) { e.Ty = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// Ident is a name use. Sema resolves it to a declaration.
+type Ident struct {
+	exprBase
+	Name string
+	// Decl is filled by sema: *VarDecl, *ConstDecl, or *ParamDecl.
+	Decl any
+}
+
+// Unary is -x, !x, *p (deref), &lv (address-of).
+type Unary struct {
+	exprBase
+	Op token.Kind // SUB, NOT, MUL (deref), AND (address-of)
+	X  Expr
+}
+
+// Binary is a binary operation, including comparisons and && / ||.
+type Binary struct {
+	exprBase
+	Op   token.Kind
+	L, R Expr
+}
+
+// Index is a[i] where a is an array variable or a pointer.
+type Index struct {
+	exprBase
+	X   Expr
+	Idx Expr
+}
+
+// Call is f(args) — a user function, a builtin, or the conversions
+// int(x) / float(x).
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Builtin is set by sema when the callee is a runtime builtin.
+	Builtin bool
+	// Conv is set by sema for int()/float() conversions.
+	Conv bool
+	// FuncDecl is the resolved user function, when not builtin/conv.
+	FuncDecl *FuncDecl
+}
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface{ Node }
+
+// VarDecl declares a local or global variable. It doubles as the
+// declaration object referenced by Ident.Decl.
+type VarDecl struct {
+	P      token.Pos
+	Name   string
+	DeclTy Type
+	// Init is the optional initializer (scalars only).
+	Init Expr
+	// Global marks module-level variables.
+	Global bool
+}
+
+// Pos implements Node.
+func (d *VarDecl) Pos() token.Pos { return d.P }
+
+// ConstDecl declares a compile-time integer constant.
+type ConstDecl struct {
+	P     token.Pos
+	Name  string
+	Value int64
+}
+
+// Pos implements Node.
+func (d *ConstDecl) Pos() token.Pos { return d.P }
+
+// ParamDecl declares a function parameter.
+type ParamDecl struct {
+	P      token.Pos
+	Name   string
+	DeclTy Type
+}
+
+// Pos implements Node.
+func (d *ParamDecl) Pos() token.Pos { return d.P }
+
+// Assign is lv = rhs.
+type Assign struct {
+	P   token.Pos
+	LHS Expr // Ident, Index, or Unary deref
+	RHS Expr
+}
+
+// Pos implements Node.
+func (s *Assign) Pos() token.Pos { return s.P }
+
+// ExprStmt evaluates an expression for its effects (calls).
+type ExprStmt struct {
+	P token.Pos
+	X Expr
+}
+
+// Pos implements Node.
+func (s *ExprStmt) Pos() token.Pos { return s.P }
+
+// Block is { stmts }.
+type Block struct {
+	P     token.Pos
+	Stmts []Stmt
+}
+
+// Pos implements Node.
+func (s *Block) Pos() token.Pos { return s.P }
+
+// If is if (cond) then [else els].
+type If struct {
+	P    token.Pos
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *If, or nil
+}
+
+// Pos implements Node.
+func (s *If) Pos() token.Pos { return s.P }
+
+// While is while (cond) body.
+type While struct {
+	P    token.Pos
+	Cond Expr
+	Body *Block
+}
+
+// Pos implements Node.
+func (s *While) Pos() token.Pos { return s.P }
+
+// For is for (init; cond; post) body. Init/Post may be nil; Cond may be nil
+// (infinite loop).
+type For struct {
+	P    token.Pos
+	Init Stmt // *Assign, *VarDecl, *ExprStmt, or nil
+	Cond Expr
+	Post Stmt
+	Body *Block
+}
+
+// Pos implements Node.
+func (s *For) Pos() token.Pos { return s.P }
+
+// Break exits the innermost loop.
+type Break struct{ P token.Pos }
+
+// Pos implements Node.
+func (s *Break) Pos() token.Pos { return s.P }
+
+// Continue jumps to the innermost loop's next iteration.
+type Continue struct{ P token.Pos }
+
+// Pos implements Node.
+func (s *Continue) Pos() token.Pos { return s.P }
+
+// Return is return [expr].
+type Return struct {
+	P token.Pos
+	X Expr // nil for void
+}
+
+// Pos implements Node.
+func (s *Return) Pos() token.Pos { return s.P }
+
+// ---- Declarations ----
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	P      token.Pos
+	Name   string
+	Params []*ParamDecl
+	Ret    Type
+	Body   *Block
+}
+
+// Pos implements Node.
+func (d *FuncDecl) Pos() token.Pos { return d.P }
+
+// File is one parsed compilation unit.
+type File struct {
+	// Name identifies the unit (benchmark name or path).
+	Name string
+	// Consts are module-level constants.
+	Consts []*ConstDecl
+	// Globals are module-level variables.
+	Globals []*VarDecl
+	// Funcs are the function definitions.
+	Funcs []*FuncDecl
+}

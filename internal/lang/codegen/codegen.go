@@ -1,0 +1,521 @@
+// Package codegen lowers checked LPC syntax trees to IR.
+//
+// Locals (including parameters) are given single-cell stack slots and
+// accessed through loads and stores; the analysis pipeline's mem2reg pass
+// subsequently promotes them to SSA registers, exactly as clang -O relies on
+// LLVM's mem2reg. Local arrays become multi-cell allocas; globals become
+// module-level allocations.
+package codegen
+
+import (
+	"fmt"
+
+	"loopapalooza/internal/ir"
+	"loopapalooza/internal/lang/ast"
+	"loopapalooza/internal/lang/token"
+)
+
+// Generate lowers a checked file to a fresh IR module. Check must have been
+// run (and returned no error) first.
+func Generate(f *ast.File) (*ir.Module, error) {
+	g := &gen{
+		mod:     ir.NewModule(f.Name),
+		globals: map[*ast.VarDecl]*ir.Global{},
+		funcs:   map[*ast.FuncDecl]*ir.Function{},
+	}
+	for _, d := range f.Globals {
+		g.declareGlobal(d)
+	}
+	// Declare all functions first so calls can reference them.
+	for _, fn := range f.Funcs {
+		params := make([]*ir.Param, len(fn.Params))
+		for i, p := range fn.Params {
+			params[i] = &ir.Param{Nm: p.Name, Ty: irType(p.DeclTy)}
+		}
+		g.funcs[fn] = g.mod.AddFunction(fn.Name, irType(fn.Ret), params...)
+	}
+	for _, fn := range f.Funcs {
+		g.genFunc(fn)
+	}
+	if err := ir.Verify(g.mod); err != nil {
+		return nil, fmt.Errorf("codegen produced invalid IR for %s: %w", f.Name, err)
+	}
+	return g.mod, nil
+}
+
+// irType maps a source type to an IR type. Arrays map to the type of one
+// element; allocation sites use arraySize for the cell count.
+func irType(t ast.Type) ir.Type {
+	switch t.Kind {
+	case ast.TInt:
+		return ir.Int
+	case ast.TFloat:
+		return ir.Float
+	case ast.TBool:
+		return ir.Bool
+	case ast.TVoid:
+		return ir.Void
+	case ast.TPtr, ast.TArray:
+		if t.Elem == ast.TFloat {
+			return ir.PtrTo(ir.Float)
+		}
+		return ir.PtrTo(ir.Int)
+	}
+	panic("codegen: bad type " + t.String())
+}
+
+// elemType returns the cell type of an array/pointer source type.
+func elemType(t ast.Type) ir.Type {
+	if t.Elem == ast.TFloat {
+		return ir.Float
+	}
+	return ir.Int
+}
+
+type gen struct {
+	mod     *ir.Module
+	globals map[*ast.VarDecl]*ir.Global
+	funcs   map[*ast.FuncDecl]*ir.Function
+
+	// Per-function state.
+	fn        *ir.Function
+	bld       *ir.Builder
+	slots     map[any]ir.Value // *ast.VarDecl / *ast.ParamDecl -> alloca (or global)
+	breaks    []*ir.Block
+	conts     []*ir.Block
+	allocaIdx int // insertion cursor for entry-block allocas
+}
+
+// newSlot allocates a stack slot in the entry block, regardless of the
+// current insertion point. Keeping every alloca in the entry block (as clang
+// does) makes slots promotable and prevents repeated allocation inside
+// loops.
+func (g *gen) newSlot(elem ir.Type, size int64, name string) *ir.Instr {
+	entry := g.fn.Entry()
+	i := &ir.Instr{
+		Op: ir.OpAlloca, Ty: ir.PtrTo(elem),
+		Nm: g.fn.NextName(name), Args: []ir.Value{ir.ConstInt(size)},
+	}
+	entry.InsertBefore(g.allocaIdx, i)
+	i.Parent = entry
+	g.allocaIdx++
+	return i
+}
+
+func (g *gen) declareGlobal(d *ast.VarDecl) {
+	size := int64(1)
+	elem := ir.Int
+	switch d.DeclTy.Kind {
+	case ast.TArray:
+		size = d.DeclTy.Len
+		elem = elemType(d.DeclTy)
+	case ast.TFloat:
+		elem = ir.Float
+	case ast.TBool:
+		elem = ir.Bool
+	case ast.TPtr:
+		elem = irType(d.DeclTy)
+	}
+	gl := g.mod.AddGlobal(d.Name, elem, size)
+	if d.Init != nil {
+		switch v := d.Init.(type) {
+		case *ast.IntLit:
+			gl.InitInt = []int64{v.Value}
+		case *ast.FloatLit:
+			gl.InitFloat = []float64{v.Value}
+		case *ast.BoolLit:
+			b := int64(0)
+			if v.Value {
+				b = 1
+			}
+			gl.InitInt = []int64{b}
+		case *ast.Unary: // -literal, validated by sema
+			switch lit := v.X.(type) {
+			case *ast.IntLit:
+				gl.InitInt = []int64{-lit.Value}
+			case *ast.FloatLit:
+				gl.InitFloat = []float64{-lit.Value}
+			}
+		}
+	}
+	g.globals[d] = gl
+}
+
+func (g *gen) genFunc(fn *ast.FuncDecl) {
+	g.fn = g.funcs[fn]
+	g.bld = ir.NewBuilder(g.fn)
+	g.slots = map[any]ir.Value{}
+	g.breaks, g.conts = nil, nil
+	g.allocaIdx = 0
+
+	// Spill parameters into slots so they are assignable; mem2reg will
+	// promote them straight back when they are not address-taken.
+	for i, p := range fn.Params {
+		slot := g.newSlot(irType(p.DeclTy), 1, p.Name+".addr")
+		g.bld.Store(slot, g.fn.Params[i])
+		g.slots[p] = slot
+	}
+	g.genBlock(fn.Body)
+
+	// Fall-through return.
+	if g.bld.Block.Terminator() == nil {
+		switch g.fn.Ret.Kind() {
+		case ir.KVoid:
+			g.bld.Ret(nil)
+		case ir.KFloat:
+			g.bld.Ret(ir.ConstFloat(0))
+		case ir.KBool:
+			g.bld.Ret(ir.ConstBool(false))
+		default:
+			g.bld.Ret(ir.ConstInt(0))
+		}
+	}
+	// Other unterminated blocks (after break/continue/return) may exist
+	// if the source had trailing unreachable code paths; terminate them.
+	for _, b := range g.fn.Blocks {
+		if b.Terminator() == nil {
+			g.bld.SetBlock(b)
+			switch g.fn.Ret.Kind() {
+			case ir.KVoid:
+				g.bld.Ret(nil)
+			case ir.KFloat:
+				g.bld.Ret(ir.ConstFloat(0))
+			case ir.KBool:
+				g.bld.Ret(ir.ConstBool(false))
+			default:
+				g.bld.Ret(ir.ConstInt(0))
+			}
+		}
+	}
+}
+
+func (g *gen) genBlock(b *ast.Block) {
+	for _, s := range b.Stmts {
+		g.genStmt(s)
+		if g.bld.Block.Terminator() != nil {
+			return // rest of the block is unreachable
+		}
+	}
+}
+
+func (g *gen) genStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.VarDecl:
+		g.genVarDecl(st)
+	case *ast.Assign:
+		addr := g.genAddr(st.LHS)
+		v := g.genExpr(st.RHS)
+		g.bld.Store(addr, v)
+	case *ast.ExprStmt:
+		g.genExpr(st.X)
+	case *ast.Block:
+		g.genBlock(st)
+	case *ast.If:
+		g.genIf(st)
+	case *ast.While:
+		g.genWhile(st)
+	case *ast.For:
+		g.genFor(st)
+	case *ast.Break:
+		g.bld.Jmp(g.breaks[len(g.breaks)-1])
+	case *ast.Continue:
+		g.bld.Jmp(g.conts[len(g.conts)-1])
+	case *ast.Return:
+		if st.X == nil {
+			g.bld.Ret(nil)
+		} else {
+			g.bld.Ret(g.genExpr(st.X))
+		}
+	default:
+		panic(fmt.Sprintf("codegen: unhandled statement %T", s))
+	}
+}
+
+func (g *gen) genVarDecl(d *ast.VarDecl) {
+	size := int64(1)
+	elem := irType(d.DeclTy)
+	if d.DeclTy.Kind == ast.TArray {
+		size = d.DeclTy.Len
+		elem = elemType(d.DeclTy)
+	}
+	slot := g.newSlot(elem, size, d.Name)
+	g.slots[d] = slot
+	if d.Init != nil {
+		g.bld.Store(slot, g.genExpr(d.Init))
+	}
+}
+
+func (g *gen) genIf(st *ast.If) {
+	then := g.fn.NewBlock("if.then")
+	done := g.fn.NewBlock("if.done")
+	els := done
+	if st.Else != nil {
+		els = g.fn.NewBlock("if.else")
+	}
+	g.genCondBr(st.Cond, then, els)
+
+	g.bld.SetBlock(then)
+	g.genBlock(st.Then)
+	if g.bld.Block.Terminator() == nil {
+		g.bld.Jmp(done)
+	}
+	if st.Else != nil {
+		g.bld.SetBlock(els)
+		g.genStmt(st.Else)
+		if g.bld.Block.Terminator() == nil {
+			g.bld.Jmp(done)
+		}
+	}
+	g.bld.SetBlock(done)
+}
+
+func (g *gen) genWhile(st *ast.While) {
+	head := g.fn.NewBlock("while.head")
+	body := g.fn.NewBlock("while.body")
+	done := g.fn.NewBlock("while.done")
+	g.bld.Jmp(head)
+
+	g.bld.SetBlock(head)
+	g.genCondBr(st.Cond, body, done)
+
+	g.breaks = append(g.breaks, done)
+	g.conts = append(g.conts, head)
+	g.bld.SetBlock(body)
+	g.genBlock(st.Body)
+	if g.bld.Block.Terminator() == nil {
+		g.bld.Jmp(head)
+	}
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.conts = g.conts[:len(g.conts)-1]
+
+	g.bld.SetBlock(done)
+}
+
+func (g *gen) genFor(st *ast.For) {
+	if st.Init != nil {
+		g.genStmt(st.Init)
+	}
+	head := g.fn.NewBlock("for.head")
+	body := g.fn.NewBlock("for.body")
+	post := g.fn.NewBlock("for.post")
+	done := g.fn.NewBlock("for.done")
+	g.bld.Jmp(head)
+
+	g.bld.SetBlock(head)
+	if st.Cond != nil {
+		g.genCondBr(st.Cond, body, done)
+	} else {
+		g.bld.Jmp(body)
+	}
+
+	g.breaks = append(g.breaks, done)
+	g.conts = append(g.conts, post)
+	g.bld.SetBlock(body)
+	g.genBlock(st.Body)
+	if g.bld.Block.Terminator() == nil {
+		g.bld.Jmp(post)
+	}
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.conts = g.conts[:len(g.conts)-1]
+
+	g.bld.SetBlock(post)
+	if st.Post != nil {
+		g.genStmt(st.Post)
+	}
+	g.bld.Jmp(head)
+
+	g.bld.SetBlock(done)
+}
+
+// genCondBr emits control flow for a condition, short-circuiting && and ||.
+func (g *gen) genCondBr(e ast.Expr, yes, no *ir.Block) {
+	switch x := e.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case token.LAND:
+			mid := g.fn.NewBlock("and.rhs")
+			g.genCondBr(x.L, mid, no)
+			g.bld.SetBlock(mid)
+			g.genCondBr(x.R, yes, no)
+			return
+		case token.LOR:
+			mid := g.fn.NewBlock("or.rhs")
+			g.genCondBr(x.L, yes, mid)
+			g.bld.SetBlock(mid)
+			g.genCondBr(x.R, yes, no)
+			return
+		}
+	case *ast.Unary:
+		if x.Op == token.NOT {
+			g.genCondBr(x.X, no, yes)
+			return
+		}
+	}
+	g.bld.Br(g.genExpr(e), yes, no)
+}
+
+// genAddr computes the address of an lvalue.
+func (g *gen) genAddr(e ast.Expr) ir.Value {
+	switch x := e.(type) {
+	case *ast.Ident:
+		switch d := x.Decl.(type) {
+		case *ast.VarDecl:
+			if d.Global {
+				return g.globals[d]
+			}
+			return g.slots[d]
+		case *ast.ParamDecl:
+			return g.slots[d]
+		}
+		panic("codegen: address of non-variable " + x.Name)
+	case *ast.Index:
+		base := g.genExpr(x.X) // arrays evaluate to their base address
+		idx := g.genExpr(x.Idx)
+		return g.bld.AddPtr(base, idx)
+	case *ast.Unary:
+		if x.Op == token.MUL {
+			return g.genExpr(x.X)
+		}
+	}
+	panic(fmt.Sprintf("codegen: not an lvalue: %T", e))
+}
+
+func (g *gen) genExpr(e ast.Expr) ir.Value {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return ir.ConstInt(x.Value)
+	case *ast.FloatLit:
+		return ir.ConstFloat(x.Value)
+	case *ast.BoolLit:
+		return ir.ConstBool(x.Value)
+	case *ast.Ident:
+		switch d := x.Decl.(type) {
+		case *ast.ConstDecl:
+			return ir.ConstInt(d.Value)
+		case *ast.VarDecl:
+			if d.DeclTy.Kind == ast.TArray {
+				// Array-to-pointer decay: the value is the base.
+				if d.Global {
+					return g.globals[d]
+				}
+				return g.slots[d]
+			}
+			if d.Global {
+				return g.bld.Load(g.globals[d])
+			}
+			return g.bld.Load(g.slots[d].(*ir.Instr))
+		case *ast.ParamDecl:
+			return g.bld.Load(g.slots[d].(*ir.Instr))
+		}
+		panic("codegen: unresolved ident " + x.Name)
+	case *ast.Unary:
+		return g.genUnary(x)
+	case *ast.Binary:
+		return g.genBinary(x)
+	case *ast.Index:
+		return g.bld.Load(g.genAddr(x))
+	case *ast.Call:
+		return g.genCall(x)
+	}
+	panic(fmt.Sprintf("codegen: unhandled expression %T", e))
+}
+
+func (g *gen) genUnary(x *ast.Unary) ir.Value {
+	switch x.Op {
+	case token.SUB:
+		v := g.genExpr(x.X)
+		if x.Type() == ast.FloatType {
+			return g.bld.FNeg(v)
+		}
+		return g.bld.Neg(v)
+	case token.NOT:
+		return g.bld.Not(g.genExpr(x.X))
+	case token.MUL:
+		return g.bld.Load(g.genExpr(x.X))
+	case token.AND:
+		return g.genAddr(x.X)
+	}
+	panic("codegen: bad unary op " + x.Op.String())
+}
+
+var intOps = map[token.Kind]ir.Op{
+	token.ADD: ir.OpAdd, token.SUB: ir.OpSub, token.MUL: ir.OpMul,
+	token.QUO: ir.OpDiv, token.REM: ir.OpRem, token.AND: ir.OpAnd,
+	token.OR: ir.OpOr, token.XOR: ir.OpXor, token.SHL: ir.OpShl,
+	token.SHR: ir.OpShr,
+}
+
+var floatOps = map[token.Kind]ir.Op{
+	token.ADD: ir.OpFAdd, token.SUB: ir.OpFSub,
+	token.MUL: ir.OpFMul, token.QUO: ir.OpFDiv,
+}
+
+var cmpOps = map[token.Kind]ir.Op{
+	token.EQL: ir.OpEq, token.NEQ: ir.OpNe, token.LSS: ir.OpLt,
+	token.LEQ: ir.OpLe, token.GTR: ir.OpGt, token.GEQ: ir.OpGe,
+}
+
+func (g *gen) genBinary(x *ast.Binary) ir.Value {
+	switch x.Op {
+	case token.LAND, token.LOR:
+		// Value context: materialize the short-circuit result as a phi.
+		yes := g.fn.NewBlock("bool.true")
+		no := g.fn.NewBlock("bool.false")
+		done := g.fn.NewBlock("bool.done")
+		g.genCondBr(x, yes, no)
+		g.bld.SetBlock(yes)
+		g.bld.Jmp(done)
+		g.bld.SetBlock(no)
+		g.bld.Jmp(done)
+		g.bld.SetBlock(done)
+		phi := g.bld.Phi(ir.Bool, "sc")
+		phi.SetPhiIncoming(yes, ir.ConstBool(true))
+		phi.SetPhiIncoming(no, ir.ConstBool(false))
+		return phi
+	}
+	if op, ok := cmpOps[x.Op]; ok {
+		return g.bld.Compare(op, g.genExpr(x.L), g.genExpr(x.R))
+	}
+
+	l := g.genExpr(x.L)
+	r := g.genExpr(x.R)
+	// Pointer arithmetic.
+	if x.Type().Kind == ast.TPtr {
+		if l.Type().IsPtr() {
+			if x.Op == token.SUB {
+				r = g.bld.Neg(r)
+			}
+			return g.bld.AddPtr(l, r)
+		}
+		return g.bld.AddPtr(r, l) // int + ptr
+	}
+	if x.Type() == ast.FloatType {
+		return g.bld.Binary(floatOps[x.Op], l, r)
+	}
+	return g.bld.Binary(intOps[x.Op], l, r)
+}
+
+func (g *gen) genCall(x *ast.Call) ir.Value {
+	if x.Conv {
+		v := g.genExpr(x.Args[0])
+		if x.Name == "int" {
+			if v.Type().Kind() == ir.KInt {
+				return v
+			}
+			return g.bld.FloatToInt(v)
+		}
+		if v.Type().Kind() == ir.KFloat {
+			return v
+		}
+		return g.bld.IntToFloat(v)
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = g.genExpr(a)
+	}
+	if x.FuncDecl != nil {
+		return g.bld.Call(g.funcs[x.FuncDecl], args...)
+	}
+	bi := ir.Builtins[x.Name]
+	return g.bld.CallBuiltin(x.Name, bi.Ret, args...)
+}

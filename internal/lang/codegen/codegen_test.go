@@ -1,0 +1,186 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/ir"
+	"loopapalooza/internal/lang/parser"
+	"loopapalooza/internal/lang/sema"
+)
+
+func genMod(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, err := parser.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sema.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAllocasInEntry: every alloca must land in the entry block, including
+// for variables declared inside loops (the clang invariant mem2reg needs).
+func TestAllocasInEntry(t *testing.T) {
+	m := genMod(t, `
+func main() int {
+	var i int;
+	for (i = 0; i < 4; i = i + 1) {
+		var inner int = i;
+		var buf [4]int;
+		buf[0] = inner;
+	}
+	return 0;
+}`)
+	f := m.Func("main")
+	for bi, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpAlloca && bi != 0 {
+				t.Errorf("alloca %%%s in non-entry block .%s", ins.Nm, b.Name)
+			}
+		}
+	}
+	// And the entry does hold them.
+	n := 0
+	for _, ins := range f.Entry().Instrs {
+		if ins.Op == ir.OpAlloca {
+			n++
+		}
+	}
+	if n != 3 { // i, inner, buf
+		t.Errorf("entry allocas = %d, want 3", n)
+	}
+}
+
+// TestShortCircuitControlFlow: && in a condition must produce a branch
+// structure, not an eager And instruction.
+func TestShortCircuitControlFlow(t *testing.T) {
+	m := genMod(t, `
+func f(a int, b int) int {
+	if (a > 0 && b > 0) { return 1; }
+	return 0;
+}`)
+	f := m.Func("f")
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpAnd {
+				t.Error("&& lowered to eager OpAnd (no short circuit)")
+			}
+		}
+	}
+	if len(f.Blocks) < 4 {
+		t.Errorf("short-circuit if produced only %d blocks", len(f.Blocks))
+	}
+}
+
+// TestShortCircuitValueContext: && used as a value materializes a phi.
+func TestShortCircuitValueContext(t *testing.T) {
+	m := genMod(t, `
+func f(a int, b int) bool {
+	var r bool = a > 0 && b > 0;
+	return r;
+}`)
+	f := m.Func("f")
+	phis := 0
+	for _, b := range f.Blocks {
+		phis += len(b.Phis())
+	}
+	if phis == 0 {
+		t.Error("value-context && produced no phi")
+	}
+}
+
+// TestParamsSpilled: parameters are assignable because they are spilled to
+// slots at entry.
+func TestParamsSpilled(t *testing.T) {
+	m := genMod(t, `
+func halve(n int) int {
+	n = n / 2;
+	return n;
+}
+func main() int { return halve(10); }`)
+	s := m.String()
+	if !strings.Contains(s, "n.addr") {
+		t.Errorf("no parameter spill slot in:\n%s", s)
+	}
+}
+
+// TestGlobalInitializers: scalar global initializers populate the
+// module-level allocation.
+func TestGlobalInitializers(t *testing.T) {
+	m := genMod(t, `
+var a int = 7;
+var b float = -2.5;
+var c bool = true;
+var d int = -3;
+func main() int { return a; }`)
+	ga := m.Global("a")
+	if len(ga.InitInt) != 1 || ga.InitInt[0] != 7 {
+		t.Errorf("a init = %v", ga.InitInt)
+	}
+	gb := m.Global("b")
+	if len(gb.InitFloat) != 1 || gb.InitFloat[0] != -2.5 {
+		t.Errorf("b init = %v", gb.InitFloat)
+	}
+	gc := m.Global("c")
+	if len(gc.InitInt) != 1 || gc.InitInt[0] != 1 {
+		t.Errorf("c init = %v", gc.InitInt)
+	}
+	gd := m.Global("d")
+	if len(gd.InitInt) != 1 || gd.InitInt[0] != -3 {
+		t.Errorf("d init = %v", gd.InitInt)
+	}
+}
+
+// TestImplicitReturns: non-void functions falling off the end return zero
+// values, and every block ends terminated.
+func TestImplicitReturns(t *testing.T) {
+	m := genMod(t, `
+func weird(c bool) int {
+	if (c) { return 1; }
+	var x int = 2;
+	x = x + 1;
+}
+func main() int { return weird(false); }`)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			if b.Terminator() == nil {
+				t.Errorf("@%s.%s unterminated", f.Name, b.Name)
+			}
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPointerArithmeticLowering: p + k and p - k lower to AddPtr.
+func TestPointerArithmeticLowering(t *testing.T) {
+	m := genMod(t, `
+var a [8]int;
+func main() int {
+	var p *int = a;
+	p = p + 3;
+	p = p - 1;
+	p = 1 + p;
+	return *p;
+}`)
+	f := m.Func("main")
+	addptrs := 0
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpAddPtr {
+				addptrs++
+			}
+		}
+	}
+	if addptrs < 3 {
+		t.Errorf("addptr count = %d, want >= 3", addptrs)
+	}
+}

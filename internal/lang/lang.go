@@ -1,0 +1,30 @@
+// Package lang is the front-end façade: it compiles LPC source text to IR by
+// chaining the lexer, parser, type checker, and code generator.
+//
+// LPC ("Loopapalooza C") is the small C-like language used to express the
+// benchmark programs of this reproduction. It has 64-bit ints and floats,
+// bools, one-level pointers, fixed-size arrays, functions, and the usual
+// structured control flow. See the package documentation of
+// internal/lang/parser for the grammar.
+package lang
+
+import (
+	"loopapalooza/internal/ir"
+	"loopapalooza/internal/lang/codegen"
+	"loopapalooza/internal/lang/parser"
+	"loopapalooza/internal/lang/sema"
+)
+
+// Compile parses, checks, and lowers one LPC compilation unit. The returned
+// module verifies but has not been canonicalized; run
+// analysis.AnalyzeModule on it before interpretation.
+func Compile(name, src string) (*ir.Module, error) {
+	file, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := sema.Check(file); err != nil {
+		return nil, err
+	}
+	return codegen.Generate(file)
+}

@@ -1,0 +1,243 @@
+// Package lexer turns LPC source text into a token stream.
+package lexer
+
+import (
+	"fmt"
+
+	"loopapalooza/internal/lang/token"
+)
+
+// Lexer scans LPC source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(pos, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.ident(pos)
+	case isDigit(c):
+		return l.number(pos)
+	}
+	l.advance()
+	two := func(next byte, yes, no token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: yes, Pos: pos}
+		}
+		return token.Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '+':
+		return token.Token{Kind: token.ADD, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.SUB, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.MUL, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.QUO, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.REM, Pos: pos}
+	case '^':
+		return token.Token{Kind: token.XOR, Pos: pos}
+	case '&':
+		return two('&', token.LAND, token.AND)
+	case '|':
+		return two('|', token.LOR, token.OR)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		return two('=', token.LEQ, token.LSS)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		return two('=', token.GEQ, token.GTR)
+	case '=':
+		return two('=', token.EQL, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) ident(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	if kw, ok := token.Keywords[lit]; ok {
+		return token.Token{Kind: kw, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) number(pos token.Pos) token.Token {
+	start := l.off
+	// Hex.
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		saveOff, saveCol := l.off, l.col
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. "1else"): rewind.
+			l.off, l.col = saveOff, saveCol
+		}
+	}
+	kind := token.INT
+	if isFloat {
+		kind = token.FLOAT
+	}
+	return token.Token{Kind: kind, Lit: l.src[start:l.off], Pos: pos}
+}
+
+// All scans the entire input, returning every token up to and including EOF.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

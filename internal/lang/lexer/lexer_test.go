@@ -1,0 +1,114 @@
+package lexer
+
+import (
+	"testing"
+
+	"loopapalooza/internal/lang/token"
+)
+
+func kinds(src string) []token.Kind {
+	l := New(src)
+	var out []token.Kind
+	for _, t := range l.All() {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds("+ - * / % & | ^ << >> && || ! == != < <= > >= = ( ) [ ] { } , ;")
+	want := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR,
+		token.LAND, token.LOR, token.NOT,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.ASSIGN,
+		token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK,
+		token.LBRACE, token.RBRACE, token.COMMA, token.SEMI, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	l := New("func main xy_1 while true")
+	toks := l.All()
+	if toks[0].Kind != token.KwFunc {
+		t.Errorf("func -> %s", toks[0])
+	}
+	if toks[1].Kind != token.IDENT || toks[1].Lit != "main" {
+		t.Errorf("main -> %s", toks[1])
+	}
+	if toks[2].Kind != token.IDENT || toks[2].Lit != "xy_1" {
+		t.Errorf("xy_1 -> %s", toks[2])
+	}
+	if toks[3].Kind != token.KwWhile || toks[4].Kind != token.KwTrue {
+		t.Errorf("keywords wrong: %v", toks)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	l := New("0 42 0x1F 3.25 1e9 2.5e-3 7e")
+	toks := l.All()
+	wantKind := []token.Kind{token.INT, token.INT, token.INT, token.FLOAT, token.FLOAT, token.FLOAT, token.INT}
+	wantLit := []string{"0", "42", "0x1F", "3.25", "1e9", "2.5e-3", "7"}
+	for i := range wantKind {
+		if toks[i].Kind != wantKind[i] || toks[i].Lit != wantLit[i] {
+			t.Errorf("token %d = %s, want %s(%s)", i, toks[i], wantKind[i], wantLit[i])
+		}
+	}
+	// "7e" should leave "e" as an identifier.
+	if toks[7].Kind != token.IDENT || toks[7].Lit != "e" {
+		t.Errorf("trailing token = %s, want IDENT(e)", toks[7])
+	}
+}
+
+func TestComments(t *testing.T) {
+	l := New("a // line comment\nb /* block\ncomment */ c")
+	toks := l.All()
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[2].Lit != "c" || toks[2].Pos.Line != 3 {
+		t.Errorf("c at %v", toks[2].Pos)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("a /* never closed")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected unterminated-comment error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("ab\n  cd")
+	toks := l.All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("ab at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("cd at %v", toks[1].Pos)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	l := New("a $ b")
+	toks := l.All()
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found || len(l.Errors()) == 0 {
+		t.Error("expected ILLEGAL token and error for $")
+	}
+}

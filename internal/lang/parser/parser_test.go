@@ -1,0 +1,172 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/lang/ast"
+	"loopapalooza/internal/lang/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseDeclarations(t *testing.T) {
+	f := mustParse(t, `
+const N = 64;
+const M = N * 2 + 1;
+var g int;
+var pi float = 3.14;
+var tab [N]int;
+var w [M]float;
+func main() int { return 0; }
+func helper(x int, p *float) { }
+`)
+	if len(f.Consts) != 2 || f.Consts[1].Value != 129 {
+		t.Fatalf("consts = %+v", f.Consts)
+	}
+	if len(f.Globals) != 4 {
+		t.Fatalf("globals = %d", len(f.Globals))
+	}
+	if f.Globals[2].DeclTy.Kind != ast.TArray || f.Globals[2].DeclTy.Len != 64 {
+		t.Errorf("tab type = %s", f.Globals[2].DeclTy)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	if f.Funcs[0].Ret != ast.IntType || f.Funcs[1].Ret != ast.VoidType {
+		t.Error("return types wrong")
+	}
+	if f.Funcs[1].Params[1].DeclTy != ast.PtrType(ast.TFloat) {
+		t.Errorf("param type = %s", f.Funcs[1].Params[1].DeclTy)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `func f() int { return 1 + 2 * 3; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ast.Return)
+	add, ok := ret.X.(*ast.Binary)
+	if !ok || add.Op != token.ADD {
+		t.Fatalf("top op = %+v", ret.X)
+	}
+	mul, ok := add.R.(*ast.Binary)
+	if !ok || mul.Op != token.MUL {
+		t.Fatalf("rhs = %+v", add.R)
+	}
+}
+
+func TestParseComparisonBindsLooser(t *testing.T) {
+	f := mustParse(t, `func f() bool { return 1 + 2 < 3 * 4 && true; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ast.Return)
+	land := ret.X.(*ast.Binary)
+	if land.Op != token.LAND {
+		t.Fatalf("top = %s", land.Op)
+	}
+	cmp := land.L.(*ast.Binary)
+	if cmp.Op != token.LSS {
+		t.Fatalf("left of && = %s", cmp.Op)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := mustParse(t, `
+func f(n int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (i % 2 == 0) { s = s + i; } else if (i > 10) { break; } else { continue; }
+	}
+	while (s > 100) { s = s - 7; }
+	return s;
+}`)
+	body := f.Funcs[0].Body.Stmts
+	if _, ok := body[1].(*ast.For); !ok {
+		t.Fatalf("stmt 1 = %T", body[1])
+	}
+	forStmt := body[1].(*ast.For)
+	if _, ok := forStmt.Init.(*ast.VarDecl); !ok {
+		t.Errorf("for init = %T", forStmt.Init)
+	}
+	ifStmt := forStmt.Body.Stmts[0].(*ast.If)
+	elseIf, ok := ifStmt.Else.(*ast.If)
+	if !ok {
+		t.Fatalf("else-if = %T", ifStmt.Else)
+	}
+	if _, ok := elseIf.Else.(*ast.Block); !ok {
+		t.Errorf("final else = %T", elseIf.Else)
+	}
+	if _, ok := body[2].(*ast.While); !ok {
+		t.Errorf("stmt 2 = %T", body[2])
+	}
+}
+
+func TestParsePointersAndIndexing(t *testing.T) {
+	f := mustParse(t, `
+var a [8]int;
+func f(p *int) int {
+	*p = a[3];
+	p[1] = *p + 1;
+	return *(p + 2);
+}`)
+	stmts := f.Funcs[0].Body.Stmts
+	as := stmts[0].(*ast.Assign)
+	if u, ok := as.LHS.(*ast.Unary); !ok || u.Op != token.MUL {
+		t.Errorf("deref assign lhs = %T", as.LHS)
+	}
+	as2 := stmts[1].(*ast.Assign)
+	if _, ok := as2.LHS.(*ast.Index); !ok {
+		t.Errorf("index assign lhs = %T", as2.LHS)
+	}
+}
+
+func TestParseCallsAndConversions(t *testing.T) {
+	f := mustParse(t, `func f(x float) int { return int(x) + min(1, 2); }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ast.Return)
+	add := ret.X.(*ast.Binary)
+	conv := add.L.(*ast.Call)
+	if !conv.Conv || conv.Name != "int" {
+		t.Errorf("conversion = %+v", conv)
+	}
+	call := add.R.(*ast.Call)
+	if call.Name != "min" || len(call.Args) != 2 {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func f() int { return ; `,  // missing brace
+		`func f() { x = ; }`,        // missing expr
+		`var x [0]int;`,             // zero-length array
+		`const N = x;`,              // non-constant
+		`func f() { 1(2); }`,        // call of non-name
+		`func f(a [4]int) { }`,      // array param
+		`garbage`,                   // not a declaration
+		`const N = 1; const N = 2;`, // const redeclared
+		`func f() { for (;; { } }`,  // bad for
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseErrorMentionsPosition(t *testing.T) {
+	_, err := Parse("pos", "func f() {\n  ?\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestParseHexAndNegativeConsts(t *testing.T) {
+	f := mustParse(t, `const A = 0xff; const B = -8; const C = 1 << 10;`)
+	if f.Consts[0].Value != 255 || f.Consts[1].Value != -8 || f.Consts[2].Value != 1024 {
+		t.Errorf("consts = %+v", f.Consts)
+	}
+}

@@ -1,0 +1,484 @@
+// Package sema type-checks LPC files: it resolves names, computes and
+// records expression types, validates assignments, calls, conversions, and
+// control flow, and rejects ill-formed programs before code generation.
+package sema
+
+import (
+	"errors"
+	"fmt"
+
+	"loopapalooza/internal/ir"
+	"loopapalooza/internal/lang/ast"
+	"loopapalooza/internal/lang/token"
+)
+
+// Check type-checks f in place, annotating expression types and resolving
+// identifiers. It returns all errors found.
+func Check(f *ast.File) error {
+	c := &checker{
+		file:    f,
+		funcs:   map[string]*ast.FuncDecl{},
+		globals: map[string]*ast.VarDecl{},
+		consts:  map[string]*ast.ConstDecl{},
+	}
+	for _, d := range f.Consts {
+		c.consts[d.Name] = d
+	}
+	for _, g := range f.Globals {
+		if c.globals[g.Name] != nil || c.consts[g.Name] != nil {
+			c.errorf(g.Pos(), "%s redeclared at module scope", g.Name)
+		}
+		c.globals[g.Name] = g
+		if g.Init != nil {
+			if g.DeclTy.Kind == ast.TArray {
+				c.errorf(g.Pos(), "array globals cannot have initializers")
+			}
+			c.checkExpr(g.Init)
+			if !constLit(g.Init) {
+				c.errorf(g.Pos(), "global initializer must be a constant literal")
+			} else if !assignable(g.DeclTy, g.Init.Type()) {
+				c.errorf(g.Pos(), "cannot initialize %s %s with %s", g.Name, g.DeclTy, g.Init.Type())
+			}
+		}
+	}
+	for _, fn := range f.Funcs {
+		if c.funcs[fn.Name] != nil {
+			c.errorf(fn.Pos(), "function %s redeclared", fn.Name)
+		}
+		if _, isBuiltin := ir.Builtins[fn.Name]; isBuiltin {
+			c.errorf(fn.Pos(), "function %s shadows a builtin", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	for _, fn := range f.Funcs {
+		c.checkFunc(fn)
+	}
+	return errors.Join(c.errs...)
+}
+
+type checker struct {
+	file    *ast.File
+	funcs   map[string]*ast.FuncDecl
+	globals map[string]*ast.VarDecl
+	consts  map[string]*ast.ConstDecl
+	errs    []error
+
+	fn     *ast.FuncDecl
+	scopes []map[string]any // *ast.VarDecl or *ast.ParamDecl
+	loops  int
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	if len(c.errs) < 30 {
+		c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	}
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]any{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) declare(n string, d any, pos token.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if top[n] != nil {
+		c.errorf(pos, "%s redeclared in this scope", n)
+	}
+	top[n] = d
+}
+
+func (c *checker) lookup(n string) any {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d := c.scopes[i][n]; d != nil {
+			return d
+		}
+	}
+	if d := c.consts[n]; d != nil {
+		return d
+	}
+	if d := c.globals[n]; d != nil {
+		return d
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	c.fn = fn
+	c.push()
+	defer c.pop()
+	for _, p := range fn.Params {
+		c.declare(p.Name, p, p.Pos())
+	}
+	c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *ast.Block) {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.VarDecl:
+		if st.Init != nil {
+			if st.DeclTy.Kind == ast.TArray {
+				c.errorf(st.Pos(), "array variables cannot have initializers")
+			} else {
+				c.checkExpr(st.Init)
+				if !assignable(st.DeclTy, st.Init.Type()) {
+					c.errorf(st.Pos(), "cannot initialize %s %s with %s", st.Name, st.DeclTy, st.Init.Type())
+				}
+			}
+		}
+		c.declare(st.Name, st, st.Pos())
+	case *ast.Assign:
+		c.checkExpr(st.RHS)
+		c.checkLValue(st.LHS)
+		if st.LHS.Type().Kind == ast.TArray {
+			c.errorf(st.Pos(), "cannot assign to an array")
+		} else if !assignable(st.LHS.Type(), st.RHS.Type()) {
+			c.errorf(st.Pos(), "cannot assign %s to %s", st.RHS.Type(), st.LHS.Type())
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(st.X)
+		if _, ok := st.X.(*ast.Call); !ok {
+			c.errorf(st.Pos(), "expression statement must be a call")
+		}
+	case *ast.Block:
+		c.checkBlock(st)
+	case *ast.If:
+		c.checkExpr(st.Cond)
+		if st.Cond.Type() != ast.BoolType {
+			c.errorf(st.Cond.Pos(), "if condition must be bool, got %s", st.Cond.Type())
+		}
+		c.checkBlock(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *ast.While:
+		c.checkExpr(st.Cond)
+		if st.Cond.Type() != ast.BoolType {
+			c.errorf(st.Cond.Pos(), "while condition must be bool, got %s", st.Cond.Type())
+		}
+		c.loops++
+		c.checkBlock(st.Body)
+		c.loops--
+	case *ast.For:
+		c.push()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.checkExpr(st.Cond)
+			if st.Cond.Type() != ast.BoolType {
+				c.errorf(st.Cond.Pos(), "for condition must be bool, got %s", st.Cond.Type())
+			}
+		}
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.loops++
+		c.checkBlock(st.Body)
+		c.loops--
+		c.pop()
+	case *ast.Break:
+		if c.loops == 0 {
+			c.errorf(st.Pos(), "break outside loop")
+		}
+	case *ast.Continue:
+		if c.loops == 0 {
+			c.errorf(st.Pos(), "continue outside loop")
+		}
+	case *ast.Return:
+		if st.X == nil {
+			if c.fn.Ret.Kind != ast.TVoid {
+				c.errorf(st.Pos(), "missing return value (function returns %s)", c.fn.Ret)
+			}
+			return
+		}
+		c.checkExpr(st.X)
+		if c.fn.Ret.Kind == ast.TVoid {
+			c.errorf(st.Pos(), "void function returns a value")
+		} else if !assignable(c.fn.Ret, st.X.Type()) {
+			c.errorf(st.Pos(), "cannot return %s as %s", st.X.Type(), c.fn.Ret)
+		}
+	default:
+		c.errorf(s.Pos(), "unhandled statement %T", s)
+	}
+}
+
+// checkLValue checks an assignable expression.
+func (c *checker) checkLValue(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		c.checkExpr(e)
+		if _, isConst := x.Decl.(*ast.ConstDecl); isConst {
+			c.errorf(e.Pos(), "cannot assign to constant %s", x.Name)
+		}
+	case *ast.Index:
+		c.checkExpr(e)
+	case *ast.Unary:
+		if x.Op != token.MUL {
+			c.errorf(e.Pos(), "cannot assign to this expression")
+		}
+		c.checkExpr(e)
+	default:
+		c.errorf(e.Pos(), "cannot assign to this expression")
+		c.checkExpr(e)
+	}
+}
+
+// assignable reports whether src can be assigned to dst, with array-to-
+// pointer decay.
+func assignable(dst, src ast.Type) bool {
+	if dst.Equal(src) {
+		return true
+	}
+	if dst.Kind == ast.TPtr && src.Kind == ast.TArray && dst.Elem == src.Elem {
+		return true
+	}
+	return false
+}
+
+func constLit(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.IntLit, *ast.FloatLit, *ast.BoolLit:
+		return true
+	case *ast.Unary:
+		return x.Op == token.SUB && constLit(x.X)
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		x.SetType(ast.IntType)
+	case *ast.FloatLit:
+		x.SetType(ast.FloatType)
+	case *ast.BoolLit:
+		x.SetType(ast.BoolType)
+	case *ast.Ident:
+		d := c.lookup(x.Name)
+		if d == nil {
+			c.errorf(x.Pos(), "undefined: %s", x.Name)
+			x.SetType(ast.IntType)
+			return
+		}
+		x.Decl = d
+		switch dd := d.(type) {
+		case *ast.VarDecl:
+			x.SetType(dd.DeclTy)
+		case *ast.ParamDecl:
+			x.SetType(dd.DeclTy)
+		case *ast.ConstDecl:
+			x.SetType(ast.IntType)
+		}
+	case *ast.Unary:
+		c.checkUnary(x)
+	case *ast.Binary:
+		c.checkBinary(x)
+	case *ast.Index:
+		c.checkExpr(x.X)
+		c.checkExpr(x.Idx)
+		if x.Idx.Type() != ast.IntType {
+			c.errorf(x.Idx.Pos(), "index must be int, got %s", x.Idx.Type())
+		}
+		t := x.X.Type()
+		switch t.Kind {
+		case ast.TArray, ast.TPtr:
+			if t.Elem == ast.TInt {
+				x.SetType(ast.IntType)
+			} else {
+				x.SetType(ast.FloatType)
+			}
+		default:
+			c.errorf(x.Pos(), "cannot index %s", t)
+			x.SetType(ast.IntType)
+		}
+	case *ast.Call:
+		c.checkCall(x)
+	default:
+		c.errorf(e.Pos(), "unhandled expression %T", e)
+	}
+}
+
+func (c *checker) checkUnary(x *ast.Unary) {
+	c.checkExpr(x.X)
+	t := x.X.Type()
+	switch x.Op {
+	case token.SUB:
+		if !t.IsNumeric() {
+			c.errorf(x.Pos(), "cannot negate %s", t)
+		}
+		x.SetType(t)
+	case token.NOT:
+		if t != ast.BoolType {
+			c.errorf(x.Pos(), "! requires bool, got %s", t)
+		}
+		x.SetType(ast.BoolType)
+	case token.MUL: // deref
+		if t.Kind != ast.TPtr {
+			c.errorf(x.Pos(), "cannot dereference %s", t)
+			x.SetType(ast.IntType)
+			return
+		}
+		if t.Elem == ast.TInt {
+			x.SetType(ast.IntType)
+		} else {
+			x.SetType(ast.FloatType)
+		}
+	case token.AND: // address-of
+		switch lv := x.X.(type) {
+		case *ast.Ident:
+			if _, isConst := lv.Decl.(*ast.ConstDecl); isConst {
+				c.errorf(x.Pos(), "cannot take address of constant")
+			}
+		case *ast.Index:
+		default:
+			c.errorf(x.Pos(), "cannot take address of this expression")
+		}
+		switch t.Kind {
+		case ast.TInt:
+			x.SetType(ast.PtrType(ast.TInt))
+		case ast.TFloat:
+			x.SetType(ast.PtrType(ast.TFloat))
+		case ast.TArray:
+			x.SetType(ast.PtrType(t.Elem))
+		default:
+			c.errorf(x.Pos(), "cannot take address of %s", t)
+			x.SetType(ast.PtrType(ast.TInt))
+		}
+	}
+}
+
+func (c *checker) checkBinary(x *ast.Binary) {
+	c.checkExpr(x.L)
+	c.checkExpr(x.R)
+	lt, rt := x.L.Type(), x.R.Type()
+	// Array operands decay to pointers in arithmetic/comparison contexts.
+	decay := func(t ast.Type) ast.Type {
+		if t.Kind == ast.TArray {
+			return ast.PtrType(t.Elem)
+		}
+		return t
+	}
+	lt, rt = decay(lt), decay(rt)
+
+	switch x.Op {
+	case token.LAND, token.LOR:
+		if lt != ast.BoolType || rt != ast.BoolType {
+			c.errorf(x.Pos(), "%s requires bool operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.SetType(ast.BoolType)
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		if !lt.Equal(rt) {
+			c.errorf(x.Pos(), "comparison of %s with %s", lt, rt)
+		}
+		if (x.Op != token.EQL && x.Op != token.NEQ) && lt == ast.BoolType {
+			c.errorf(x.Pos(), "bools are not ordered")
+		}
+		x.SetType(ast.BoolType)
+	case token.ADD, token.SUB:
+		switch {
+		case lt.Kind == ast.TPtr && rt == ast.IntType:
+			x.SetType(lt) // pointer arithmetic
+		case x.Op == token.ADD && lt == ast.IntType && rt.Kind == ast.TPtr:
+			x.SetType(rt)
+		case lt.IsNumeric() && lt.Equal(rt):
+			x.SetType(lt)
+		default:
+			c.errorf(x.Pos(), "invalid operands to %s: %s and %s", x.Op, lt, rt)
+			x.SetType(ast.IntType)
+		}
+	case token.MUL, token.QUO:
+		if !lt.IsNumeric() || !lt.Equal(rt) {
+			c.errorf(x.Pos(), "invalid operands to %s: %s and %s", x.Op, lt, rt)
+		}
+		x.SetType(lt)
+	case token.REM, token.SHL, token.SHR, token.AND, token.OR, token.XOR:
+		if lt != ast.IntType || rt != ast.IntType {
+			c.errorf(x.Pos(), "%s requires int operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.SetType(ast.IntType)
+	default:
+		c.errorf(x.Pos(), "unhandled operator %s", x.Op)
+		x.SetType(ast.IntType)
+	}
+}
+
+func (c *checker) checkCall(x *ast.Call) {
+	for _, a := range x.Args {
+		c.checkExpr(a)
+	}
+	// Conversions.
+	if x.Conv {
+		if len(x.Args) != 1 {
+			c.errorf(x.Pos(), "conversion takes exactly one argument")
+			x.SetType(ast.IntType)
+			return
+		}
+		at := x.Args[0].Type()
+		if !at.IsNumeric() {
+			c.errorf(x.Pos(), "cannot convert %s", at)
+		}
+		if x.Name == "int" {
+			x.SetType(ast.IntType)
+		} else {
+			x.SetType(ast.FloatType)
+		}
+		return
+	}
+	// User function.
+	if fd := c.funcs[x.Name]; fd != nil {
+		x.FuncDecl = fd
+		if len(x.Args) != len(fd.Params) {
+			c.errorf(x.Pos(), "%s takes %d arguments, got %d", x.Name, len(fd.Params), len(x.Args))
+		} else {
+			for i, a := range x.Args {
+				if !assignable(fd.Params[i].DeclTy, a.Type()) {
+					c.errorf(a.Pos(), "argument %d of %s: cannot use %s as %s", i+1, x.Name, a.Type(), fd.Params[i].DeclTy)
+				}
+			}
+		}
+		x.SetType(fd.Ret)
+		return
+	}
+	// Builtin.
+	if bi, ok := ir.Builtins[x.Name]; ok {
+		x.Builtin = true
+		if len(x.Args) != len(bi.Params) {
+			c.errorf(x.Pos(), "%s takes %d arguments, got %d", x.Name, len(bi.Params), len(x.Args))
+		} else {
+			for i, a := range x.Args {
+				want := irToAst(bi.Params[i])
+				if !assignable(want, a.Type()) {
+					c.errorf(a.Pos(), "argument %d of %s: cannot use %s as %s", i+1, x.Name, a.Type(), want)
+				}
+			}
+		}
+		x.SetType(irToAst(bi.Ret))
+		return
+	}
+	c.errorf(x.Pos(), "undefined function %s", x.Name)
+	x.SetType(ast.IntType)
+}
+
+// irToAst maps a builtin signature type to the source type system.
+func irToAst(t ir.Type) ast.Type {
+	switch t.Kind() {
+	case ir.KInt:
+		return ast.IntType
+	case ir.KFloat:
+		return ast.FloatType
+	case ir.KBool:
+		return ast.BoolType
+	case ir.KPtr:
+		if t.Base == ir.KFloat {
+			return ast.PtrType(ast.TFloat)
+		}
+		return ast.PtrType(ast.TInt)
+	default:
+		return ast.VoidType
+	}
+}

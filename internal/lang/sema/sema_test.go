@@ -1,0 +1,163 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/lang/ast"
+	"loopapalooza/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	f, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return Check(f)
+}
+
+func wantErr(t *testing.T, src, substr string) {
+	t.Helper()
+	err := check(t, src)
+	if err == nil {
+		t.Fatalf("no error for %q (want %q)", src, substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
+}
+
+func TestSemaAcceptsValidProgram(t *testing.T) {
+	err := check(t, `
+const N = 16;
+var tab [N]int;
+var sum int = 0;
+func fill(p *int, n int) {
+	for (var i int = 0; i < n; i = i + 1) { p[i] = i * i; }
+}
+func total(n int) int {
+	var s int;
+	s = 0;
+	for (var i int = 0; i < n; i = i + 1) { s = s + tab[i]; }
+	return s;
+}
+func main() int {
+	fill(tab, N);
+	sum = total(N);
+	if (sum > 100 && sum < 10000) { print_i64(sum); }
+	var x float = float(sum);
+	x = x * 2.0 + sqrt(x);
+	return int(x) % 256;
+}`)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestSemaTypeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`func f() { var x int = 1.5; }`, "cannot initialize"},
+		{`func f() { var x int; x = true; }`, "cannot assign"},
+		{`func f() { if (1) { } }`, "must be bool"},
+		{`func f() { while (2.0) { } }`, "must be bool"},
+		{`func f() int { return 1.5; }`, "cannot return"},
+		{`func f() { return 1; }`, "void function returns"},
+		{`func f() int { return; }`, "missing return value"},
+		{`func f() { var x int = 1 + 2.0; }`, "invalid operands"},
+		{`func f() { var b bool = 1 < 2.0; }`, "comparison of"},
+		{`func f() { var b bool = true < false; }`, "not ordered"},
+		{`func f() { var x float = 1.5 % 2.0; }`, "requires int"},
+		{`func f() { var x int = y; }`, "undefined: y"},
+		{`func f() { g(); }`, "undefined function"},
+		{`func f() { break; }`, "break outside loop"},
+		{`func f() { continue; }`, "continue outside loop"},
+		{`func f() { 1 + 2; }`, "must be a call"},
+		{`const N = 1; func f() { N = 2; }`, "cannot assign to constant"},
+		{`func f() { var x int; x(); }`, "undefined function"},
+		{`func f(x int) { f(1, 2); }`, "takes 1 arguments"},
+		{`func f(x float) { f(1); }`, "cannot use int as float"},
+		{`func f() { min(1.0, 2.0); }`, "cannot use float as int"},
+		{`func f() { var p *int; var x float = *p; }`, "cannot initialize"},
+		{`func f() { var x int = *x; }`, "cannot dereference"},
+		{`func f() { var x int; var p *float = &x; }`, "cannot initialize"},
+		{`func f() { var b bool = !1; }`, "requires bool"},
+		{`var a [4]int; func f() { a = a; }`, "cannot assign to an array"},
+		{`var a [4]int; var b [4]float; func f() { a[0] = b[0]; }`, "cannot assign"},
+		{`func f() { var x bool = float(true) > 0.0; }`, "cannot convert"},
+		{`func sqrt(x float) float { return x; }`, "shadows a builtin"},
+		{`func f() { } func f() { }`, "redeclared"},
+		{`var g int; var g int;`, "redeclared"},
+		{`func f() { var x int; var x int; }`, "redeclared in this scope"},
+		{`var g int = 1 + 2;`, "must be a constant literal"},
+		{`func f(p *int) { var q *float = p; }`, "cannot initialize"},
+	}
+	for _, c := range cases {
+		wantErr(t, c.src, c.want)
+	}
+}
+
+func TestSemaScoping(t *testing.T) {
+	// Inner scopes may shadow; uses resolve innermost-first.
+	err := check(t, `
+var x int = 1;
+func f() int {
+	var x float;
+	x = 2.5;
+	{
+		var x bool;
+		x = true;
+	}
+	return 0;
+}`)
+	if err != nil {
+		t.Fatalf("shadowing should be legal: %v", err)
+	}
+}
+
+func TestSemaArrayDecay(t *testing.T) {
+	err := check(t, `
+var a [8]float;
+func g(p *float, n int) float { return p[n-1]; }
+func f() float {
+	var local [4]float;
+	return g(a, 8) + g(local, 4) + g(&a[2], 2);
+}`)
+	if err != nil {
+		t.Fatalf("array decay should typecheck: %v", err)
+	}
+}
+
+func TestSemaPointerArithmetic(t *testing.T) {
+	err := check(t, `
+var a [8]int;
+func f() int {
+	var p *int = a;
+	p = p + 3;
+	p = p - 1;
+	p = 1 + p;
+	if (p == &a[3] || p != a) { return *p; }
+	return p[0];
+}`)
+	if err != nil {
+		t.Fatalf("pointer arithmetic should typecheck: %v", err)
+	}
+}
+
+func TestSemaIdentTypesAnnotated(t *testing.T) {
+	f, err := parser.Parse("t", `var v float; func f() float { return v; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ast.Return)
+	if ret.X.Type() != ast.FloatType {
+		t.Errorf("v type = %s, want float", ret.X.Type())
+	}
+	id := ret.X.(*ast.Ident)
+	if id.Decl != f.Globals[0] {
+		t.Error("ident not resolved to global decl")
+	}
+}

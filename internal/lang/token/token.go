@@ -1,0 +1,132 @@
+// Package token defines the lexical tokens of LPC, the C-like benchmark
+// language of the Loopapalooza reproduction, together with source positions.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	IDENT // main, x
+	INT   // 123, 0x1f
+	FLOAT // 1.5, 2e9
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND // &
+	OR  // |
+	XOR // ^
+	SHL // <<
+	SHR // >>
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	ASSIGN // =
+
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	LBRACE // {
+	RBRACE // }
+
+	COMMA // ,
+	SEMI  // ;
+
+	// Keywords.
+	KwFunc
+	KwVar
+	KwConst
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwBreak
+	KwContinue
+	KwReturn
+	KwInt
+	KwFloat
+	KwBool
+	KwTrue
+	KwFalse
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", IDENT: "identifier", INT: "int literal",
+	FLOAT: "float literal",
+	ADD:   "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	AND: "&", OR: "|", XOR: "^", SHL: "<<", SHR: ">>",
+	LAND: "&&", LOR: "||", NOT: "!",
+	EQL: "==", NEQ: "!=", LSS: "<", LEQ: "<=", GTR: ">", GEQ: ">=",
+	ASSIGN: "=",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{", RBRACE: "}",
+	COMMA: ",", SEMI: ";",
+	KwFunc: "func", KwVar: "var", KwConst: "const", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwBreak: "break", KwContinue: "continue",
+	KwReturn: "return", KwInt: "int", KwFloat: "float", KwBool: "bool",
+	KwTrue: "true", KwFalse: "false",
+}
+
+// String returns a human-readable spelling of the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"func": KwFunc, "var": KwVar, "const": KwConst, "if": KwIf,
+	"else": KwElse, "while": KwWhile, "for": KwFor, "break": KwBreak,
+	"continue": KwContinue, "return": KwReturn, "int": KwInt,
+	"float": KwFloat, "bool": KwBool, "true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	// Line is 1-based.
+	Line int
+	// Col is 1-based, counted in bytes.
+	Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	// Kind is the token class.
+	Kind Kind
+	// Lit is the literal text for IDENT/INT/FLOAT tokens.
+	Lit string
+	// Pos is the position of the token's first byte.
+	Pos Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Lit != "" {
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,37 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF: "EOF", IDENT: "identifier", ADD: "+", SHR: ">>",
+		LAND: "&&", NEQ: "!=", KwFunc: "func", KwFloat: "float",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKeywordsTable(t *testing.T) {
+	if Keywords["while"] != KwWhile || Keywords["true"] != KwTrue {
+		t.Error("keyword table wrong")
+	}
+	if _, ok := Keywords["main"]; ok {
+		t.Error("main should not be a keyword")
+	}
+}
+
+func TestTokenAndPosStrings(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "x", Pos: Pos{Line: 3, Col: 7}}
+	if tok.String() != "identifier(x)" {
+		t.Errorf("token string = %q", tok.String())
+	}
+	if tok.Pos.String() != "3:7" {
+		t.Errorf("pos string = %q", tok.Pos.String())
+	}
+	if (Token{Kind: SEMI}).String() != ";" {
+		t.Error("literal-less token string wrong")
+	}
+}

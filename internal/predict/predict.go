@@ -1,0 +1,200 @@
+// Package predict implements the value predictors of Loopapalooza §III-C:
+// last-value, stride, 2-delta stride, and a Finite Context Method (FCM)
+// predictor, combined under the paper's "perfect hybridization" assumption
+// (a value counts as predicted when any component predictor is correct).
+package predict
+
+// Predictor predicts the next value of a 64-bit sequence. Predict returns
+// the prediction for the next value and whether the predictor is ready to
+// predict at all; Train feeds the actual observed value.
+type Predictor interface {
+	// Predict returns the predicted next value.
+	Predict() (uint64, bool)
+	// Train records the actual next value.
+	Train(v uint64)
+	// Name identifies the predictor.
+	Name() string
+}
+
+// LastValue predicts that the next value repeats the previous one.
+type LastValue struct {
+	last  uint64
+	ready bool
+}
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict() (uint64, bool) { return p.last, p.ready }
+
+// Train implements Predictor.
+func (p *LastValue) Train(v uint64) { p.last, p.ready = v, true }
+
+// Stride predicts last + (last - previous).
+type Stride struct {
+	last   uint64
+	stride uint64
+	seen   int
+}
+
+// Name implements Predictor.
+func (p *Stride) Name() string { return "stride" }
+
+// Predict implements Predictor.
+func (p *Stride) Predict() (uint64, bool) { return p.last + p.stride, p.seen >= 2 }
+
+// Train implements Predictor.
+func (p *Stride) Train(v uint64) {
+	if p.seen > 0 {
+		p.stride = v - p.last
+	}
+	p.last = v
+	p.seen++
+}
+
+// TwoDeltaStride updates its stride only when the same delta is observed
+// twice in a row, which filters one-off jumps (Sazeides & Smith).
+type TwoDeltaStride struct {
+	last    uint64
+	stride  uint64 // committed stride
+	lastDel uint64 // most recent delta
+	seen    int
+}
+
+// Name implements Predictor.
+func (p *TwoDeltaStride) Name() string { return "2-delta" }
+
+// Predict implements Predictor.
+func (p *TwoDeltaStride) Predict() (uint64, bool) { return p.last + p.stride, p.seen >= 2 }
+
+// Train implements Predictor.
+func (p *TwoDeltaStride) Train(v uint64) {
+	if p.seen > 0 {
+		d := v - p.last
+		if d == p.lastDel {
+			p.stride = d
+		}
+		p.lastDel = d
+	}
+	p.last = v
+	p.seen++
+}
+
+// fcmOrder is the context length of the FCM predictor.
+const fcmOrder = 4
+
+// fcmTableBits sizes the FCM value table (2^bits entries).
+const fcmTableBits = 12
+
+// FCM is an order-4 Finite Context Method predictor: a hash of the last
+// four values indexes a table of "value seen next in this context".
+type FCM struct {
+	hist  [fcmOrder]uint64
+	n     int
+	table [1 << fcmTableBits]fcmEntry
+}
+
+type fcmEntry struct {
+	value uint64
+	valid bool
+}
+
+// Name implements Predictor.
+func (p *FCM) Name() string { return "fcm" }
+
+func (p *FCM) index() uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range p.hist {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h & (1<<fcmTableBits - 1)
+}
+
+// Predict implements Predictor.
+func (p *FCM) Predict() (uint64, bool) {
+	if p.n < fcmOrder {
+		return 0, false
+	}
+	e := p.table[p.index()]
+	return e.value, e.valid
+}
+
+// Train implements Predictor.
+func (p *FCM) Train(v uint64) {
+	if p.n >= fcmOrder {
+		idx := p.index()
+		p.table[idx] = fcmEntry{value: v, valid: true}
+	}
+	copy(p.hist[:], p.hist[1:])
+	p.hist[fcmOrder-1] = v
+	if p.n < fcmOrder {
+		p.n++
+	}
+}
+
+// Hybrid combines the four component predictors under perfect
+// hybridization: an observation counts as correctly predicted if any ready
+// component predicted it (paper §III-C).
+type Hybrid struct {
+	parts   []Predictor
+	correct int64
+	total   int64
+}
+
+// NewHybrid returns the paper's four-way hybrid.
+func NewHybrid() *Hybrid {
+	return &Hybrid{parts: []Predictor{
+		&LastValue{}, &Stride{}, &TwoDeltaStride{}, &FCM{},
+	}}
+}
+
+// Observe feeds the next actual value and reports whether the hybrid
+// predicted it.
+func (h *Hybrid) Observe(v uint64) bool {
+	hit := false
+	for _, p := range h.parts {
+		if pred, ok := p.Predict(); ok && pred == v {
+			hit = true
+			break
+		}
+	}
+	for _, p := range h.parts {
+		p.Train(v)
+	}
+	h.total++
+	if hit {
+		h.correct++
+	}
+	return hit
+}
+
+// HitRate returns the fraction of observations predicted correctly.
+func (h *Hybrid) HitRate() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.correct) / float64(h.total)
+}
+
+// Stats returns (correct, total) observation counts.
+func (h *Hybrid) Stats() (int64, int64) { return h.correct, h.total }
+
+// Perfect is a predictor stand-in for the dep3 configuration: every value is
+// "predicted". It satisfies the same Observe interface as Hybrid.
+type Perfect struct{ total int64 }
+
+// Observe always reports a hit.
+func (p *Perfect) Observe(uint64) bool { p.total++; return true }
+
+// HitRate is always 1 once observations were made.
+func (p *Perfect) HitRate() float64 { return 1 }
+
+// Observer is the common interface of Hybrid and Perfect.
+type Observer interface {
+	// Observe feeds the next value, reporting a correct prediction.
+	Observe(v uint64) bool
+	// HitRate is the fraction predicted.
+	HitRate() float64
+}

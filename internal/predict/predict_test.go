@@ -1,0 +1,192 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func feed(p Predictor, vals ...uint64) {
+	for _, v := range vals {
+		p.Train(v)
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	p := &LastValue{}
+	if _, ok := p.Predict(); ok {
+		t.Error("untrained predictor claims readiness")
+	}
+	feed(p, 7)
+	if v, ok := p.Predict(); !ok || v != 7 {
+		t.Errorf("predict = %d,%v want 7,true", v, ok)
+	}
+	feed(p, 9)
+	if v, _ := p.Predict(); v != 9 {
+		t.Errorf("predict = %d, want 9", v)
+	}
+}
+
+func TestStride(t *testing.T) {
+	p := &Stride{}
+	feed(p, 10, 13)
+	if v, ok := p.Predict(); !ok || v != 16 {
+		t.Errorf("predict = %d,%v want 16,true", v, ok)
+	}
+	feed(p, 16, 19)
+	if v, _ := p.Predict(); v != 22 {
+		t.Errorf("predict = %d, want 22", v)
+	}
+	// Negative strides via wraparound arithmetic.
+	q := &Stride{}
+	feed(q, 100, 90)
+	if v, _ := q.Predict(); v != 80 {
+		t.Errorf("negative stride predict = %d, want 80", v)
+	}
+}
+
+func TestTwoDeltaFiltersOneOffJump(t *testing.T) {
+	p := &TwoDeltaStride{}
+	feed(p, 10, 20, 30) // committed stride 10
+	if v, _ := p.Predict(); v != 40 {
+		t.Fatalf("predict = %d, want 40", v)
+	}
+	feed(p, 1000) // one-off jump; stride must stay 10
+	if v, _ := p.Predict(); v != 1010 {
+		t.Errorf("after jump predict = %d, want 1010 (stride kept)", v)
+	}
+	// Plain stride would have committed the jump delta instead.
+	s := &Stride{}
+	feed(s, 10, 20, 30, 1000)
+	if v, _ := s.Predict(); v == 1010 {
+		t.Error("plain stride unexpectedly filtered the jump")
+	}
+}
+
+func TestFCMLearnsRepeatingSequence(t *testing.T) {
+	p := &FCM{}
+	seq := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	// Two warm-up passes, then it must predict every element.
+	for pass := 0; pass < 2; pass++ {
+		for _, v := range seq {
+			p.Train(v)
+		}
+	}
+	hits := 0
+	for _, v := range seq {
+		if pred, ok := p.Predict(); ok && pred == v {
+			hits++
+		}
+		p.Train(v)
+	}
+	if hits != len(seq) {
+		t.Errorf("FCM hits = %d/%d on learned periodic sequence", hits, len(seq))
+	}
+}
+
+func TestHybridCoversComponents(t *testing.T) {
+	// Constant sequence: last-value catches it.
+	h := NewHybrid()
+	h.Observe(5)
+	for i := 0; i < 10; i++ {
+		if !h.Observe(5) {
+			t.Fatal("hybrid missed constant value")
+		}
+	}
+	// Arithmetic sequence: stride catches it.
+	h2 := NewHybrid()
+	h2.Observe(0)
+	h2.Observe(3)
+	for i := uint64(2); i < 12; i++ {
+		if !h2.Observe(i * 3) {
+			t.Fatalf("hybrid missed stride value %d", i*3)
+		}
+	}
+}
+
+func TestHybridHitRate(t *testing.T) {
+	h := NewHybrid()
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i))
+	}
+	if r := h.HitRate(); r < 0.9 {
+		t.Errorf("hit rate on counter = %f, want >= 0.9", r)
+	}
+	c, total := h.Stats()
+	if total != 100 || c < 90 {
+		t.Errorf("stats = %d/%d", c, total)
+	}
+}
+
+func TestHybridOnRandomIsPoor(t *testing.T) {
+	h := NewHybrid()
+	x := uint64(0x9E3779B97F4A7C15)
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if h.Observe(x) {
+			hits++
+		}
+	}
+	if hits > 200 {
+		t.Errorf("hybrid 'predicted' %d/2000 random values", hits)
+	}
+}
+
+func TestPerfect(t *testing.T) {
+	var p Perfect
+	if !p.Observe(123) || p.HitRate() != 1 {
+		t.Error("Perfect must always hit")
+	}
+}
+
+// Property: for any sequence, a Hybrid hit on step i implies at least one
+// component predictor (trained on the prefix) predicted the value.
+func TestHybridPropertyConsistency(t *testing.T) {
+	f := func(seq []uint64) bool {
+		h := NewHybrid()
+		shadow := []Predictor{&LastValue{}, &Stride{}, &TwoDeltaStride{}, &FCM{}}
+		for _, v := range seq {
+			anyHit := false
+			for _, p := range shadow {
+				if pred, ok := p.Predict(); ok && pred == v {
+					anyHit = true
+				}
+			}
+			got := h.Observe(v)
+			if got != anyHit {
+				return false
+			}
+			for _, p := range shadow {
+				p.Train(v)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stride predictor is exact on any affine sequence a + i*d after
+// two observations.
+func TestStrideAffineProperty(t *testing.T) {
+	f := func(a, d uint64) bool {
+		p := &Stride{}
+		p.Train(a)
+		p.Train(a + d)
+		for i := uint64(2); i < 10; i++ {
+			want := a + i*d
+			got, ok := p.Predict()
+			if !ok || got != want {
+				return false
+			}
+			p.Train(want)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package loopapalooza is a from-scratch Go reproduction of
+// "Loopapalooza: Investigating Limits of Loop-Level Parallelism with a
+// Compiler-Driven Approach" (Zaidi, Iordanou, Luján, Gabrielli — ISPASS
+// 2021).
+//
+// It provides the paper's complete pipeline as a library:
+//
+//   - an LPC (mini-C) front end and a typed SSA IR standing in for LLVM;
+//   - the compile-time component: loop canonicalization, mem2reg, scalar
+//     evolution, reduction recognition, and purity analysis;
+//   - the run-time component: an instrumenting interpreter driving the
+//     limit-study engine with the DOALL / Partial-DOALL / HELIX execution
+//     models, Table II configuration flags, and the four value predictors;
+//   - the synthetic SPEC/EEMBC-like benchmark suites and the harness that
+//     regenerates Figures 2-5 of the paper.
+//
+// Quick start:
+//
+//	report, err := loopapalooza.Study("prog", src,
+//		loopapalooza.Config{Model: loopapalooza.HELIX, Reduc: 1, Dep: 1, Fn: 2})
+//	fmt.Printf("limit speedup: %.2fx\n", report.Speedup())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package loopapalooza
+
+import (
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/bench"
+	"loopapalooza/internal/core"
+)
+
+// Config is a limit-study configuration (the paper's Table II flags plus
+// the execution model).
+type Config = core.Config
+
+// Model selects the parallel execution model.
+type Model = core.Model
+
+// The three execution models of the paper (§II-C).
+const (
+	DOALL  = core.DOALL
+	PDOALL = core.PDOALL
+	HELIX  = core.HELIX
+)
+
+// Report is the outcome of one limit-study run: limit speedup, dynamic
+// coverage, per-loop classification, and the Table I dependency census.
+type Report = core.Report
+
+// LoopReport summarizes one static loop under a configuration.
+type LoopReport = core.LoopReport
+
+// ModuleInfo is the reusable compile-time analysis of one program.
+type ModuleInfo = analysis.ModuleInfo
+
+// Benchmark is one kernel of the synthetic SPEC/EEMBC-like suites.
+type Benchmark = bench.Benchmark
+
+// Suite identifies a benchmark suite.
+type Suite = bench.Suite
+
+// ParseConfig parses "reduc1-dep1-fn2 HELIX"-style configuration strings.
+func ParseConfig(s string) (Config, error) { return core.ParseConfig(s) }
+
+// PaperConfigs returns the fourteen configurations of Figures 2 and 3, in
+// presentation order.
+func PaperConfigs() []Config { return core.PaperConfigs() }
+
+// BestPDOALL returns the best realistic Partial-DOALL configuration
+// (reduc1-dep2-fn2), per Figure 4.
+func BestPDOALL() Config { return core.BestPDOALL() }
+
+// BestHELIX returns the best realistic HELIX configuration
+// (reduc1-dep1-fn2), per Figure 4.
+func BestHELIX() Config { return core.BestHELIX() }
+
+// Analyze compiles LPC source and runs the full compile-time component
+// (canonicalization, SSA promotion, SCEV, reductions, purity). The result
+// can be reused across configurations.
+func Analyze(name, src string) (*ModuleInfo, error) {
+	return core.AnalyzeSource(name, src)
+}
+
+// Study compiles source and runs the limit study under one configuration.
+func Study(name, src string, cfg Config) (*Report, error) {
+	return core.RunSource(name, src, cfg, core.RunOptions{})
+}
+
+// StudyAnalyzed runs the limit study on a previously analyzed module.
+func StudyAnalyzed(info *ModuleInfo, cfg Config) (*Report, error) {
+	return core.Run(info, cfg, core.RunOptions{})
+}
+
+// Benchmarks returns the registered SPEC/EEMBC-like kernels.
+func Benchmarks() []*Benchmark { return bench.All() }
+
+// BenchmarkByName returns one registered kernel, or nil.
+func BenchmarkByName(name string) *Benchmark { return bench.ByName(name) }
