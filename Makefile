@@ -1,0 +1,30 @@
+# Tier-1 gate: build + vet + tests + race. `make ci` is what a PR must
+# keep green; `make quick` is the short edit loop (-short skips the
+# figure-shape sweep).
+
+GO ?= go
+
+.PHONY: ci quick build vet test race bench figures
+
+ci: build vet test race
+
+quick: build vet
+	$(GO) test -short ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+figures:
+	$(GO) run ./cmd/lpbench

@@ -7,14 +7,31 @@
 //	lpa -ir prog.lpc         # dump the canonicalized IR
 //	lpa -run prog.lpc        # just execute the program
 //
+// Resource budgets:
+//
+//	lpa -max-steps 100e6 -timeout 30s -mem-limit 1e6 prog.lpc
+//
 // With no file, lpa reads the program from stdin.
+//
+// Exit codes map the failure taxonomy so scripts can classify runs
+// without parsing messages:
+//
+//	0  success
+//	1  usage, I/O, compile, or configuration error
+//	3  guest runtime fault (division by zero, null/unmapped access, ...)
+//	4  step budget exhausted
+//	5  memory budget exhausted
+//	6  deadline/timeout exceeded
+//	7  canceled
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"loopapalooza/internal/analysis"
 	"loopapalooza/internal/core"
@@ -27,15 +44,41 @@ func main() {
 	all := flag.Bool("all", false, "run every paper configuration")
 	dumpIR := flag.Bool("ir", false, "print the canonicalized IR and loop analysis, then exit")
 	justRun := flag.Bool("run", false, "execute the program without the limit study")
+	maxSteps := flag.Int64("max-steps", 0, "dynamic instruction budget (0 = default)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+	memLimit := flag.Int64("mem-limit", 0, "heap budget in 64-bit cells (0 = default)")
 	flag.Parse()
 
-	if err := run(*cfgStr, *all, *dumpIR, *justRun, flag.Arg(0)); err != nil {
+	opts := core.RunOptions{
+		MaxSteps:     *maxSteps,
+		Timeout:      *timeout,
+		MaxHeapCells: *memLimit,
+	}
+	if err := run(*cfgStr, *all, *dumpIR, *justRun, flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "lpa:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(cfgStr string, all, dumpIR, justRun bool, path string) error {
+// exitCode maps the failure taxonomy to distinct exit codes.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrStepLimit):
+		return 4
+	case errors.Is(err, core.ErrMemLimit):
+		return 5
+	case errors.Is(err, core.ErrDeadline):
+		return 6
+	case errors.Is(err, core.ErrCanceled):
+		return 7
+	case errors.Is(err, core.ErrRuntime):
+		return 3
+	default:
+		return 1
+	}
+}
+
+func run(cfgStr string, all, dumpIR, justRun bool, path string, opts core.RunOptions) error {
 	name := "<stdin>"
 	var src []byte
 	var err error
@@ -77,7 +120,16 @@ func run(cfgStr string, all, dumpIR, justRun bool, path string) error {
 	}
 
 	if justRun {
-		in := interp.New(info, interp.Config{Out: os.Stdout})
+		var deadline time.Time
+		if opts.Timeout > 0 {
+			deadline = time.Now().Add(opts.Timeout)
+		}
+		in := interp.New(info, interp.Config{
+			Out:          os.Stdout,
+			MaxSteps:     opts.MaxSteps,
+			MaxHeapCells: opts.MaxHeapCells,
+			Deadline:     deadline,
+		})
 		res, err := in.Run("main")
 		if err != nil {
 			return err
@@ -88,7 +140,7 @@ func run(cfgStr string, all, dumpIR, justRun bool, path string) error {
 
 	if all {
 		for _, cfg := range core.PaperConfigs() {
-			r, err := core.Run(info, cfg, core.RunOptions{})
+			r, err := core.Run(info, cfg, opts)
 			if err != nil {
 				return err
 			}
@@ -101,7 +153,9 @@ func run(cfgStr string, all, dumpIR, justRun bool, path string) error {
 	if err != nil {
 		return err
 	}
-	r, err := core.Run(info, cfg, core.RunOptions{Out: os.Stdout})
+	runOpts := opts
+	runOpts.Out = os.Stdout
+	r, err := core.Run(info, cfg, runOpts)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,19 @@
 //	lpbench -figure 2        # one figure
 //	lpbench -bench 181.mcf   # per-benchmark report under every paper config
 //	lpbench -list            # list benchmarks
+//
+// Resource budgets and fault isolation:
+//
+//	lpbench -max-steps 100e6 -timeout 30s -mem-limit 1e6
+//
+// bounds every benchmark run by dynamic instruction count, wall-clock
+// time, and simulated heap cells. With -keep-going (the default) a cell
+// that exhausts a budget, faults, or panics is annotated in the figures
+// ("n/a(steps)", "n/a(time)", ...) and classified in the failure-summary
+// footer; suite geomeans cover the surviving benchmarks. With
+// -keep-going=false the first failed cell aborts with exit code 1.
+// lpbench exits 0 when every cell completed and 3 when output was
+// rendered with failed cells (figures, -matrix, and -bench alike).
 package main
 
 import (
@@ -23,29 +36,56 @@ func main() {
 	benchName := flag.String("bench", "", "report a single benchmark under every paper configuration")
 	list := flag.Bool("list", false, "list registered benchmarks")
 	matrix := flag.Bool("matrix", false, "per-benchmark speedups under key configurations")
+	maxSteps := flag.Int64("max-steps", 0, "per-run dynamic instruction budget (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+	memLimit := flag.Int64("mem-limit", 0, "per-run heap budget in 64-bit cells (0 = default)")
+	keepGoing := flag.Bool("keep-going", true, "render figures over surviving cells instead of aborting on the first failure")
 	flag.Parse()
 
-	if *matrix {
-		if err := printMatrix(); err != nil {
-			fmt.Fprintln(os.Stderr, "lpbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *list {
+	h := bench.NewHarnessWith(bench.HarnessOptions{
+		Run: core.RunOptions{
+			MaxSteps:     *maxSteps,
+			Timeout:      *timeout,
+			MaxHeapCells: *memLimit,
+		},
+		RetryTransient: true,
+	})
+
+	switch {
+	case *matrix:
+		exitOn(printMatrix(h))
+		exitPartial(h)
+	case *list:
 		for _, b := range bench.All() {
 			fmt.Printf("%-10s %-16s %s\n", b.Suite, b.Name, b.Modeled)
 		}
-		return
+	case *benchName != "":
+		exitOn(reportOne(h, *benchName))
+		exitPartial(h)
+	default:
+		runFigures(h, *figure, *keepGoing)
 	}
-	if *benchName != "" {
-		if err := reportOne(*benchName); err != nil {
-			fmt.Fprintln(os.Stderr, "lpbench:", err)
-			os.Exit(1)
-		}
-		return
+}
+
+// exitPartial exits 3 when any cell failed, mirroring the figure path's
+// partial-result exit code.
+func exitPartial(h *bench.Harness) {
+	if len(h.Failures()) > 0 {
+		os.Exit(3)
 	}
-	h := bench.NewHarness()
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runFigures renders the requested figures, then the failure-summary
+// footer. Exit codes: 0 all cells ok, 1 aborted (-keep-going=false),
+// 3 figures rendered with failed cells.
+func runFigures(h *bench.Harness, figure int, keepGoing bool) {
 	run := func(n int) error {
 		switch n {
 		case 2:
@@ -82,22 +122,28 @@ func main() {
 		fmt.Println()
 		return nil
 	}
-	if *figure != 0 {
-		if err := run(*figure); err != nil {
-			fmt.Fprintln(os.Stderr, "lpbench:", err)
-			os.Exit(1)
-		}
-		return
+
+	figures := []int{2, 3, 4, 5}
+	if figure != 0 {
+		figures = []int{figure}
 	}
-	for n := 2; n <= 5; n++ {
-		if err := run(n); err != nil {
-			fmt.Fprintln(os.Stderr, "lpbench:", err)
-			os.Exit(1)
+	for _, n := range figures {
+		exitOn(run(n))
+		if !keepGoing {
+			if failures := h.Failures(); len(failures) > 0 {
+				fmt.Fprint(os.Stderr, bench.FormatFailureSummary(failures))
+				fmt.Fprintln(os.Stderr, "lpbench: aborting (-keep-going=false)")
+				os.Exit(1)
+			}
 		}
+	}
+	if failures := h.Failures(); len(failures) > 0 {
+		fmt.Print(bench.FormatFailureSummary(failures))
+		os.Exit(3)
 	}
 }
 
-func printMatrix() error {
+func printMatrix(h *bench.Harness) error {
 	cfgs := []core.Config{
 		{Model: core.DOALL},
 		{Model: core.PDOALL, Reduc: 1, Dep: 2, Fn: 2},
@@ -105,10 +151,7 @@ func printMatrix() error {
 		{Model: core.HELIX, Reduc: 0, Dep: 0, Fn: 2},
 		{Model: core.HELIX, Reduc: 1, Dep: 1, Fn: 2},
 	}
-	h := bench.NewHarness()
-	if err := h.Prefetch(bench.All(), cfgs); err != nil {
-		return err
-	}
+	h.Sweep(nil, bench.All(), cfgs)
 	fmt.Printf("%-10s %-16s %9s %9s %9s %9s %9s %10s\n",
 		"suite", "benchmark", "doall", "pd-r1d2f2", "pd-d3f3", "hx-d0f2", "hx-r1d1f2", "serialMI")
 	for _, b := range bench.All() {
@@ -117,13 +160,17 @@ func printMatrix() error {
 		for _, cfg := range cfgs {
 			r, err := h.Report(b, cfg)
 			if err != nil {
-				return err
+				cells = append(cells, fmt.Sprintf("%9s", "n/a("+core.Classify(err).Short()+")"))
+				continue
 			}
 			cells = append(cells, fmt.Sprintf("%8.2fx", r.Speedup()))
 			serial = r.SerialCost
 		}
 		fmt.Printf("%-10s %-16s %s %9.2f\n", b.Suite, b.Name,
 			joinCells(cells), float64(serial)/1e6)
+	}
+	if failures := h.Failures(); len(failures) > 0 {
+		fmt.Print(bench.FormatFailureSummary(failures))
 	}
 	return nil
 }
@@ -139,16 +186,17 @@ func joinCells(cells []string) string {
 	return out
 }
 
-func reportOne(name string) error {
+func reportOne(h *bench.Harness, name string) error {
 	b := bench.ByName(name)
 	if b == nil {
 		return fmt.Errorf("unknown benchmark %q (try -list)", name)
 	}
 	fmt.Printf("%s (%s): %s\n\n", b.Name, b.Suite, b.Modeled)
 	for _, cfg := range core.PaperConfigs() {
-		r, err := b.Run(cfg)
+		r, err := h.Report(b, cfg)
 		if err != nil {
-			return err
+			fmt.Printf("%-28s %s: %v\n", cfg, core.Classify(err), err)
+			continue
 		}
 		fmt.Printf("%-28s speedup %8.2fx  coverage %5.1f%%\n", cfg, r.Speedup(), 100*r.Coverage())
 	}

@@ -54,6 +54,10 @@ type Benchmark struct {
 	Modeled string
 	// Source is the LPC program.
 	Source string
+
+	// runHook, when set, replaces RunWith's execution. Test seam for
+	// fault injection (panics, synthetic budget errors).
+	runHook func(core.Config, core.RunOptions) (*core.Report, error)
 }
 
 var (
@@ -119,11 +123,20 @@ func (b *Benchmark) Analyze() (*analysis.ModuleInfo, error) {
 	return info, nil
 }
 
-// Run executes the limit study for one configuration.
+// Run executes the limit study for one configuration with no budgets.
 func (b *Benchmark) Run(cfg core.Config) (*core.Report, error) {
+	return b.RunWith(cfg, core.RunOptions{})
+}
+
+// RunWith executes the limit study for one configuration under the given
+// budgets and cancellation context.
+func (b *Benchmark) RunWith(cfg core.Config, opts core.RunOptions) (*core.Report, error) {
+	if b.runHook != nil {
+		return b.runHook(cfg, opts)
+	}
 	info, err := b.Analyze()
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(info, cfg, core.RunOptions{})
+	return core.Run(info, cfg, opts)
 }

@@ -1,99 +1,27 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"loopapalooza/internal/core"
 )
 
-// Harness runs benchmark × configuration sweeps and assembles the paper's
-// figures. Reports are cached, so regenerating several figures shares work.
-type Harness struct {
-	mu      sync.Mutex
-	reports map[string]*core.Report // key: bench + "|" + config
-	errs    map[string]error
-}
+// This file assembles the paper's figures on top of the sweep engine
+// (sweep.go). Figures degrade gracefully: a failed cell never aborts a
+// figure — suite geomeans are computed over the surviving benchmarks and
+// missing cells are annotated with their failure class (e.g. "n/a(steps)").
 
-// NewHarness returns an empty harness.
-func NewHarness() *Harness {
-	return &Harness{reports: map[string]*core.Report{}, errs: map[string]error{}}
-}
-
-func key(b *Benchmark, cfg core.Config) string { return b.Name + "|" + cfg.String() }
-
-// Report runs (or recalls) one benchmark under one configuration.
-func (h *Harness) Report(b *Benchmark, cfg core.Config) (*core.Report, error) {
-	h.mu.Lock()
-	if r := h.reports[key(b, cfg)]; r != nil {
-		h.mu.Unlock()
-		return r, nil
-	}
-	if err := h.errs[key(b, cfg)]; err != nil {
-		h.mu.Unlock()
-		return nil, err
-	}
-	h.mu.Unlock()
-
-	r, err := b.Run(cfg)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if err != nil {
-		h.errs[key(b, cfg)] = err
-		return nil, err
-	}
-	h.reports[key(b, cfg)] = r
-	return r, nil
-}
-
-// Prefetch runs every (benchmark, config) pair concurrently, bounded by
-// GOMAXPROCS workers, and returns the first error.
+// Prefetch runs every (benchmark, config) pair concurrently and caches the
+// per-cell outcome. It returns the joined per-cell errors (nil when every
+// cell succeeded); unlike the old first-error semantics, a failure neither
+// aborts the sweep nor discards completed work, and each cell's own error
+// stays visible to later Report calls.
 func (h *Harness) Prefetch(benches []*Benchmark, cfgs []core.Config) error {
-	type job struct {
-		b   *Benchmark
-		cfg core.Config
-	}
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var firstErr error
-	var errMu sync.Mutex
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if _, err := h.Report(j.b, j.cfg); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-				}
-			}
-		}()
-	}
-	// Analyze serially first: analysis mutates shared state once per
-	// benchmark and is cheap relative to the runs.
-	for _, b := range benches {
-		if _, err := b.Analyze(); err != nil {
-			close(jobs)
-			wg.Wait()
-			return err
-		}
-	}
-	for _, b := range benches {
-		for _, cfg := range cfgs {
-			jobs <- job{b, cfg}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	return firstErr
+	return h.Sweep(context.Background(), benches, cfgs).Err()
 }
 
 // GeoMean returns the geometric mean of xs (1 if empty).
@@ -111,63 +39,117 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
-// SuiteSpeedup returns the geometric-mean speedup of a suite under cfg.
-func (h *Harness) SuiteSpeedup(s Suite, cfg core.Config) (float64, error) {
-	var xs []float64
-	for _, b := range BySuite(s) {
-		r, err := h.Report(b, cfg)
-		if err != nil {
-			return 0, err
-		}
-		xs = append(xs, r.Speedup())
-	}
-	return GeoMean(xs), nil
+// suiteStat is one suite × configuration aggregate over surviving cells.
+type suiteStat struct {
+	Geo        float64      // geomean of the metric over surviving benchmarks
+	OK, Failed int          // cell counts
+	Outcome    core.Outcome // dominant failure outcome (when Failed > 0)
+	Err        error        // first per-cell error (when Failed > 0)
 }
 
-// SuiteCoverage returns the geometric-mean dynamic coverage (in percent) of
-// a suite under cfg.
-func (h *Harness) SuiteCoverage(s Suite, cfg core.Config) (float64, error) {
+// Note renders the figure-cell annotation: "" for a complete cell,
+// "n/a(<class>)" when every benchmark failed, "k/n" for a partial geomean
+// over k of n benchmarks.
+func (st suiteStat) Note() string {
+	switch {
+	case st.Failed == 0:
+		return ""
+	case st.OK == 0:
+		return "n/a(" + st.Outcome.Short() + ")"
+	default:
+		return fmt.Sprintf("%d/%d", st.OK, st.OK+st.Failed)
+	}
+}
+
+// suiteStatOf aggregates metric over a suite under cfg, skipping failed
+// cells.
+func (h *Harness) suiteStatOf(s Suite, cfg core.Config, metric func(*core.Report) float64) suiteStat {
+	var st suiteStat
 	var xs []float64
+	counts := map[core.Outcome]int{}
 	for _, b := range BySuite(s) {
 		r, err := h.Report(b, cfg)
 		if err != nil {
-			return 0, err
+			st.Failed++
+			counts[core.Classify(err)]++
+			if st.Err == nil {
+				st.Err = err
+			}
+			continue
 		}
-		c := 100 * r.Coverage()
-		if c < 0.1 {
-			c = 0.1 // keep the geomean meaningful for zero-coverage runs
-		}
-		xs = append(xs, c)
+		st.OK++
+		xs = append(xs, metric(r))
 	}
-	return GeoMean(xs), nil
+	for o, n := range counts {
+		if n > counts[st.Outcome] || st.Outcome == core.OutcomeOK {
+			st.Outcome = o
+		}
+	}
+	st.Geo = GeoMean(xs)
+	if st.OK == 0 {
+		st.Geo = 0
+	}
+	return st
+}
+
+func speedupMetric(r *core.Report) float64 { return r.Speedup() }
+
+func coverageMetric(r *core.Report) float64 {
+	c := 100 * r.Coverage()
+	if c < 0.1 {
+		c = 0.1 // keep the geomean meaningful for zero-coverage runs
+	}
+	return c
+}
+
+// SuiteSpeedup returns the geometric-mean speedup of a suite under cfg,
+// computed over the surviving benchmarks. It fails only when no benchmark
+// of the suite completed.
+func (h *Harness) SuiteSpeedup(s Suite, cfg core.Config) (float64, error) {
+	st := h.suiteStatOf(s, cfg, speedupMetric)
+	if st.OK == 0 && st.Failed > 0 {
+		return 0, fmt.Errorf("suite %s under %s: no surviving benchmark: %w", s, cfg, st.Err)
+	}
+	return st.Geo, nil
+}
+
+// SuiteCoverage returns the geometric-mean dynamic coverage (in percent)
+// of a suite under cfg, computed over the surviving benchmarks.
+func (h *Harness) SuiteCoverage(s Suite, cfg core.Config) (float64, error) {
+	st := h.suiteStatOf(s, cfg, coverageMetric)
+	if st.OK == 0 && st.Failed > 0 {
+		return 0, fmt.Errorf("suite %s under %s: no surviving benchmark: %w", s, cfg, st.Err)
+	}
+	return st.Geo, nil
 }
 
 // FigureRow is one bar group of Figures 2/3: a configuration and the
-// geomean speedup per suite.
+// geomean speedup per suite. Notes carries the per-suite annotation for
+// incomplete cells ("" or absent when complete).
 type FigureRow struct {
 	Config   core.Config
 	PerSuite map[Suite]float64
+	Notes    map[Suite]string
 }
 
 // SpeedupFigure computes a Figure 2/3 style table: every paper
-// configuration × the given suites.
+// configuration × the given suites. Failed cells degrade the affected
+// suite geomeans instead of aborting the figure.
 func (h *Harness) SpeedupFigure(suites []Suite) ([]FigureRow, error) {
 	var benches []*Benchmark
 	for _, s := range suites {
 		benches = append(benches, BySuite(s)...)
 	}
-	if err := h.Prefetch(benches, core.PaperConfigs()); err != nil {
-		return nil, err
-	}
+	h.Sweep(context.Background(), benches, core.PaperConfigs())
 	var rows []FigureRow
 	for _, cfg := range core.PaperConfigs() {
-		row := FigureRow{Config: cfg, PerSuite: map[Suite]float64{}}
+		row := FigureRow{Config: cfg, PerSuite: map[Suite]float64{}, Notes: map[Suite]string{}}
 		for _, s := range suites {
-			v, err := h.SuiteSpeedup(s, cfg)
-			if err != nil {
-				return nil, err
+			st := h.suiteStatOf(s, cfg, speedupMetric)
+			row.PerSuite[s] = st.Geo
+			if n := st.Note(); n != "" {
+				row.Notes[s] = n
 			}
-			row.PerSuite[s] = v
 		}
 		rows = append(rows, row)
 	}
@@ -180,39 +162,42 @@ func (h *Harness) Figure2() ([]FigureRow, error) { return h.SpeedupFigure(NonNum
 // Figure3 regenerates the numeric speedup figure.
 func (h *Harness) Figure3() ([]FigureRow, error) { return h.SpeedupFigure(NumericSuites()) }
 
-// Figure4Row is one benchmark of Figure 4.
+// Figure4Row is one benchmark of Figure 4. The Outcome fields record why
+// a side is missing (OutcomeOK when the speedup is valid).
 type Figure4Row struct {
 	Name          string
 	Suite         Suite
 	PDOALLSpeedup float64
 	HELIXSpeedup  float64
+	PDOALLOutcome core.Outcome
+	HELIXOutcome  core.Outcome
 }
 
 // Figure4 regenerates the per-benchmark best-PDOALL vs best-HELIX
-// comparison across the four SPEC suites.
+// comparison across the four SPEC suites. Benchmarks that fail under a
+// configuration appear with the failing side annotated instead of being
+// dropped.
 func (h *Harness) Figure4() ([]Figure4Row, error) {
 	suites := []Suite{SuiteINT2000, SuiteINT2006, SuiteFP2000, SuiteFP2006}
 	var benches []*Benchmark
 	for _, s := range suites {
 		benches = append(benches, BySuite(s)...)
 	}
-	if err := h.Prefetch(benches, []core.Config{core.BestPDOALL(), core.BestHELIX()}); err != nil {
-		return nil, err
-	}
+	h.Sweep(context.Background(), benches, []core.Config{core.BestPDOALL(), core.BestHELIX()})
 	var rows []Figure4Row
 	for _, b := range benches {
-		rp, err := h.Report(b, core.BestPDOALL())
-		if err != nil {
-			return nil, err
+		row := Figure4Row{Name: b.Name, Suite: b.Suite}
+		if rp, err := h.Report(b, core.BestPDOALL()); err != nil {
+			row.PDOALLOutcome = core.Classify(err)
+		} else {
+			row.PDOALLSpeedup = rp.Speedup()
 		}
-		rh, err := h.Report(b, core.BestHELIX())
-		if err != nil {
-			return nil, err
+		if rh, err := h.Report(b, core.BestHELIX()); err != nil {
+			row.HELIXOutcome = core.Classify(err)
+		} else {
+			row.HELIXSpeedup = rh.Speedup()
 		}
-		rows = append(rows, Figure4Row{
-			Name: b.Name, Suite: b.Suite,
-			PDOALLSpeedup: rp.Speedup(), HELIXSpeedup: rh.Speedup(),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -227,45 +212,62 @@ func Figure5Configs() []core.Config {
 }
 
 // Figure5Row is one bar group of Figure 5: geomean coverage (percent) per
-// suite for one configuration.
+// suite for one configuration, with per-suite annotations for incomplete
+// cells.
 type Figure5Row struct {
 	Config   core.Config
 	PerSuite map[Suite]float64
+	Notes    map[Suite]string
 }
 
-// Figure5 regenerates the dynamic-coverage figure.
+// Figure5 regenerates the dynamic-coverage figure, degrading gracefully
+// over failed cells.
 func (h *Harness) Figure5() ([]Figure5Row, error) {
-	if err := h.Prefetch(All(), Figure5Configs()); err != nil {
-		return nil, err
-	}
+	h.Sweep(context.Background(), All(), Figure5Configs())
 	var rows []Figure5Row
 	for _, cfg := range Figure5Configs() {
-		row := Figure5Row{Config: cfg, PerSuite: map[Suite]float64{}}
+		row := Figure5Row{Config: cfg, PerSuite: map[Suite]float64{}, Notes: map[Suite]string{}}
 		for _, s := range AllSuites() {
-			v, err := h.SuiteCoverage(s, cfg)
-			if err != nil {
-				return nil, err
+			st := h.suiteStatOf(s, cfg, coverageMetric)
+			row.PerSuite[s] = st.Geo
+			if n := st.Note(); n != "" {
+				row.Notes[s] = n
 			}
-			row.PerSuite[s] = v
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// FormatSpeedupFigure renders Figure 2/3 rows as a text table.
+// figureCell renders one suite cell: the value when complete, "n/a(...)"
+// when empty, and "value *k/n" when partial.
+func figureCell(val string, note string) string {
+	switch {
+	case note == "":
+		return val
+	case strings.HasPrefix(note, "n/a"):
+		return note
+	default:
+		return val + " *" + note
+	}
+}
+
+// FormatSpeedupFigure renders Figure 2/3 rows as a text table. Incomplete
+// cells are annotated: "n/a(steps)" when every benchmark of the suite
+// failed, "value *k/n" when the geomean covers only k of n benchmarks.
 func FormatSpeedupFigure(title string, suites []Suite, rows []FigureRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
 	fmt.Fprintf(&b, "%-28s", "configuration")
 	for _, s := range suites {
-		fmt.Fprintf(&b, " %10s", string(s))
+		fmt.Fprintf(&b, " %16s", string(s))
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-28s", r.Config.String())
 		for _, s := range suites {
-			fmt.Fprintf(&b, " %9.2fx", r.PerSuite[s])
+			cell := figureCell(fmt.Sprintf("%.2fx", r.PerSuite[s]), r.Notes[s])
+			fmt.Fprintf(&b, " %16s", cell)
 		}
 		b.WriteString("\n")
 	}
@@ -273,6 +275,7 @@ func FormatSpeedupFigure(title string, suites []Suite, rows []FigureRow) string 
 }
 
 // FormatFigure4 renders Figure 4 rows as a text table sorted by suite.
+// Failed sides render as "n/a(<class>)" and leave no winner.
 func FormatFigure4(rows []Figure4Row) string {
 	sorted := append([]Figure4Row(nil), rows...)
 	sort.SliceStable(sorted, func(i, j int) bool {
@@ -285,29 +288,41 @@ func FormatFigure4(rows []Figure4Row) string {
 	b.WriteString("Figure 4: per-benchmark speedups, best PDOALL (reduc1-dep2-fn2) vs best HELIX (reduc1-dep1-fn2)\n")
 	fmt.Fprintf(&b, "%-16s %-10s %12s %12s %8s\n", "benchmark", "suite", "PDOALL", "HELIX", "winner")
 	for _, r := range sorted {
-		winner := "HELIX"
-		if r.PDOALLSpeedup > r.HELIXSpeedup {
-			winner = "PDOALL"
+		pd, hx := fmt.Sprintf("%.2fx", r.PDOALLSpeedup), fmt.Sprintf("%.2fx", r.HELIXSpeedup)
+		if r.PDOALLOutcome != core.OutcomeOK {
+			pd = "n/a(" + r.PDOALLOutcome.Short() + ")"
 		}
-		fmt.Fprintf(&b, "%-16s %-10s %11.2fx %11.2fx %8s\n",
-			r.Name, string(r.Suite), r.PDOALLSpeedup, r.HELIXSpeedup, winner)
+		if r.HELIXOutcome != core.OutcomeOK {
+			hx = "n/a(" + r.HELIXOutcome.Short() + ")"
+		}
+		winner := "-"
+		if r.PDOALLOutcome == core.OutcomeOK && r.HELIXOutcome == core.OutcomeOK {
+			winner = "HELIX"
+			if r.PDOALLSpeedup > r.HELIXSpeedup {
+				winner = "PDOALL"
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %12s %12s %8s\n",
+			r.Name, string(r.Suite), pd, hx, winner)
 	}
 	return b.String()
 }
 
-// FormatFigure5 renders Figure 5 rows as a text table.
+// FormatFigure5 renders Figure 5 rows as a text table, annotating
+// incomplete cells like FormatSpeedupFigure.
 func FormatFigure5(rows []Figure5Row) string {
 	var b strings.Builder
 	b.WriteString("Figure 5: GEOMEAN dynamic coverage (% of instructions in parallel loops)\n")
 	fmt.Fprintf(&b, "%-28s", "configuration")
 	for _, s := range AllSuites() {
-		fmt.Fprintf(&b, " %10s", string(s))
+		fmt.Fprintf(&b, " %16s", string(s))
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-28s", r.Config.String())
 		for _, s := range AllSuites() {
-			fmt.Fprintf(&b, " %9.1f%%", r.PerSuite[s])
+			cell := figureCell(fmt.Sprintf("%.1f%%", r.PerSuite[s]), r.Notes[s])
+			fmt.Fprintf(&b, " %16s", cell)
 		}
 		b.WriteString("\n")
 	}

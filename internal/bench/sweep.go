@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+
+	"loopapalooza/internal/core"
+)
+
+// Harness is the fault-isolated sweep engine: it runs benchmark ×
+// configuration cells concurrently, deduplicates in-flight runs with
+// per-cell singleflight locking, recovers worker panics into per-cell
+// errors, enforces the configured resource budgets, and caches every
+// outcome so regenerating several figures shares work.
+type Harness struct {
+	opts HarnessOptions
+
+	mu    sync.Mutex
+	cells map[string]*cell
+}
+
+// HarnessOptions configures the sweep engine.
+type HarnessOptions struct {
+	// Run carries the per-cell resource budgets (MaxSteps, Timeout,
+	// MaxHeapCells) applied to every benchmark execution.
+	Run core.RunOptions
+	// RetryTransient retries a failed cell once when the failure looks
+	// transient (a recovered panic), before recording it.
+	RetryTransient bool
+	// Workers bounds sweep concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// cell is one (benchmark, configuration) slot. The goroutine that creates
+// the cell runs it; everyone else waits on done (singleflight).
+type cell struct {
+	bench    *Benchmark
+	cfg      core.Config
+	done     chan struct{}
+	report   *core.Report
+	err      error
+	attempts int
+}
+
+// Cell is the recorded outcome of one (benchmark, configuration) cell.
+type Cell struct {
+	// Bench is the benchmark name.
+	Bench string
+	// Config is the configuration.
+	Config core.Config
+	// Report is the completed report (nil on failure).
+	Report *core.Report
+	// Err is the per-cell error (nil on success).
+	Err error
+	// Outcome classifies Err into the failure taxonomy.
+	Outcome core.Outcome
+	// Attempts counts executions of the cell (2 after a transient retry).
+	Attempts int
+}
+
+// NewHarness returns an empty harness with default options.
+func NewHarness() *Harness { return NewHarnessWith(HarnessOptions{}) }
+
+// NewHarnessWith returns an empty harness with the given budgets and
+// sweep policy.
+func NewHarnessWith(o HarnessOptions) *Harness {
+	return &Harness{opts: o, cells: map[string]*cell{}}
+}
+
+func key(b *Benchmark, cfg core.Config) string { return b.Name + "|" + cfg.String() }
+
+// Report runs (or recalls) one benchmark under one configuration.
+// Concurrent callers of the same cell share a single execution.
+func (h *Harness) Report(b *Benchmark, cfg core.Config) (*core.Report, error) {
+	c := h.cell(nil, b, cfg)
+	return c.report, c.err
+}
+
+// cell returns the completed cell for (b, cfg), executing it if this is
+// the first request. ctx, when non-nil, overrides the harness context for
+// this execution (the sweep-wide context).
+func (h *Harness) cell(ctx context.Context, b *Benchmark, cfg core.Config) *cell {
+	k := key(b, cfg)
+	h.mu.Lock()
+	c := h.cells[k]
+	if c != nil {
+		h.mu.Unlock()
+		<-c.done
+		return c
+	}
+	c = &cell{bench: b, cfg: cfg, done: make(chan struct{})}
+	h.cells[k] = c
+	h.mu.Unlock()
+
+	defer close(c.done)
+	c.report, c.err, c.attempts = h.runCell(ctx, b, cfg)
+	if errors.Is(c.err, core.ErrCanceled) {
+		// Cancellation is a property of the sweep, not the cell: forget
+		// it so a later sweep can retry.
+		h.mu.Lock()
+		delete(h.cells, k)
+		h.mu.Unlock()
+	}
+	return c
+}
+
+// runCell executes one cell, retrying once when the failure is transient
+// and the harness policy allows it.
+func (h *Harness) runCell(ctx context.Context, b *Benchmark, cfg core.Config) (*core.Report, error, int) {
+	r, err := h.runOnce(ctx, b, cfg)
+	if err != nil && h.opts.RetryTransient && transient(err) {
+		r, err = h.runOnce(ctx, b, cfg)
+		return r, err, 2
+	}
+	return r, err, 1
+}
+
+// runOnce executes one attempt, converting a worker panic into a per-cell
+// *core.PanicError instead of crashing the process.
+func (h *Harness) runOnce(ctx context.Context, b *Benchmark, cfg core.Config) (r *core.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = nil
+			err = fmt.Errorf("bench %s under %s: %w", b.Name, cfg,
+				&core.PanicError{Val: p, Stack: string(debug.Stack())})
+		}
+	}()
+	opts := h.opts.Run
+	if ctx != nil {
+		opts.Ctx = ctx
+	}
+	return b.RunWith(cfg, opts)
+}
+
+// transient reports whether a failure is worth one retry: recovered
+// panics may be environmental, while budget trips and guest faults are
+// deterministic.
+func transient(err error) bool { return errors.Is(err, core.ErrPanic) }
+
+// SweepResult is the outcome of one sweep: every cell, successful or not,
+// plus aggregate counts by taxonomy outcome.
+type SweepResult struct {
+	// Cells holds one entry per (benchmark, configuration) pair, in
+	// benches × cfgs order.
+	Cells []Cell
+	// Counts tallies cells by outcome.
+	Counts map[core.Outcome]int
+}
+
+// Sweep runs every (benchmark, configuration) pair concurrently under the
+// harness budgets, honoring ctx for sweep-wide cancellation. No failure
+// aborts the sweep and no worker panic escapes: every cell completes with
+// a classified outcome, and completed work is never discarded.
+func (h *Harness) Sweep(ctx context.Context, benches []*Benchmark, cfgs []core.Config) *SweepResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Analyze serially first: analysis mutates shared caches once per
+	// benchmark and is cheap relative to the runs. A benchmark that fails
+	// to analyze fails each of its cells, not the sweep.
+	analysisErr := map[string]error{}
+	for _, b := range benches {
+		if ctx.Err() != nil {
+			break
+		}
+		if _, err := b.Analyze(); err != nil {
+			analysisErr[b.Name] = err
+		}
+	}
+
+	type job struct {
+		i   int
+		b   *Benchmark
+		cfg core.Config
+	}
+	jobs := make([]job, 0, len(benches)*len(cfgs))
+	for _, b := range benches {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, job{i: len(jobs), b: b, cfg: cfg})
+		}
+	}
+	out := make([]Cell, len(jobs))
+
+	workers := h.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				out[j.i] = h.sweepCell(ctx, j.b, j.cfg, analysisErr[j.b.Name])
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	sr := &SweepResult{Cells: out, Counts: map[core.Outcome]int{}}
+	for _, c := range out {
+		sr.Counts[c.Outcome]++
+	}
+	return sr
+}
+
+// sweepCell materializes one Cell of a sweep.
+func (h *Harness) sweepCell(ctx context.Context, b *Benchmark, cfg core.Config, analysisErr error) Cell {
+	c := Cell{Bench: b.Name, Config: cfg}
+	switch {
+	case analysisErr != nil:
+		c.Err = analysisErr
+	case ctx.Err() != nil:
+		c.Err = fmt.Errorf("bench %s under %s: %w", b.Name, cfg, core.ErrCanceled)
+	default:
+		cc := h.cell(ctx, b, cfg)
+		c.Report, c.Err, c.Attempts = cc.report, cc.err, cc.attempts
+	}
+	c.Outcome = core.Classify(c.Err)
+	return c
+}
+
+// OK counts successful cells.
+func (sr *SweepResult) OK() int { return sr.Counts[core.OutcomeOK] }
+
+// Failed returns the failed cells, in sweep order.
+func (sr *SweepResult) Failed() []Cell {
+	var out []Cell
+	for _, c := range sr.Cells {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Err joins every per-cell error (nil when the whole sweep succeeded).
+// Callers that want the per-cell detail should use Failed instead.
+func (sr *SweepResult) Err() error {
+	var errs []error
+	for _, c := range sr.Cells {
+		if c.Err != nil {
+			errs = append(errs, c.Err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Summary renders the aggregate outcome counts, e.g.
+// "68/70 cells ok (1 step-limit, 1 panic)".
+func (sr *SweepResult) Summary() string {
+	var parts []string
+	for o := core.OutcomeStepLimit; o <= core.OutcomeError; o++ {
+		if n := sr.Counts[o]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, o))
+		}
+	}
+	s := fmt.Sprintf("%d/%d cells ok", sr.OK(), len(sr.Cells))
+	if len(parts) > 0 {
+		s += " (" + strings.Join(parts, ", ") + ")"
+	}
+	return s
+}
+
+// Failures returns every failed cell the harness has recorded so far
+// (across all sweeps and Report calls), sorted by benchmark then
+// configuration. In-flight cells are skipped.
+func (h *Harness) Failures() []Cell {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Cell
+	for _, c := range h.cells {
+		select {
+		case <-c.done:
+		default:
+			continue
+		}
+		if c.err != nil {
+			out = append(out, Cell{
+				Bench: c.bench.Name, Config: c.cfg,
+				Err: c.err, Outcome: core.Classify(c.err), Attempts: c.attempts,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Config.String() < out[j].Config.String()
+	})
+	return out
+}
+
+// FormatFailureSummary renders failed cells as the failure-summary footer
+// of the CLIs ("" when there is nothing to report).
+func FormatFailureSummary(cells []Cell) string {
+	if len(cells) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "failure summary: %d cell(s) did not complete\n", len(cells))
+	for _, c := range cells {
+		fmt.Fprintf(&b, "  %-16s %-28s %-13s %v\n", c.Bench, c.Config.String(), c.Outcome, c.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package core
+
+// This file is the failure taxonomy of the limit-study run-time. The
+// sentinels re-export the interpreter's so that callers depending only on
+// core (the bench harness, both CLIs) can classify failures with
+// errors.Is/As without importing interp or string-matching messages.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"loopapalooza/internal/interp"
+)
+
+// The execution-failure taxonomy (see interp's doc for the semantics).
+// Every error returned by Run/RunSource matches exactly one of these under
+// errors.Is; ErrPanic additionally classifies panics recovered by the
+// bench sweep engine.
+var (
+	// ErrStepLimit: the dynamic instruction budget was exhausted.
+	ErrStepLimit = interp.ErrStepLimit
+	// ErrMemLimit: a memory budget tripped (heap cells or stack words).
+	ErrMemLimit = interp.ErrMemLimit
+	// ErrDeadline: the wall-clock deadline or timeout passed mid-run.
+	ErrDeadline = interp.ErrDeadline
+	// ErrCanceled: the run's context was canceled mid-run.
+	ErrCanceled = interp.ErrCanceled
+	// ErrRuntime: the guest program faulted (division by zero, null or
+	// unmapped access, ...).
+	ErrRuntime = interp.ErrRuntime
+	// ErrPanic: a worker panicked and the sweep engine recovered it.
+	ErrPanic = errors.New("worker panic")
+)
+
+// PanicError wraps a panic value recovered from a worker goroutine.
+// errors.Is(err, ErrPanic) matches it.
+type PanicError struct {
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the goroutine stack at the panic site.
+	Stack string
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("worker panic: %v", e.Val) }
+
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// Outcome classifies one run of one (benchmark, configuration) cell.
+type Outcome uint8
+
+// The per-cell outcomes, in severity order.
+const (
+	// OutcomeOK: the run completed and produced a report.
+	OutcomeOK Outcome = iota
+	// OutcomeStepLimit: the step budget was exhausted.
+	OutcomeStepLimit
+	// OutcomeMemLimit: a memory budget was exhausted.
+	OutcomeMemLimit
+	// OutcomeTimeout: the deadline or timeout expired.
+	OutcomeTimeout
+	// OutcomeCanceled: the sweep or run context was canceled.
+	OutcomeCanceled
+	// OutcomePanic: the worker panicked (recovered by the sweep engine).
+	OutcomePanic
+	// OutcomeRuntimeError: the guest program faulted.
+	OutcomeRuntimeError
+	// OutcomeError: any other failure (compile/analysis errors, bad
+	// configurations, ...).
+	OutcomeError
+)
+
+var outcomeNames = [...]string{
+	OutcomeOK:           "ok",
+	OutcomeStepLimit:    "step-limit",
+	OutcomeMemLimit:     "mem-limit",
+	OutcomeTimeout:      "timeout",
+	OutcomeCanceled:     "canceled",
+	OutcomePanic:        "panic",
+	OutcomeRuntimeError: "runtime-error",
+	OutcomeError:        "error",
+}
+
+// String returns the outcome label used in failure summaries.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", o)
+}
+
+var outcomeShort = [...]string{
+	OutcomeOK:           "ok",
+	OutcomeStepLimit:    "steps",
+	OutcomeMemLimit:     "mem",
+	OutcomeTimeout:      "time",
+	OutcomeCanceled:     "cancel",
+	OutcomePanic:        "panic",
+	OutcomeRuntimeError: "fault",
+	OutcomeError:        "err",
+}
+
+// Short returns a compact label for figure-cell annotations, e.g.
+// "n/a(steps)".
+func (o Outcome) Short() string {
+	if int(o) < len(outcomeShort) {
+		return outcomeShort[o]
+	}
+	return "err"
+}
+
+// Classify maps an error to its taxonomy outcome (OutcomeOK for nil).
+func Classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, ErrStepLimit):
+		return OutcomeStepLimit
+	case errors.Is(err, ErrMemLimit):
+		return OutcomeMemLimit
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return OutcomeTimeout
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled):
+		return OutcomeCanceled
+	case errors.Is(err, ErrPanic):
+		return OutcomePanic
+	case errors.Is(err, ErrRuntime):
+		return OutcomeRuntimeError
+	default:
+		return OutcomeError
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+const spinSrc = `func main() int { while (true) { } return 0; }`
+
+func TestRunTypedStepLimit(t *testing.T) {
+	_, err := RunSource("spin", spinSrc, Config{Model: DOALL}, RunOptions{MaxSteps: 1000})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("errors.Is(err, ErrStepLimit) = false for %v", err)
+	}
+	if got := Classify(err); got != OutcomeStepLimit {
+		t.Errorf("Classify = %v, want step-limit", got)
+	}
+}
+
+func TestRunTypedTimeout(t *testing.T) {
+	_, err := RunSource("spin", spinSrc, Config{Model: DOALL}, RunOptions{Timeout: time.Millisecond})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("errors.Is(err, ErrDeadline) = false for %v", err)
+	}
+	if got := Classify(err); got != OutcomeTimeout {
+		t.Errorf("Classify = %v, want timeout", got)
+	}
+}
+
+func TestRunTypedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunSource("spin", spinSrc, Config{Model: DOALL}, RunOptions{Ctx: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if got := Classify(err); got != OutcomeCanceled {
+		t.Errorf("Classify = %v, want canceled", got)
+	}
+}
+
+func TestRunTypedMemLimit(t *testing.T) {
+	_, err := RunSource("hog", `
+func main() int {
+	var p *int = alloc(1000);
+	return *p;
+}`, Config{Model: DOALL}, RunOptions{MaxHeapCells: 64})
+	if !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("errors.Is(err, ErrMemLimit) = false for %v", err)
+	}
+	if got := Classify(err); got != OutcomeMemLimit {
+		t.Errorf("Classify = %v, want mem-limit", got)
+	}
+}
+
+func TestRunTypedRuntimeFault(t *testing.T) {
+	_, err := RunSource("div0", `
+func main() int {
+	var z int = 0;
+	return 1 / z;
+}`, Config{Model: DOALL}, RunOptions{})
+	if !errors.Is(err, ErrRuntime) {
+		t.Fatalf("errors.Is(err, ErrRuntime) = false for %v", err)
+	}
+	if got := Classify(err); got != OutcomeRuntimeError {
+		t.Errorf("Classify = %v, want runtime-error", got)
+	}
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Outcome
+	}{
+		{nil, OutcomeOK},
+		{ErrStepLimit, OutcomeStepLimit},
+		{ErrMemLimit, OutcomeMemLimit},
+		{ErrDeadline, OutcomeTimeout},
+		{ErrCanceled, OutcomeCanceled},
+		{&PanicError{Val: "boom"}, OutcomePanic},
+		{ErrRuntime, OutcomeRuntimeError},
+		{errors.New("misc"), OutcomeError},
+		{context.Canceled, OutcomeCanceled},
+		{context.DeadlineExceeded, OutcomeTimeout},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	for _, o := range []Outcome{OutcomeOK, OutcomeStepLimit, OutcomeMemLimit, OutcomeTimeout,
+		OutcomeCanceled, OutcomePanic, OutcomeRuntimeError, OutcomeError} {
+		if o.String() == "" || o.Short() == "" {
+			t.Errorf("outcome %d has empty labels", o)
+		}
+	}
+}
+
+// TestBudgetedRunLeavesAnalysisReusable: a failed run must not poison the
+// shared ModuleInfo — a later unbudgeted run over the same analysis
+// produces a normal report.
+func TestBudgetedRunLeavesAnalysisReusable(t *testing.T) {
+	info, err := AnalyzeSource("prog", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(info, Config{Model: DOALL}, RunOptions{MaxSteps: 50}); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want step-limit, got %v", err)
+	}
+	r, err := Run(info, Config{Model: DOALL}, RunOptions{})
+	if err != nil {
+		t.Fatalf("run after budget failure: %v", err)
+	}
+	if r.Speedup() < 20 {
+		t.Errorf("speedup = %.2f after budget failure, want the usual large value", r.Speedup())
+	}
+}

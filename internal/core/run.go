@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"loopapalooza/internal/analysis"
 	"loopapalooza/internal/interp"
@@ -15,18 +17,41 @@ type RunOptions struct {
 	Out io.Writer
 	// MaxSteps bounds execution (0 = interpreter default).
 	MaxSteps int64
+	// MaxHeapCells bounds the simulated heap in 64-bit cells (0 =
+	// interpreter default). Exceeding it fails the run with ErrMemLimit.
+	MaxHeapCells int64
+	// Ctx, when non-nil, cancels the run mid-execution (ErrCanceled, or
+	// ErrDeadline when the context deadline expired).
+	Ctx context.Context
+	// Timeout, when positive, bounds the run's wall-clock time
+	// (ErrDeadline on expiry).
+	Timeout time.Duration
 	// EntryArgs are passed to main (usually none).
 	EntryArgs []interp.Val
 }
 
 // Run executes the analyzed module's main function under one configuration
-// and returns the limit-study report.
+// and returns the limit-study report. On failure the returned error
+// matches exactly one taxonomy sentinel (ErrStepLimit, ErrMemLimit,
+// ErrDeadline, ErrCanceled, ErrRuntime) under errors.Is; other failures
+// (bad configuration) classify as OutcomeError.
 func Run(info *analysis.ModuleInfo, cfg Config, opts RunOptions) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
 	engine := NewEngine(info, cfg)
-	in := interp.New(info, interp.Config{Out: opts.Out, MaxSteps: opts.MaxSteps, Hooks: engine})
+	in := interp.New(info, interp.Config{
+		Out:          opts.Out,
+		MaxSteps:     opts.MaxSteps,
+		MaxHeapCells: opts.MaxHeapCells,
+		Ctx:          opts.Ctx,
+		Deadline:     deadline,
+		Hooks:        engine,
+	})
 	if _, err := in.Run("main", opts.EntryArgs...); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", info.Mod.Name, err)
 	}

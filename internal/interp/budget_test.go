@@ -1,0 +1,181 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/lang"
+)
+
+func compileForBudget(t *testing.T, src string) *analysis.ModuleInfo {
+	t.Helper()
+	m, err := lang.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+const spinSrc = `func main() int { while (true) { } return 0; }`
+
+func TestStepLimitTyped(t *testing.T) {
+	info := compileForBudget(t, spinSrc)
+	_, err := New(info, Config{MaxSteps: 1000}).Run("main")
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("errors.Is(err, ErrStepLimit) = false for %v", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("errors.As LimitError failed for %v", err)
+	}
+	if le.Kind != ErrStepLimit || le.Limit != 1000 || le.Step <= 1000 {
+		t.Errorf("LimitError = %+v, want step-limit kind with budget 1000", le)
+	}
+	// The other classes must not match.
+	for _, wrong := range []error{ErrMemLimit, ErrDeadline, ErrCanceled, ErrRuntime} {
+		if errors.Is(err, wrong) {
+			t.Errorf("step-limit error also matches %v", wrong)
+		}
+	}
+}
+
+func TestHeapBudgetTyped(t *testing.T) {
+	info := compileForBudget(t, `
+func main() int {
+	var p *int = alloc(1000);
+	return *p;
+}`)
+	_, err := New(info, Config{MaxHeapCells: 64}).Run("main")
+	if !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("errors.Is(err, ErrMemLimit) = false for %v", err)
+	}
+	if errors.Is(err, ErrRuntime) || errors.Is(err, ErrStepLimit) {
+		t.Errorf("mem-limit error matches a foreign class: %v", err)
+	}
+	// Under the default budget the same program completes.
+	if _, err := New(info, Config{}).Run("main"); err != nil {
+		t.Errorf("default heap budget: %v", err)
+	}
+}
+
+func TestStackOverflowIsMemLimit(t *testing.T) {
+	info := compileForBudget(t, `
+func grow(n int) int {
+	var pad [4096]int;
+	pad[0] = n;
+	if (n <= 0) { return pad[0]; }
+	return grow(n - 1) + pad[0];
+}
+func main() int { return grow(100000); }`)
+	_, err := New(info, Config{}).Run("main")
+	if !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("stack overflow should classify as ErrMemLimit, got %v", err)
+	}
+}
+
+func TestDeadlineTyped(t *testing.T) {
+	info := compileForBudget(t, spinSrc)
+	_, err := New(info, Config{Deadline: time.Now().Add(-time.Second)}).Run("main")
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("errors.Is(err, ErrDeadline) = false for %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline error should also match context.DeadlineExceeded: %v", err)
+	}
+}
+
+func TestContextDeadlineTyped(t *testing.T) {
+	info := compileForBudget(t, spinSrc)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := New(info, Config{Ctx: ctx}).Run("main")
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("context deadline should classify as ErrDeadline, got %v", err)
+	}
+}
+
+// cancelHooks cancels a context after a fixed number of ticks — a
+// deterministic mid-run cancellation.
+type cancelHooks struct {
+	NopHooks
+	after  int64
+	ticks  int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelHooks) Tick(n int64) {
+	c.ticks += n
+	if c.ticks >= c.after {
+		c.cancel()
+	}
+}
+
+func TestMidRunCancelTyped(t *testing.T) {
+	info := compileForBudget(t, spinSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := &cancelHooks{after: 10_000, cancel: cancel}
+	_, err := New(info, Config{Ctx: ctx, Hooks: h}).Run("main")
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled error should also match context.Canceled: %v", err)
+	}
+	// Cancellation is amortized: it must land within one poll interval of
+	// the trigger.
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("errors.As LimitError failed for %v", err)
+	}
+	if le.Step < h.after || le.Step > h.after+2*PollInterval {
+		t.Errorf("canceled at step %d, want within a poll interval of %d", le.Step, h.after)
+	}
+}
+
+func TestRuntimeFaultTyped(t *testing.T) {
+	info := compileForBudget(t, `
+func main() int {
+	var z int = 0;
+	return 1 / z;
+}`)
+	_, err := New(info, Config{}).Run("main")
+	if !errors.Is(err, ErrRuntime) {
+		t.Fatalf("errors.Is(err, ErrRuntime) = false for %v", err)
+	}
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Msg == "" {
+		t.Fatalf("errors.As RuntimeError failed for %v", err)
+	}
+}
+
+// TestBudgetFailureLeavesModuleReusable: a budget-tripped run must not
+// corrupt the shared analysis — a fresh interpreter over the same module
+// still produces the correct result.
+func TestBudgetFailureLeavesModuleReusable(t *testing.T) {
+	info := compileForBudget(t, `
+const N = 64;
+var a [N]int;
+func main() int {
+	var i int;
+	for (i = 0; i < N; i = i + 1) { a[i] = i; }
+	return a[N-1];
+}`)
+	if _, err := New(info, Config{MaxSteps: 10}).Run("main"); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want step-limit, got %v", err)
+	}
+	res, err := New(info, Config{}).Run("main")
+	if err != nil {
+		t.Fatalf("fresh run after budget failure: %v", err)
+	}
+	if res.Ret.I != 63 {
+		t.Errorf("ret = %d, want 63", res.Ret.I)
+	}
+}

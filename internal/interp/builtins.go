@@ -60,7 +60,7 @@ func (in *Interp) execBuiltin(fr *frame, i *ir.Instr) Val {
 	case "alloc", "allocf":
 		base, err := in.mem.heapAlloc(arg(0).I)
 		if err != nil {
-			in.fail("%v", err)
+			in.failMem(err)
 		}
 		return PtrVal(base)
 	case "rand":

@@ -1,0 +1,65 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The execution-failure taxonomy. Every error returned by Run matches
+// exactly one of these sentinels under errors.Is, so callers classify
+// failures without string matching:
+//
+//	ErrStepLimit  the dynamic instruction budget (MaxSteps) was exhausted
+//	ErrMemLimit   a memory budget tripped (heap cells or stack words)
+//	ErrDeadline   the wall-clock deadline passed mid-run
+//	ErrCanceled   the run's context was canceled mid-run
+//	ErrRuntime    the guest program faulted (division by zero, null or
+//	              unmapped access, ...)
+//
+// ErrDeadline and ErrCanceled additionally match context.DeadlineExceeded
+// and context.Canceled respectively, so context-aware callers need no
+// special cases.
+var (
+	ErrStepLimit = errors.New("step limit exceeded")
+	ErrMemLimit  = errors.New("memory limit exceeded")
+	ErrDeadline  = fmt.Errorf("deadline exceeded: %w", context.DeadlineExceeded)
+	ErrCanceled  = fmt.Errorf("execution canceled: %w", context.Canceled)
+	ErrRuntime   = errors.New("runtime error")
+)
+
+// LimitError reports an exhausted resource budget. errors.Is matches the
+// sentinel in Kind (and, for deadline/cancellation, the context errors).
+type LimitError struct {
+	// Kind is one of ErrStepLimit, ErrMemLimit, ErrDeadline, ErrCanceled.
+	Kind error
+	// Limit is the configured budget that tripped (steps or heap cells;
+	// 0 for deadline and cancellation).
+	Limit int64
+	// Step is the dynamic instruction count when the budget tripped.
+	Step int64
+}
+
+func (e *LimitError) Error() string {
+	if e.Limit > 0 {
+		return fmt.Sprintf("%v (budget %d, at step %d)", e.Kind, e.Limit, e.Step)
+	}
+	return fmt.Sprintf("%v (at step %d)", e.Kind, e.Step)
+}
+
+func (e *LimitError) Unwrap() error { return e.Kind }
+
+// RuntimeError is a guest-program fault. errors.Is(err, ErrRuntime)
+// matches it.
+type RuntimeError struct {
+	// Msg describes the fault.
+	Msg string
+	// Step is the dynamic instruction count at the fault.
+	Step int64
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error: %s (at step %d)", e.Msg, e.Step)
+}
+
+func (e *RuntimeError) Unwrap() error { return ErrRuntime }

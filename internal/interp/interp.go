@@ -1,8 +1,12 @@
 package interp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 
 	"loopapalooza/internal/analysis"
 	"loopapalooza/internal/ir"
@@ -14,12 +18,27 @@ type Config struct {
 	Out io.Writer
 	// MaxSteps bounds the dynamic instruction count (0 = default).
 	MaxSteps int64
+	// MaxHeapCells bounds the simulated heap, in 64-bit cells
+	// (0 = DefaultHeapWords). Exceeding it fails the run with ErrMemLimit.
+	MaxHeapCells int64
+	// Ctx, when non-nil, cancels the run: the interpreter polls it every
+	// PollInterval steps and fails with ErrCanceled (or ErrDeadline when
+	// the context carries a deadline that expired).
+	Ctx context.Context
+	// Deadline, when nonzero, bounds wall-clock time; exceeding it fails
+	// the run with ErrDeadline. Polled together with Ctx.
+	Deadline time.Time
 	// Hooks receives instrumentation events. Nil disables them.
 	Hooks Hooks
 }
 
 // DefaultMaxSteps bounds runaway executions.
 const DefaultMaxSteps = 2_000_000_000
+
+// PollInterval is the step granularity of cancellation/deadline polling:
+// budgets stay amortized so the hot interpreter loop pays one integer
+// comparison per instruction, not a time.Now or channel check.
+const PollInterval = 32 * 1024
 
 // Result summarizes one execution.
 type Result struct {
@@ -43,6 +62,9 @@ type Interp struct {
 
 	clock     int64
 	maxSteps  int64
+	ctx       context.Context
+	deadline  time.Time
+	nextPoll  int64
 	randState uint64
 }
 
@@ -72,8 +94,24 @@ func buildLayout(f *ir.Function) *layout {
 // runtimeErr carries execution errors through panic/recover.
 type runtimeErr struct{ err error }
 
+// fail aborts the run with a guest-program fault (ErrRuntime class).
 func (in *Interp) fail(format string, args ...any) {
-	panic(runtimeErr{err: fmt.Errorf(format, args...)})
+	in.failErr(&RuntimeError{Msg: fmt.Sprintf(format, args...), Step: in.clock})
+}
+
+// failErr aborts the run with an already-classified error.
+func (in *Interp) failErr(err error) {
+	panic(runtimeErr{err: err})
+}
+
+// failMem aborts the run with a memory-subsystem error, preserving the
+// budget classification when present and downgrading everything else to a
+// runtime fault.
+func (in *Interp) failMem(err error) {
+	if errors.Is(err, ErrMemLimit) {
+		in.failErr(fmt.Errorf("%w (at step %d)", err, in.clock))
+	}
+	in.fail("%v", err)
 }
 
 // New prepares an interpreter for an analyzed module: it lays out globals,
@@ -87,6 +125,8 @@ func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 		globalAddr: map[*ir.Global]int64{},
 		layouts:    map[*ir.Function]*layout{},
 		maxSteps:   cfg.MaxSteps,
+		ctx:        cfg.Ctx,
+		deadline:   cfg.Deadline,
 		randState:  0x2545F4914F6CDD1D,
 	}
 	if in.hooks == nil {
@@ -98,12 +138,19 @@ func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 	if in.maxSteps == 0 {
 		in.maxSteps = DefaultMaxSteps
 	}
+	// Arm amortized polling only when there is something to poll, so
+	// budget-free runs pay nothing beyond the step-limit comparison.
+	if in.ctx != nil || !in.deadline.IsZero() {
+		in.nextPoll = PollInterval
+	} else {
+		in.nextPoll = math.MaxInt64
+	}
 	total := int64(0)
 	for _, g := range in.mod.Globals {
 		in.globalAddr[g] = GlobalBase + total
 		total += g.Size
 	}
-	in.mem = newMemory(total)
+	in.mem = newMemory(total, cfg.MaxHeapCells)
 	for _, g := range in.mod.Globals {
 		base := in.globalAddr[g] - GlobalBase
 		for i, v := range g.InitInt {
@@ -133,7 +180,7 @@ func (in *Interp) Run(fnName string, args ...Val) (res Result, err error) {
 			if !ok {
 				panic(r)
 			}
-			err = fmt.Errorf("interp: %w (at step %d)", re.err, in.clock)
+			err = fmt.Errorf("interp: %w", re.err)
 		}
 	}()
 	ret := in.call(fn, args)
@@ -155,9 +202,29 @@ func (in *Interp) layoutOf(f *ir.Function) *layout {
 func (in *Interp) tick(n int64) {
 	in.clock += n
 	if in.clock > in.maxSteps {
-		in.fail("step limit exceeded (%d)", in.maxSteps)
+		in.failErr(&LimitError{Kind: ErrStepLimit, Limit: in.maxSteps, Step: in.clock})
+	}
+	if in.clock >= in.nextPoll {
+		in.poll()
 	}
 	in.hooks.Tick(n)
+}
+
+// poll performs the amortized cancellation and deadline checks.
+func (in *Interp) poll() {
+	in.nextPoll = in.clock + PollInterval
+	if in.ctx != nil {
+		if err := in.ctx.Err(); err != nil {
+			kind := ErrCanceled
+			if errors.Is(err, context.DeadlineExceeded) {
+				kind = ErrDeadline
+			}
+			in.failErr(&LimitError{Kind: kind, Step: in.clock})
+		}
+	}
+	if !in.deadline.IsZero() && time.Now().After(in.deadline) {
+		in.failErr(&LimitError{Kind: ErrDeadline, Step: in.clock})
+	}
 }
 
 // frame is one activation record.
@@ -373,7 +440,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		n := in.val(fr, i.Args[0]).I
 		addr, err := in.mem.alloca(n)
 		if err != nil {
-			in.fail("%v", err)
+			in.failMem(err)
 		}
 		in.setReg(fr, i, PtrVal(addr))
 	case ir.OpLoad:
@@ -381,7 +448,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		in.hooks.Load(addr)
 		v, err := in.mem.load(addr)
 		if err != nil {
-			in.fail("%v", err)
+			in.failMem(err)
 		}
 		// Retag loads through typed pointers so uninitialized cells
 		// read back as zero values of the right kind.
@@ -393,7 +460,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		addr := in.val(fr, i.Args[0]).I
 		in.hooks.Store(addr)
 		if err := in.mem.store(addr, in.val(fr, i.Args[1])); err != nil {
-			in.fail("%v", err)
+			in.failMem(err)
 		}
 	case ir.OpAddPtr:
 		base := in.val(fr, i.Args[0])

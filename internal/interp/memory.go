@@ -37,10 +37,13 @@ type memory struct {
 	sp         int64 // next free stack address + 1 boundary; valid cells are [sp, StackTop)
 }
 
-func newMemory(globalWords int64) *memory {
+func newMemory(globalWords, heapLimit int64) *memory {
+	if heapLimit <= 0 {
+		heapLimit = DefaultHeapWords
+	}
 	return &memory{
 		globals:    make([]Val, globalWords),
-		heapLimit:  DefaultHeapWords,
+		heapLimit:  heapLimit,
 		stackLimit: DefaultStackWords,
 		sp:         StackTop,
 	}
@@ -90,7 +93,7 @@ func (m *memory) alloca(n int64) (int64, error) {
 	}
 	newSP := m.sp - n
 	if StackTop-newSP > m.stackLimit {
-		return 0, fmt.Errorf("stack overflow (%d words)", StackTop-newSP)
+		return 0, fmt.Errorf("stack overflow (%d words, budget %d): %w", StackTop-newSP, m.stackLimit, ErrMemLimit)
 	}
 	for int64(len(m.stack)) < StackTop-newSP {
 		m.stack = append(m.stack, Val{})
@@ -110,7 +113,7 @@ func (m *memory) heapAlloc(n int64) (int64, error) {
 	}
 	base := HeapBase + int64(len(m.heap))
 	if int64(len(m.heap))+n > m.heapLimit {
-		return 0, fmt.Errorf("heap exhausted (%d words)", int64(len(m.heap))+n)
+		return 0, fmt.Errorf("heap exhausted (%d cells, budget %d): %w", int64(len(m.heap))+n, m.heapLimit, ErrMemLimit)
 	}
 	m.heap = append(m.heap, make([]Val, n)...)
 	return base, nil

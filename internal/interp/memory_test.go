@@ -11,6 +11,11 @@ import (
 
 func wantRunError(t *testing.T, src, substr string) {
 	t.Helper()
+	wantRunErrorUnder(t, Config{}, src, substr)
+}
+
+func wantRunErrorUnder(t *testing.T, cfg Config, src, substr string) {
+	t.Helper()
 	m, err := lang.Compile("t", src)
 	if err != nil {
 		t.Fatal(err)
@@ -19,7 +24,7 @@ func wantRunError(t *testing.T, src, substr string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(info, Config{}).Run("main"); err == nil || !strings.Contains(err.Error(), substr) {
+	if _, err := New(info, cfg).Run("main"); err == nil || !strings.Contains(err.Error(), substr) {
 		t.Errorf("want error containing %q, got %v", substr, err)
 	}
 }
@@ -69,7 +74,9 @@ func main() int { return grow(100000); }`, "stack overflow")
 }
 
 func TestHeapExhaustionTraps(t *testing.T) {
-	wantRunError(t, `
+	// Exhausting the default heap budget allocates gigabytes of host
+	// memory over ~100s; a reduced budget trips the same exhaustion path.
+	wantRunErrorUnder(t, Config{MaxHeapCells: 1 << 22}, `
 func main() int {
 	var i int;
 	var p *int;
@@ -156,7 +163,7 @@ func main() int {
 // preserve values for arbitrary payloads.
 func TestMemorySegmentsProperty(t *testing.T) {
 	f := func(v int64, idx uint16) bool {
-		m := newMemory(64)
+		m := newMemory(64, 0)
 		gAddr := GlobalBase + int64(idx%64)
 		if err := m.store(gAddr, IntVal(v)); err != nil {
 			return false
@@ -194,7 +201,7 @@ func TestMemorySegmentsProperty(t *testing.T) {
 }
 
 func TestAllocaRestoresOnReturnBoundary(t *testing.T) {
-	m := newMemory(0)
+	m := newMemory(0, 0)
 	sp0 := m.sp
 	a, err := m.alloca(10)
 	if err != nil {

@@ -25,6 +25,8 @@
 package loopapalooza
 
 import (
+	"errors"
+
 	"loopapalooza/internal/analysis"
 	"loopapalooza/internal/bench"
 	"loopapalooza/internal/core"
@@ -82,14 +84,74 @@ func Analyze(name, src string) (*ModuleInfo, error) {
 	return core.AnalyzeSource(name, src)
 }
 
+// RunOptions carries the resource budgets and cancellation context of a
+// run: MaxSteps (dynamic instruction budget), Timeout / Ctx (wall-clock
+// and cooperative cancellation), and MaxHeapCells (simulated heap budget).
+type RunOptions = core.RunOptions
+
+// Outcome classifies a run failure into the taxonomy (see Classify).
+type Outcome = core.Outcome
+
+// The taxonomy outcomes.
+const (
+	OutcomeOK           = core.OutcomeOK
+	OutcomeStepLimit    = core.OutcomeStepLimit
+	OutcomeMemLimit     = core.OutcomeMemLimit
+	OutcomeTimeout      = core.OutcomeTimeout
+	OutcomeCanceled     = core.OutcomeCanceled
+	OutcomePanic        = core.OutcomePanic
+	OutcomeRuntimeError = core.OutcomeRuntimeError
+	OutcomeError        = core.OutcomeError
+)
+
+// The failure taxonomy. Every error returned by Study/StudyAnalyzed
+// matches exactly one sentinel under errors.Is; a zero RunOptions imposes
+// only the default step and heap budgets.
+var (
+	// ErrStepLimit: the dynamic instruction budget was exhausted.
+	ErrStepLimit = core.ErrStepLimit
+	// ErrMemLimit: a memory budget tripped (heap cells or stack words).
+	ErrMemLimit = core.ErrMemLimit
+	// ErrDeadline: the wall-clock deadline or timeout passed mid-run
+	// (also matches context.DeadlineExceeded).
+	ErrDeadline = core.ErrDeadline
+	// ErrCanceled: the run's context was canceled mid-run (also matches
+	// context.Canceled).
+	ErrCanceled = core.ErrCanceled
+	// ErrRuntime: the guest program faulted (division by zero, null or
+	// unmapped access, ...).
+	ErrRuntime = core.ErrRuntime
+)
+
+// Classify maps a run error to its taxonomy outcome (OutcomeOK for nil).
+func Classify(err error) Outcome { return core.Classify(err) }
+
+// IsBudget reports whether err is a resource-budget trip (step, memory,
+// or deadline) rather than a program fault or cancellation.
+func IsBudget(err error) bool {
+	return errors.Is(err, ErrStepLimit) || errors.Is(err, ErrMemLimit) ||
+		errors.Is(err, ErrDeadline)
+}
+
 // Study compiles source and runs the limit study under one configuration.
 func Study(name, src string, cfg Config) (*Report, error) {
 	return core.RunSource(name, src, cfg, core.RunOptions{})
 }
 
+// StudyWith is Study under explicit resource budgets and cancellation.
+func StudyWith(name, src string, cfg Config, opts RunOptions) (*Report, error) {
+	return core.RunSource(name, src, cfg, opts)
+}
+
 // StudyAnalyzed runs the limit study on a previously analyzed module.
 func StudyAnalyzed(info *ModuleInfo, cfg Config) (*Report, error) {
 	return core.Run(info, cfg, core.RunOptions{})
+}
+
+// StudyAnalyzedWith is StudyAnalyzed under explicit resource budgets and
+// cancellation.
+func StudyAnalyzedWith(info *ModuleInfo, cfg Config, opts RunOptions) (*Report, error) {
+	return core.Run(info, cfg, opts)
 }
 
 // Benchmarks returns the registered SPEC/EEMBC-like kernels.
