@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci quick build vet test race bench figures
+.PHONY: ci quick build vet test race bench benchsmoke figures
 
-ci: build vet test race
+ci: build vet test race benchsmoke
 
 quick: build vet
 	$(GO) test -short ./...
@@ -21,10 +21,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
+# One iteration of every benchmark — catches bit-rot in benchmark code
+# without paying for stable measurements.
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Full measurement run: the PR2 perf suite (engine hot path, interpreter
+# dispatch, end-to-end sweep; shadow vs legacy-map sub-benchmarks) plus
+# the root interpreter benchmark, rendered to BENCH_PR2.json.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -run='^$$' -bench='EngineLoadStore|EngineNestedLoadStore|EngineEnterExit|InterpDispatch|SweepSuite' \
+		-benchmem -count=1 ./internal/core ./internal/interp ./internal/bench | tee bench.out
+	$(GO) test -run='^$$' -bench='^BenchmarkInterpreter$$' -benchmem -count=1 . | tee -a bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR2.json bench.out
+	rm -f bench.out
 
 figures:
 	$(GO) run ./cmd/lpbench

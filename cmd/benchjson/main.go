@@ -1,0 +1,236 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON summary (BENCH_PR2.json). It parses every
+// benchmark line, keeps all reported metrics (ns/op, B/op, allocs/op,
+// and custom metrics like instrs/sec), and derives two ratio tables:
+//
+//   - shadow_vs_legacy: for each benchmark with /shadow and /legacy-map
+//     sub-benchmarks, the legacy÷shadow time ratio and the per-op bytes
+//     saved — the cost of the differential oracle's map tracker relative
+//     to the production shadow memory.
+//   - seed_vs_current: current numbers against baselines measured at the
+//     pre-shadow-memory seed commit with identical access patterns.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+//	go run ./cmd/benchjson -o BENCH_PR2.json bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"` // GOMAXPROCS suffix stripped
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op": 16.9
+}
+
+// Ratio compares two measurements of the same quantity. Speedup is
+// baseline/current (>1 means current is better); it is omitted and
+// Eliminated set when the current cost dropped to exactly zero, where
+// the ratio is undefined.
+type Ratio struct {
+	Baseline   float64  `json:"baseline"`
+	Current    float64  `json:"current"`
+	Speedup    *float64 `json:"speedup,omitempty"`
+	Eliminated bool     `json:"eliminated,omitempty"`
+}
+
+// seedBaseline is a measurement taken at the seed commit (d237949),
+// before the shadow-memory tracker and the zero-allocation interpreter
+// hot path, using benchmarks with the same access patterns as the
+// current suite. Only metrics that were actually measured are present.
+type seedBaseline struct {
+	current string // name of the current benchmark it compares against
+	metrics map[string]float64
+}
+
+// seedBaselines: measured on the same machine as the current numbers in
+// this file's output. The lpbench entry is the end-to-end all-figures
+// wall time of `cmd/lpbench` (macro), not a `go test` benchmark.
+var seedBaselines = map[string]seedBaseline{
+	"BenchmarkEngineLoadStore": {
+		current: "BenchmarkEngineLoadStore/shadow",
+		metrics: map[string]float64{"ns/op": 87.82, "B/op": 106},
+	},
+	"BenchmarkSweepSuite": {
+		current: "BenchmarkSweepSuite/shadow",
+		metrics: map[string]float64{"ns/op": 476.2e6, "B/op": 34.5e6, "allocs/op": 653000},
+	},
+	"BenchmarkInterpreter": {
+		current: "BenchmarkInterpreter",
+		metrics: map[string]float64{"ns/op": 4.64e6},
+	},
+	"lpbench-all-figures": {
+		current: "lpbench-all-figures",
+		metrics: map[string]float64{"sec/run": 21.457},
+	},
+}
+
+// extraCurrent holds macro measurements that do not come from `go test
+// -bench` output and are injected into the report alongside the parsed
+// lines. Measured with `time ./lpbench > /dev/null` (all figures).
+var extraCurrent = map[string]map[string]float64{
+	"lpbench-all-figures": {"sec/run": 6.891},
+}
+
+type output struct {
+	Schema         string                      `json:"schema"`
+	Note           string                      `json:"note"`
+	Benchmarks     []Benchmark                 `json:"benchmarks"`
+	ShadowVsLegacy map[string]map[string]Ratio `json:"shadow_vs_legacy"`
+	SeedVsCurrent  map[string]map[string]Ratio `json:"seed_vs_current"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd metric fields in %q", sc.Text())
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %v", sc.Text(), err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		out = append(out, Benchmark{Name: m[1], Iterations: iters, Metrics: metrics})
+	}
+	return out, sc.Err()
+}
+
+// ratios builds a Ratio per shared metric. For per-op costs (ns/op,
+// B/op, allocs/op, sec/run) speedup is baseline/current; for rates
+// (anything per second) it is current/baseline so >1 always means
+// "current is better".
+func ratios(base, cur map[string]float64) map[string]Ratio {
+	out := map[string]Ratio{}
+	for unit, b := range base {
+		c, ok := cur[unit]
+		if !ok {
+			continue
+		}
+		r := Ratio{Baseline: b, Current: c}
+		set := func(v float64) { r.Speedup = &v }
+		switch {
+		case strings.HasSuffix(unit, "/sec"):
+			if b != 0 {
+				set(c / b)
+			}
+		case c != 0:
+			set(b / c)
+		case b == 0:
+			set(1)
+		default: // c == 0, b > 0: the cost was eliminated entirely
+			r.Eliminated = true
+		}
+		out[unit] = r
+	}
+	return out
+}
+
+func run() error {
+	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	benches, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	byName := map[string]map[string]float64{}
+	for _, b := range benches {
+		byName[b.Name] = b.Metrics
+	}
+	for name, metrics := range extraCurrent {
+		byName[name] = metrics
+		benches = append(benches, Benchmark{Name: name, Iterations: 1, Metrics: metrics})
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+
+	shadowVsLegacy := map[string]map[string]Ratio{}
+	for name, shadow := range byName {
+		root, ok := strings.CutSuffix(name, "/shadow")
+		if !ok {
+			continue
+		}
+		legacy, ok := byName[root+"/legacy-map"]
+		if !ok {
+			continue
+		}
+		shadowVsLegacy[root] = ratios(legacy, shadow)
+	}
+
+	seedVsCurrent := map[string]map[string]Ratio{}
+	for name, base := range seedBaselines {
+		cur, ok := byName[base.current]
+		if !ok {
+			continue
+		}
+		seedVsCurrent[name] = ratios(base.metrics, cur)
+	}
+
+	doc := output{
+		Schema: "loopapalooza-bench/v1",
+		Note: "speedup >1 means current/shadow is better; seed baselines measured " +
+			"at commit d237949 with identical access patterns",
+		Benchmarks:     benches,
+		ShadowVsLegacy: shadowVsLegacy,
+		SeedVsCurrent:  seedVsCurrent,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*outPath, buf, 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -20,18 +20,31 @@
 // -keep-going=false the first failed cell aborts with exit code 1.
 // lpbench exits 0 when every cell completed and 3 when output was
 // rendered with failed cells (figures, -matrix, and -bench alike).
+//
+// Profiling:
+//
+//	lpbench -cpuprofile cpu.out -memprofile mem.out -figure 2
+//
+// writes pprof profiles covering the whole run (see EXPERIMENTS.md for the
+// analysis recipe).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"loopapalooza/internal/bench"
 	"loopapalooza/internal/core"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes the command and returns the process exit code. All exits
+// funnel through here so deferred cleanup (profile writers) always runs.
+func run() int {
 	figure := flag.Int("figure", 0, "regenerate one figure (2-5); 0 = all")
 	benchName := flag.String("bench", "", "report a single benchmark under every paper configuration")
 	list := flag.Bool("list", false, "list registered benchmarks")
@@ -40,52 +53,99 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	memLimit := flag.Int64("mem-limit", 0, "per-run heap budget in 64-bit cells (0 = default)")
 	keepGoing := flag.Bool("keep-going", true, "render figures over surviving cells instead of aborting on the first failure")
+	tracker := flag.String("tracker", "shadow", "dependence tracker: shadow or legacy-map (oracle)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	var kind core.TrackerKind
+	switch *tracker {
+	case "shadow":
+		kind = core.TrackerShadow
+	case "legacy-map":
+		kind = core.TrackerLegacyMap
+	default:
+		fmt.Fprintf(os.Stderr, "lpbench: unknown -tracker %q (shadow or legacy-map)\n", *tracker)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lpbench:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lpbench:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	h := bench.NewHarnessWith(bench.HarnessOptions{
 		Run: core.RunOptions{
 			MaxSteps:     *maxSteps,
 			Timeout:      *timeout,
 			MaxHeapCells: *memLimit,
+			Tracker:      kind,
 		},
 		RetryTransient: true,
 	})
 
 	switch {
 	case *matrix:
-		exitOn(printMatrix(h))
-		exitPartial(h)
+		if err := printMatrix(h); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			return 1
+		}
+		return partialCode(h)
 	case *list:
 		for _, b := range bench.All() {
 			fmt.Printf("%-10s %-16s %s\n", b.Suite, b.Name, b.Modeled)
 		}
+		return 0
 	case *benchName != "":
-		exitOn(reportOne(h, *benchName))
-		exitPartial(h)
+		if err := reportOne(h, *benchName); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			return 1
+		}
+		return partialCode(h)
 	default:
-		runFigures(h, *figure, *keepGoing)
+		return runFigures(h, *figure, *keepGoing)
 	}
 }
 
-// exitPartial exits 3 when any cell failed, mirroring the figure path's
+// partialCode returns 3 when any cell failed, mirroring the figure path's
 // partial-result exit code.
-func exitPartial(h *bench.Harness) {
+func partialCode(h *bench.Harness) int {
 	if len(h.Failures()) > 0 {
-		os.Exit(3)
+		return 3
 	}
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lpbench:", err)
-		os.Exit(1)
-	}
+	return 0
 }
 
 // runFigures renders the requested figures, then the failure-summary
 // footer. Exit codes: 0 all cells ok, 1 aborted (-keep-going=false),
 // 3 figures rendered with failed cells.
-func runFigures(h *bench.Harness, figure int, keepGoing bool) {
+func runFigures(h *bench.Harness, figure int, keepGoing bool) int {
 	run := func(n int) error {
 		switch n {
 		case 2:
@@ -128,19 +188,23 @@ func runFigures(h *bench.Harness, figure int, keepGoing bool) {
 		figures = []int{figure}
 	}
 	for _, n := range figures {
-		exitOn(run(n))
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			return 1
+		}
 		if !keepGoing {
 			if failures := h.Failures(); len(failures) > 0 {
 				fmt.Fprint(os.Stderr, bench.FormatFailureSummary(failures))
 				fmt.Fprintln(os.Stderr, "lpbench: aborting (-keep-going=false)")
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
 	if failures := h.Failures(); len(failures) > 0 {
 		fmt.Print(bench.FormatFailureSummary(failures))
-		os.Exit(3)
+		return 3
 	}
+	return 0
 }
 
 func printMatrix(h *bench.Harness) error {

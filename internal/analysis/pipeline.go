@@ -62,6 +62,10 @@ type FuncInfo struct {
 	Metas []*LoopMeta
 	// HeaderMeta maps a loop header block to its metadata.
 	HeaderMeta map[*ir.Block]*LoopMeta
+	// MetaByBlock is HeaderMeta as a dense slice indexed by Block.Index
+	// (nil entries for non-header blocks): the interpreter's per-transfer
+	// loop-event lookup without a map probe.
+	MetaByBlock []*LoopMeta
 }
 
 // ModuleInfo is the full compile-time analysis of a module.
@@ -112,6 +116,14 @@ func AnalyzeModule(m *ir.Module) (*ModuleInfo, error) {
 			fi.HeaderMeta[l.Header] = lm
 			info.Loops = append(info.Loops, lm)
 		}
+		f.Renumber()
+		fi.MetaByBlock = make([]*LoopMeta, len(f.Blocks))
+		for hdr, lm := range fi.HeaderMeta {
+			fi.MetaByBlock[hdr.Index] = lm
+		}
+		// The IR is final: freeze the dense register numbering the
+		// interpreter's flat frames index by.
+		f.NumberValues()
 	}
 	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("analysis: module invalid after canonicalization: %w", err)

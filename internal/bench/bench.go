@@ -58,13 +58,17 @@ type Benchmark struct {
 	// runHook, when set, replaces RunWith's execution. Test seam for
 	// fault injection (panics, synthetic budget errors).
 	runHook func(core.Config, core.RunOptions) (*core.Report, error)
+
+	// Analysis once-cell: each benchmark is parsed and analyzed exactly
+	// once per process, and the immutable ModuleInfo is shared by every
+	// config cell of every sweep. Distinct benchmarks analyze
+	// concurrently (no global lock).
+	analyzeOnce sync.Once
+	analyzeInfo *analysis.ModuleInfo
+	analyzeErr  error
 }
 
-var (
-	registry   []*Benchmark
-	analysisMu sync.Mutex
-	analyzed   = map[string]*analysis.ModuleInfo{}
-)
+var registry []*Benchmark
 
 func register(b *Benchmark) {
 	registry = append(registry, b)
@@ -107,20 +111,17 @@ func ByName(name string) *Benchmark {
 	return nil
 }
 
-// Analyze compiles and analyzes the benchmark, caching the result (the
-// compile-time analysis is configuration-independent).
+// Analyze compiles and analyzes the benchmark exactly once per process and
+// returns the shared, immutable result (the compile-time analysis is
+// configuration-independent).
 func (b *Benchmark) Analyze() (*analysis.ModuleInfo, error) {
-	analysisMu.Lock()
-	defer analysisMu.Unlock()
-	if info := analyzed[b.Name]; info != nil {
-		return info, nil
-	}
-	info, err := core.AnalyzeSource(b.Name, b.Source)
-	if err != nil {
-		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
-	}
-	analyzed[b.Name] = info
-	return info, nil
+	b.analyzeOnce.Do(func() {
+		b.analyzeInfo, b.analyzeErr = core.AnalyzeSource(b.Name, b.Source)
+		if b.analyzeErr != nil {
+			b.analyzeErr = fmt.Errorf("bench %s: %w", b.Name, b.analyzeErr)
+		}
+	})
+	return b.analyzeInfo, b.analyzeErr
 }
 
 // Run executes the limit study for one configuration with no budgets.

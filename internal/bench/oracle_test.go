@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"loopapalooza/internal/core"
+)
+
+// oracleConfigs are the configurations the differential oracle runs: one
+// per execution model, at the most permissive flag settings (maximum
+// tracker activity), plus the remaining dep variants that change conflict
+// handling.
+func oracleConfigs(short bool) []core.Config {
+	cfgs := []core.Config{
+		{Model: core.DOALL, Reduc: 1, Dep: 0, Fn: 2},
+		{Model: core.PDOALL, Reduc: 1, Dep: 2, Fn: 2},
+		{Model: core.HELIX, Reduc: 1, Dep: 2, Fn: 2},
+	}
+	if !short {
+		cfgs = append(cfgs,
+			core.Config{Model: core.PDOALL, Reduc: 0, Dep: 0, Fn: 1},
+			core.Config{Model: core.HELIX, Reduc: 1, Dep: 1, Fn: 2},
+		)
+	}
+	return cfgs
+}
+
+// TestShadowTrackerDifferentialOracle runs every benchmark of the suite
+// under DOALL, PDOALL, and HELIX with both the shadow-memory tracker and
+// the legacy map tracker, and requires bit-identical Reports. This is the
+// correctness gate for the shadow memory: any divergence in conflict
+// detection, phase accounting, or cost propagation shows up as a report
+// diff.
+func TestShadowTrackerDifferentialOracle(t *testing.T) {
+	benchmarks := All()
+	if len(benchmarks) == 0 {
+		t.Fatal("no registered benchmarks")
+	}
+	short := testing.Short()
+	for _, b := range benchmarks {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			info, err := b.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range oracleConfigs(short) {
+				shadow, errS := core.Run(info, cfg, core.RunOptions{Tracker: core.TrackerShadow})
+				legacy, errL := core.Run(info, cfg, core.RunOptions{Tracker: core.TrackerLegacyMap})
+				if (errS == nil) != (errL == nil) {
+					t.Fatalf("%s: tracker error divergence: shadow=%v legacy=%v", cfg, errS, errL)
+				}
+				if errS != nil {
+					if errS.Error() != errL.Error() {
+						t.Fatalf("%s: error text divergence: shadow=%v legacy=%v", cfg, errS, errL)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(shadow, legacy) {
+					t.Errorf("%s: reports diverge\nshadow: %v\nlegacy: %v", cfg, shadow, legacy)
+				}
+			}
+		})
+	}
+}

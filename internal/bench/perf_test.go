@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"loopapalooza/internal/core"
+)
+
+// sweepConfigs is the macro-benchmark configuration grid: one config per
+// execution model at permissive flags, the shape of a figure regeneration.
+func sweepConfigs() []core.Config {
+	return []core.Config{
+		{Model: core.DOALL, Reduc: 1, Dep: 0, Fn: 2},
+		{Model: core.PDOALL, Reduc: 1, Dep: 2, Fn: 2},
+		{Model: core.HELIX, Reduc: 1, Dep: 2, Fn: 2},
+	}
+}
+
+// BenchmarkSweepSuite is the end-to-end macro benchmark: a full sweep of
+// the EEMBC suite across the model grid, through the fault-isolated
+// harness (fresh per op, so every op re-runs every cell; the per-benchmark
+// analysis once-cells are process-wide and shared, as in production
+// figure regeneration). Sub-benchmarks select the dependence tracker.
+func BenchmarkSweepSuite(b *testing.B) {
+	benches := BySuite(SuiteEEMBC)
+	if len(benches) == 0 {
+		b.Fatal("no EEMBC benchmarks registered")
+	}
+	// Warm the analysis once-cells so both sub-benchmarks measure pure
+	// sweep execution.
+	for _, bm := range benches {
+		if _, err := bm.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, kind := range []core.TrackerKind{core.TrackerShadow, core.TrackerLegacyMap} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := NewHarnessWith(HarnessOptions{Run: core.RunOptions{Tracker: kind}})
+				sr := h.Sweep(context.Background(), benches, sweepConfigs())
+				if sr.OK() != len(benches)*len(sweepConfigs()) {
+					b.Fatalf("sweep failures: %s", sr.Summary())
+				}
+			}
+		})
+	}
+}

@@ -18,16 +18,55 @@ import (
 // adjusted clock, inner-loop speedups propagate outward — the paper's
 // bottom-up cost propagation, and SWARM/T4-style multi-level nested
 // parallelism, realized online.
+//
+// Dependence storage lives behind a depTracker: the default shadow memory
+// (flat generation-stamped tables) or the legacy per-instance maps kept as
+// a differential oracle (see TrackerKind).
 type Engine struct {
 	info *analysis.ModuleInfo
 	cfg  Config
+	tr   depTracker
 
 	clock   int64 // serial time: dynamic IR instructions
 	savings int64 // Σ (serial − model cost) over parallel loop instances
 
-	stack      []*instance
+	stack []*instance
+	// live are the stack's tracked, not-yet-serialized instances — the
+	// only ones Load/Store must visit. Kept in stack order.
+	live []*instance
+	// statSeq resolves LoopMeta→LoopStat by the meta's dense Seq ordinal
+	// (one slice index instead of a map probe on every EnterLoop); stats
+	// remains as the fallback for hand-built metas and for Stats().
+	statSeq    []*LoopStat
 	stats      map[*analysis.LoopMeta]*LoopStat
 	coveredTop int64 // serial ticks inside outermost parallel instances
+
+	anomalies LoopEventAnomalies
+
+	freeInsts []*instance // instance pool
+}
+
+// LoopEventAnomalies counts loop hook sequences that violate the expected
+// LIFO discipline (an IterLoop or ExitLoop whose loop is not the innermost
+// active instance, or with no active instance at all). The engine skips
+// such events — they cannot be attributed — but counts them so broken
+// frontends or hook wiring surface on the Report instead of vanishing.
+type LoopEventAnomalies struct {
+	// IterNoActive counts IterLoop events with an empty instance stack.
+	IterNoActive int64
+	// IterMismatch counts IterLoop events whose loop is not the top of
+	// the instance stack.
+	IterMismatch int64
+	// ExitNoActive counts ExitLoop events with an empty instance stack.
+	ExitNoActive int64
+	// ExitMismatch counts ExitLoop events whose loop is not the top of
+	// the instance stack.
+	ExitMismatch int64
+}
+
+// Total sums all anomaly counters.
+func (a LoopEventAnomalies) Total() int64 {
+	return a.IterNoActive + a.IterMismatch + a.ExitNoActive + a.ExitMismatch
 }
 
 // LoopStat aggregates one static loop's behaviour over the whole run.
@@ -71,6 +110,12 @@ type instance struct {
 	serialized bool
 	// tracked: dependence tracking active (false when serialized).
 	tracked bool
+	// depth is the instance's position in the engine stack at entry: its
+	// shadow-memory nesting level, unique among active instances.
+	depth int
+	// liveIdx is the instance's position in the engine's live list, or
+	// -1 when not live.
+	liveIdx int
 
 	enterAdj        int64
 	enterSerial     int64
@@ -89,6 +134,8 @@ type instance struct {
 	conflictIters     int64
 	curIterConflicted bool
 
+	// writes is the legacy map tracker's write set (nil under the shadow
+	// tracker, which stores records in its own level tables).
 	writes map[int64]writeRec
 
 	// coveredChildren accumulates covered serial ticks reported by
@@ -101,12 +148,28 @@ type writeRec struct {
 	off  int64 // adjusted offset of the write within its iteration
 }
 
-// NewEngine prepares an engine for one run of one configuration. The
-// configuration must Validate.
+// NewEngine prepares an engine for one run of one configuration, using the
+// default shadow-memory tracker. The configuration must Validate.
 func NewEngine(info *analysis.ModuleInfo, cfg Config) *Engine {
-	e := &Engine{info: info, cfg: cfg, stats: map[*analysis.LoopMeta]*LoopStat{}}
+	return NewEngineTracker(info, cfg, TrackerShadow)
+}
+
+// NewEngineTracker is NewEngine with an explicit dependence-tracker choice;
+// the differential-oracle tests use it to compare both implementations.
+func NewEngineTracker(info *analysis.ModuleInfo, cfg Config, kind TrackerKind) *Engine {
+	e := &Engine{
+		info:  info,
+		cfg:   cfg,
+		tr:    newTracker(kind, info),
+		stats: map[*analysis.LoopMeta]*LoopStat{},
+	}
+	e.statSeq = make([]*LoopStat, len(info.Loops))
 	for _, lm := range info.Loops {
-		e.stats[lm] = e.newStat(lm)
+		st := e.newStat(lm)
+		e.stats[lm] = st
+		if lm.Seq >= 0 && lm.Seq < len(e.statSeq) && e.statSeq[lm.Seq] == nil {
+			e.statSeq[lm.Seq] = st
+		}
 	}
 	return e
 }
@@ -156,6 +219,23 @@ func (e *Engine) newStat(lm *analysis.LoopMeta) *LoopStat {
 	return st
 }
 
+// statOf resolves the stat record for a meta: one slice index on the hot
+// path, with the map as fallback for metas outside the module's dense Seq
+// numbering (hand-built test metas).
+func (e *Engine) statOf(lm *analysis.LoopMeta) *LoopStat {
+	if s := lm.Seq; s >= 0 && s < len(e.statSeq) {
+		if st := e.statSeq[s]; st != nil && st.Meta == lm {
+			return st
+		}
+	}
+	st := e.stats[lm]
+	if st == nil {
+		st = e.newStat(lm)
+		e.stats[lm] = st
+	}
+	return st
+}
+
 // constrained reports whether observed-LCD index k restricts parallelism
 // under the configuration: plain non-computable LCDs always do, reduction
 // phis only under reduc0.
@@ -171,24 +251,50 @@ func (e *Engine) adj() int64 { return e.clock - e.savings }
 // Tick implements interp.Hooks.
 func (e *Engine) Tick(n int64) { e.clock += n }
 
+// newInstance returns a zeroed instance, reusing a pooled record.
+func (e *Engine) newInstance() *instance {
+	if l := len(e.freeInsts); l > 0 {
+		inst := e.freeInsts[l-1]
+		e.freeInsts = e.freeInsts[:l-1]
+		*inst = instance{}
+		return inst
+	}
+	return &instance{}
+}
+
+// unlive removes inst from the live list, preserving order.
+func (e *Engine) unlive(inst *instance) {
+	i := inst.liveIdx
+	if i < 0 {
+		return
+	}
+	copy(e.live[i:], e.live[i+1:])
+	e.live = e.live[:len(e.live)-1]
+	for j := i; j < len(e.live); j++ {
+		e.live[j].liveIdx = j
+	}
+	inst.liveIdx = -1
+}
+
 // EnterLoop implements interp.Hooks.
 func (e *Engine) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
-	st := e.stats[lm]
-	if st == nil {
-		st = e.newStat(lm)
-		e.stats[lm] = st
-	}
+	st := e.statOf(lm)
 	st.Instances++
-	inst := &instance{meta: lm, stat: st}
+	inst := e.newInstance()
+	inst.meta, inst.stat = lm, st
+	inst.liveIdx = -1
 	if st.Reason != SerialNone {
 		inst.serialized = true
 	} else {
 		inst.tracked = true
+		inst.depth = len(e.stack)
 		now, ser := e.adj(), e.clock
 		inst.enterAdj, inst.enterSerial = now, ser
 		inst.iterStartAdj, inst.iterStartSerial = now, ser
 		inst.iterStartSP = sp
-		inst.writes = map[int64]writeRec{}
+		e.tr.enter(inst)
+		inst.liveIdx = len(e.live)
+		e.live = append(e.live, inst)
 		// Train predictors on the live-in values (iteration 0 values
 		// are available at entry; no prediction needed for them).
 		if st.preds != nil {
@@ -203,10 +309,12 @@ func (e *Engine) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
 // IterLoop implements interp.Hooks.
 func (e *Engine) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
 	if len(e.stack) == 0 {
+		e.anomalies.IterNoActive++
 		return
 	}
 	inst := e.stack[len(e.stack)-1]
 	if inst.meta != lm {
+		e.anomalies.IterMismatch++
 		return
 	}
 	inst.iters++
@@ -289,10 +397,12 @@ func (e *Engine) regSlope(inst *instance, o interp.LCDObs, iterLen int64) {
 // ExitLoop implements interp.Hooks.
 func (e *Engine) ExitLoop(lm *analysis.LoopMeta) {
 	if len(e.stack) == 0 {
+		e.anomalies.ExitNoActive++
 		return
 	}
 	inst := e.stack[len(e.stack)-1]
 	if inst.meta != lm {
+		e.anomalies.ExitMismatch++
 		return
 	}
 	e.stack = e.stack[:len(e.stack)-1]
@@ -348,9 +458,12 @@ func (e *Engine) ExitLoop(lm *analysis.LoopMeta) {
 			covered = inst.coveredChildren
 		}
 		st.SerialTicks += ser - inst.enterSerial
+		e.unlive(inst)
+		e.tr.drop(inst)
 	} else {
+		// Untracked instances were measured by an enclosing tracked
+		// instance (or by nobody); they only forward covered ticks.
 		covered = inst.coveredChildren
-		st.SerialTicks += 0 // untracked instances do not re-measure
 	}
 	st.Iters += inst.iters
 	st.ConflictIters += inst.conflictIters
@@ -360,22 +473,24 @@ func (e *Engine) ExitLoop(lm *analysis.LoopMeta) {
 	} else {
 		e.coveredTop += covered
 	}
+	e.freeInsts = append(e.freeInsts, inst)
 }
 
 // Load implements interp.Hooks: RAW detection against earlier-iteration
-// writes, per active loop instance.
+// writes, per live (tracked, unserialized) loop instance.
 func (e *Engine) Load(addr int64) {
-	for idx := len(e.stack) - 1; idx >= 0; idx-- {
-		inst := e.stack[idx]
-		if !inst.tracked || inst.serialized {
-			continue
-		}
-		if interp.IsStackAddr(addr) && addr < inst.iterStartSP {
+	// Innermost-first, matching the historical stack walk; DOALL
+	// serialization may unlive the instance under the cursor, which is
+	// safe on a descending index.
+	onStack := interp.IsStackAddr(addr)
+	for idx := len(e.live) - 1; idx >= 0; idx-- {
+		inst := e.live[idx]
+		if onStack && addr < inst.iterStartSP {
 			// Cactus-stack exemption (§II-E): frames pushed after
 			// this iteration began are iteration-private.
 			continue
 		}
-		rec, ok := inst.writes[addr]
+		rec, ok := e.tr.load(inst, addr)
 		if !ok || rec.iter >= inst.iters {
 			continue // no cross-iteration RAW for this loop
 		}
@@ -401,7 +516,8 @@ func (e *Engine) memConflict(inst *instance, rec writeRec) {
 			inst.curIterConflicted = true
 			inst.conflictIters++
 		}
-		inst.writes = nil
+		e.unlive(inst)
+		e.tr.drop(inst)
 	case PDOALL:
 		if inst.curIterConflicted {
 			return
@@ -445,15 +561,17 @@ func (e *Engine) memConflict(inst *instance, rec writeRec) {
 
 // Store implements interp.Hooks: record the write for RAW detection.
 func (e *Engine) Store(addr int64) {
-	for idx := len(e.stack) - 1; idx >= 0; idx-- {
-		inst := e.stack[idx]
-		if !inst.tracked || inst.serialized {
+	if len(e.live) == 0 {
+		return
+	}
+	onStack := interp.IsStackAddr(addr)
+	now := e.adj()
+	for idx := len(e.live) - 1; idx >= 0; idx-- {
+		inst := e.live[idx]
+		if onStack && addr < inst.iterStartSP {
 			continue
 		}
-		if interp.IsStackAddr(addr) && addr < inst.iterStartSP {
-			continue
-		}
-		inst.writes[addr] = writeRec{iter: inst.iters, off: e.adj() - inst.iterStartAdj}
+		e.tr.store(inst, addr, writeRec{iter: inst.iters, off: now - inst.iterStartAdj})
 	}
 }
 
@@ -465,6 +583,9 @@ func (e *Engine) ParallelCost() int64 { return e.adj() }
 
 // CoveredTicks returns the serial ticks spent inside parallel loops.
 func (e *Engine) CoveredTicks() int64 { return e.coveredTop }
+
+// Anomalies returns the loop-event anomaly counters.
+func (e *Engine) Anomalies() LoopEventAnomalies { return e.anomalies }
 
 // Stats exposes the per-loop statistics (keyed by loop metadata).
 func (e *Engine) Stats() map[*analysis.LoopMeta]*LoopStat { return e.stats }

@@ -67,6 +67,10 @@ type Report struct {
 	Loops []LoopReport
 	// Census tallies Table I dependency categories.
 	Census DepCensus
+	// Anomalies counts loop hook events the engine could not attribute
+	// (mismatched or underflowing Enter/Iter/Exit sequences). All zero on
+	// a healthy run.
+	Anomalies LoopEventAnomalies
 }
 
 // Speedup returns SerialCost / ParallelCost.
@@ -94,6 +98,7 @@ func (e *Engine) Report(benchmark string) *Report {
 		SerialCost:   e.SerialCost(),
 		ParallelCost: e.ParallelCost(),
 		CoveredTicks: e.CoveredTicks(),
+		Anomalies:    e.anomalies,
 	}
 	metas := e.info.Loops
 	for _, lm := range metas {
@@ -165,6 +170,11 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  parallel cost %12d IR instructions\n", r.ParallelCost)
 	fmt.Fprintf(&b, "  speedup       %12.2fx\n", r.Speedup())
 	fmt.Fprintf(&b, "  coverage      %11.1f%% of dynamic instructions in parallel loops\n", 100*r.Coverage())
+	if n := r.Anomalies.Total(); n > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d unattributable loop events (iter %d/%d, exit %d/%d mismatch/underflow)\n",
+			n, r.Anomalies.IterMismatch, r.Anomalies.IterNoActive,
+			r.Anomalies.ExitMismatch, r.Anomalies.ExitNoActive)
+	}
 	if len(r.Loops) > 0 {
 		fmt.Fprintf(&b, "  loops (by serial weight):\n")
 		for i, lr := range r.Loops {

@@ -28,6 +28,10 @@ type RunOptions struct {
 	Timeout time.Duration
 	// EntryArgs are passed to main (usually none).
 	EntryArgs []interp.Val
+	// Tracker selects the dependence-tracking implementation. The zero
+	// value is the shadow-memory tracker; TrackerLegacyMap keeps the
+	// original map-based write sets (differential-oracle runs).
+	Tracker TrackerKind
 }
 
 // Run executes the analyzed module's main function under one configuration
@@ -43,7 +47,7 @@ func Run(info *analysis.ModuleInfo, cfg Config, opts RunOptions) (*Report, error
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
-	engine := NewEngine(info, cfg)
+	engine := NewEngineTracker(info, cfg, opts.Tracker)
 	in := interp.New(info, interp.Config{
 		Out:          opts.Out,
 		MaxSteps:     opts.MaxSteps,

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/interp"
+)
+
+// TrackerKind selects the dependence-tracking data structure behind the
+// engine. The two trackers are semantically identical — the legacy map
+// tracker is kept as a differential oracle for the shadow memory — so the
+// choice only affects performance.
+type TrackerKind int
+
+const (
+	// TrackerShadow is the default: a flat, generation-stamped shadow
+	// memory. Load/Store cost one array index plus a generation compare
+	// per active loop level, and clearing an instance is a generation
+	// bump instead of a map drop.
+	TrackerShadow TrackerKind = iota
+	// TrackerLegacyMap is the original per-instance map[int64]writeRec
+	// write set, retained as the correctness oracle.
+	TrackerLegacyMap
+)
+
+// String names the tracker kind.
+func (k TrackerKind) String() string {
+	if k == TrackerLegacyMap {
+		return "legacy-map"
+	}
+	return "shadow"
+}
+
+// depTracker stores, per active loop instance, the last cross-iteration
+// write to each address. The engine owns all policy (cactus-stack
+// exemption, same-iteration and committed-phase filtering, conflict
+// handling); the tracker is pure storage.
+type depTracker interface {
+	// enter prepares (or resets) storage for an instance that begins
+	// tracking. inst.depth is its nesting level, unique among active
+	// instances.
+	enter(inst *instance)
+	// load returns the recorded write covering addr for inst, if any.
+	load(inst *instance, addr int64) (writeRec, bool)
+	// store records a write at addr for inst.
+	store(inst *instance, addr int64, rec writeRec)
+	// drop discards inst's write set (the instance serialized or exited).
+	drop(inst *instance)
+}
+
+// mapTracker is the legacy write-set representation: one map per instance.
+type mapTracker struct{}
+
+func (mapTracker) enter(inst *instance) { inst.writes = map[int64]writeRec{} }
+func (mapTracker) drop(inst *instance)  { inst.writes = nil }
+func (mapTracker) load(inst *instance, addr int64) (writeRec, bool) {
+	rec, ok := inst.writes[addr]
+	return rec, ok
+}
+func (mapTracker) store(inst *instance, addr int64, rec writeRec) {
+	inst.writes[addr] = rec
+}
+
+// Shadow-memory geometry. Guest addresses split into three dense regions
+// (low/global, heap, stack); each region of each nesting level is a flat
+// table indexed by the region offset, grown geometrically as addresses are
+// touched. Addresses outside a region's flat cap (wild pointers, or heaps
+// larger than the flat budget) fall back to a per-level overflow map, so a
+// given address is *always* flat or *always* overflow for the whole run.
+const (
+	// regLow covers [0, HeapBase): null, globals, and any stray low
+	// address. Its flat cap is the exact end of the global segment.
+	regLow = 0
+	// regHeap covers [HeapBase, StackTop-DefaultStackWords).
+	regHeap = 1
+	// regStack covers the stack segment (IsStackAddr).
+	regStack = 2
+
+	// heapFlatCap bounds the flat heap table per level; heap offsets at
+	// or above it use the overflow map. 1<<24 entries * 24 B = 384 MiB
+	// worst case per fully-touched level, reached only geometrically.
+	heapFlatCap = int64(1) << 24
+
+	// minShadowTab is the initial flat-table size on first touch.
+	minShadowTab = 64
+)
+
+// shadowRec is one shadow-memory entry: a generation stamp plus the write
+// record. Entries whose gen differs from the level's current generation are
+// stale leftovers of earlier instances and read as absent.
+type shadowRec struct {
+	gen uint64
+	writeRec
+}
+
+// shadowLevel is the shadow memory of one loop-nesting level. Exactly one
+// active instance occupies a level at a time (levels are stack depths), so
+// a single generation counter distinguishes the current instance's writes
+// from stale ones.
+type shadowLevel struct {
+	gen  uint64
+	tabs [3][]shadowRec      // flat tables, indexed by region offset
+	over map[int64]shadowRec // addresses beyond the flat caps, by address
+}
+
+// shadowTracker implements depTracker with generation-stamped flat tables.
+type shadowTracker struct {
+	levels []*shadowLevel
+	caps   [3]int64 // flat-table cap per region
+}
+
+func newShadowTracker(info *analysis.ModuleInfo) *shadowTracker {
+	t := &shadowTracker{}
+	globalEnd := int64(interp.GlobalBase)
+	if info != nil && info.Mod != nil {
+		for _, g := range info.Mod.Globals {
+			globalEnd += g.Size
+		}
+	}
+	t.caps[regLow] = globalEnd
+	t.caps[regHeap] = heapFlatCap
+	t.caps[regStack] = interp.DefaultStackWords
+	return t
+}
+
+// region maps an address to its region and dense offset. Offsets outside
+// [0, caps[r]) are stored in the level's overflow map.
+func region(addr int64) (r int, idx int64) {
+	if interp.IsStackAddr(addr) {
+		return regStack, interp.StackTop - 1 - addr
+	}
+	if addr >= interp.HeapBase {
+		return regHeap, addr - interp.HeapBase
+	}
+	return regLow, addr
+}
+
+func (t *shadowTracker) enter(inst *instance) {
+	for int(inst.depth) >= len(t.levels) {
+		t.levels = append(t.levels, &shadowLevel{})
+	}
+	// One bump invalidates every record the previous occupant of this
+	// level left behind, across all regions and the overflow map.
+	t.levels[inst.depth].gen++
+}
+
+func (t *shadowTracker) drop(inst *instance) {
+	// Stale records are invalidated by the next occupant's generation
+	// bump; nothing to clear now.
+}
+
+func (t *shadowTracker) load(inst *instance, addr int64) (writeRec, bool) {
+	lvl := t.levels[inst.depth]
+	r, idx := region(addr)
+	if idx < 0 || idx >= t.caps[r] {
+		rec, ok := lvl.over[addr]
+		if !ok || rec.gen != lvl.gen {
+			return writeRec{}, false
+		}
+		return rec.writeRec, true
+	}
+	tab := lvl.tabs[r]
+	if idx >= int64(len(tab)) {
+		return writeRec{}, false
+	}
+	rec := tab[idx]
+	if rec.gen != lvl.gen {
+		return writeRec{}, false
+	}
+	return rec.writeRec, true
+}
+
+func (t *shadowTracker) store(inst *instance, addr int64, rec writeRec) {
+	lvl := t.levels[inst.depth]
+	r, idx := region(addr)
+	if idx < 0 || idx >= t.caps[r] {
+		if lvl.over == nil {
+			lvl.over = map[int64]shadowRec{}
+		}
+		lvl.over[addr] = shadowRec{gen: lvl.gen, writeRec: rec}
+		return
+	}
+	tab := lvl.tabs[r]
+	if idx >= int64(len(tab)) {
+		tab = growShadowTab(tab, idx, t.caps[r])
+		lvl.tabs[r] = tab
+	}
+	tab[idx] = shadowRec{gen: lvl.gen, writeRec: rec}
+}
+
+// growShadowTab extends a flat table to cover idx: geometric doubling from
+// minShadowTab, clamped to the region cap. Stale prefixes keep their old
+// generation stamps, so no clearing is needed.
+func growShadowTab(tab []shadowRec, idx, cap64 int64) []shadowRec {
+	n := int64(len(tab))
+	if n < minShadowTab {
+		n = minShadowTab
+	}
+	for n <= idx {
+		n *= 2
+	}
+	if n > cap64 {
+		n = cap64
+	}
+	grown := make([]shadowRec, n)
+	copy(grown, tab)
+	return grown
+}
+
+// newTracker builds the tracker for a kind.
+func newTracker(kind TrackerKind, info *analysis.ModuleInfo) depTracker {
+	if kind == TrackerLegacyMap {
+		return mapTracker{}
+	}
+	return newShadowTracker(info)
+}

@@ -59,9 +59,14 @@ type LCDObs struct {
 }
 
 // Hooks receives instrumentation events during execution. Methods are called
-// synchronously from the interpreter loop.
+// synchronously from the interpreter loop. The init and obs slices passed to
+// EnterLoop/IterLoop are scratch buffers owned by the interpreter and reused
+// across events: implementations must copy any values they need to retain.
 type Hooks interface {
-	// Tick advances the dynamic IR instruction counter by n.
+	// Tick advances the dynamic IR instruction counter by n. Ticks are
+	// batched: the interpreter may deliver several instructions' worth in
+	// one call, but always flushes pending ticks before any other event,
+	// so the cumulative count is exact at every event boundary.
 	Tick(n int64)
 	// EnterLoop fires when control first reaches a loop header from its
 	// preheader. sp is the current stack pointer; init holds the values

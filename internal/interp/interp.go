@@ -58,37 +58,21 @@ type Interp struct {
 
 	mem        *memory
 	globalAddr map[*ir.Global]int64
-	layouts    map[*ir.Function]*layout
 
 	clock     int64
+	pending   int64 // ticks accumulated since the last hooks.Tick flush
 	maxSteps  int64
 	ctx       context.Context
 	deadline  time.Time
 	nextPoll  int64
 	randState uint64
-}
 
-// layout assigns dense register slots to a function's params and values.
-type layout struct {
-	slot map[ir.Value]int
-	n    int
-}
-
-func buildLayout(f *ir.Function) *layout {
-	l := &layout{slot: map[ir.Value]int{}}
-	for _, p := range f.Params {
-		l.slot[p] = l.n
-		l.n++
-	}
-	for _, b := range f.Blocks {
-		for _, i := range b.Instrs {
-			if i.Op.HasResult() && i.Ty.Kind() != ir.KVoid {
-				l.slot[i] = l.n
-				l.n++
-			}
-		}
-	}
-	return l
+	// Zero-allocation steady state: returned frames are reused by later
+	// calls, and the loop-event observation slices are scratch buffers
+	// (hooks must not retain them — see Hooks).
+	frames  []*frame
+	obsBuf  []LCDObs
+	initBuf []Val
 }
 
 // runtimeErr carries execution errors through panic/recover.
@@ -115,7 +99,8 @@ func (in *Interp) failMem(err error) {
 }
 
 // New prepares an interpreter for an analyzed module: it lays out globals,
-// applies initializers, and caches per-function register layouts.
+// applies initializers, and ensures every function has dense register
+// numbering for the flat frames.
 func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 	in := &Interp{
 		info:       info,
@@ -123,11 +108,19 @@ func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 		hooks:      cfg.Hooks,
 		out:        cfg.Out,
 		globalAddr: map[*ir.Global]int64{},
-		layouts:    map[*ir.Function]*layout{},
 		maxSteps:   cfg.MaxSteps,
 		ctx:        cfg.Ctx,
 		deadline:   cfg.Deadline,
 		randState:  0x2545F4914F6CDD1D,
+	}
+	// The analysis pipeline numbers every function; cover hand-built
+	// modules (tests) that skip it. Single-threaded by construction —
+	// concurrent executions always share a ModuleInfo that was numbered
+	// once, up front, by AnalyzeModule.
+	for _, f := range in.mod.Funcs {
+		if !f.Numbered() {
+			f.NumberValues()
+		}
 	}
 	if in.hooks == nil {
 		in.hooks = NopHooks{}
@@ -184,35 +177,39 @@ func (in *Interp) Run(fnName string, args ...Val) (res Result, err error) {
 		}
 	}()
 	ret := in.call(fn, args)
+	in.flushTicks()
 	return Result{Ret: ret, Steps: in.clock}, nil
 }
 
 // Clock returns the current dynamic instruction count.
 func (in *Interp) Clock() int64 { return in.clock }
 
-func (in *Interp) layoutOf(f *ir.Function) *layout {
-	l := in.layouts[f]
-	if l == nil {
-		l = buildLayout(f)
-		in.layouts[f] = l
-	}
-	return l
-}
-
 func (in *Interp) tick(n int64) {
 	in.clock += n
+	in.pending += n
 	if in.clock > in.maxSteps {
 		in.failErr(&LimitError{Kind: ErrStepLimit, Limit: in.maxSteps, Step: in.clock})
 	}
 	if in.clock >= in.nextPoll {
 		in.poll()
 	}
-	in.hooks.Tick(n)
+}
+
+// flushTicks forwards the accumulated instruction count to the hooks. It
+// runs before every other hook event and at the end of the run, so hooks
+// observe a clock that is exact at every event boundary while the per-
+// instruction hot path stays free of dynamic dispatch.
+func (in *Interp) flushTicks() {
+	if in.pending != 0 {
+		in.hooks.Tick(in.pending)
+		in.pending = 0
+	}
 }
 
 // poll performs the amortized cancellation and deadline checks.
 func (in *Interp) poll() {
 	in.nextPoll = in.clock + PollInterval
+	in.flushTicks()
 	if in.ctx != nil {
 		if err := in.ctx.Err(); err != nil {
 			kind := ErrCanceled
@@ -227,10 +224,11 @@ func (in *Interp) poll() {
 	}
 }
 
-// frame is one activation record.
+// frame is one activation record. Registers are indexed by the dense slots
+// Function.NumberValues assigned (params first, then result-producing
+// instructions).
 type frame struct {
 	fn       *ir.Function
-	lay      *layout
 	regs     []Val
 	defTicks []int64
 	savedSP  int64
@@ -251,9 +249,9 @@ func (in *Interp) val(fr *frame, v ir.Value) Val {
 	case *ir.Global:
 		return PtrVal(in.globalAddr[x])
 	case *ir.Param:
-		return fr.regs[fr.lay.slot[x]]
+		return fr.regs[x.Index]
 	case *ir.Instr:
-		return fr.regs[fr.lay.slot[x]]
+		return fr.regs[x.Slot]
 	}
 	in.fail("unknown value %T", v)
 	return Val{}
@@ -263,23 +261,50 @@ func (in *Interp) val(fr *frame, v ir.Value) Val {
 // iteration start (constants, params, loop-invariants).
 func (in *Interp) defTickOf(fr *frame, v ir.Value) int64 {
 	if i, ok := v.(*ir.Instr); ok {
-		return fr.defTicks[fr.lay.slot[i]]
+		return fr.defTicks[i.Slot]
 	}
 	return -1
 }
 
-func (in *Interp) call(fn *ir.Function, args []Val) Val {
-	lay := in.layoutOf(fn)
-	fr := &frame{
-		fn:       fn,
-		lay:      lay,
-		regs:     make([]Val, lay.n),
-		defTicks: make([]int64, lay.n),
-		savedSP:  in.mem.sp,
-		fi:       in.info.Funcs[fn],
+// newFrame readies an activation record for fn, reusing a returned frame
+// when one is available. Register and def-tick slots are zeroed.
+func (in *Interp) newFrame(fn *ir.Function) *frame {
+	n := fn.NumRegs()
+	var fr *frame
+	if l := len(in.frames); l > 0 {
+		fr = in.frames[l-1]
+		in.frames = in.frames[:l-1]
+		if cap(fr.regs) < n {
+			fr.regs = make([]Val, n)
+			fr.defTicks = make([]int64, n)
+		} else {
+			fr.regs = fr.regs[:n]
+			fr.defTicks = fr.defTicks[:n]
+			clear(fr.regs)
+			clear(fr.defTicks)
+		}
+		fr.loops = fr.loops[:0]
+	} else {
+		fr = &frame{regs: make([]Val, n), defTicks: make([]int64, n)}
 	}
-	copy(fr.regs, args)
+	fr.fn, fr.savedSP, fr.fi = fn, in.mem.sp, in.info.Funcs[fn]
+	return fr
+}
 
+// freeFrame returns a finished frame to the pool.
+func (in *Interp) freeFrame(fr *frame) { in.frames = append(in.frames, fr) }
+
+func (in *Interp) call(fn *ir.Function, args []Val) Val {
+	fr := in.newFrame(fn)
+	copy(fr.regs, args)
+	ret := in.exec(fr)
+	in.freeFrame(fr)
+	return ret
+}
+
+// exec runs fr's function to completion and returns its result.
+func (in *Interp) exec(fr *frame) Val {
+	fn := fr.fn
 	cur := fn.Entry()
 	var prev *ir.Block
 	for {
@@ -301,8 +326,11 @@ func (in *Interp) call(fn *ir.Function, args []Val) Val {
 		if returned {
 			// Leaving the function exits any loops still active in
 			// this frame.
-			for i := len(fr.loops) - 1; i >= 0; i-- {
-				in.hooks.ExitLoop(fr.loops[i])
+			if len(fr.loops) > 0 {
+				in.flushTicks()
+				for i := len(fr.loops) - 1; i >= 0; i-- {
+					in.hooks.ExitLoop(fr.loops[i])
+				}
 			}
 			in.mem.sp = fr.savedSP
 			return retVal
@@ -330,8 +358,7 @@ func (in *Interp) execPhis(fr *frame, cur, prev *ir.Block, nPhi int) {
 		tmp[k] = in.val(fr, inc)
 	}
 	for k := 0; k < nPhi; k++ {
-		phi := cur.Instrs[k]
-		slot := fr.lay.slot[phi]
+		slot := cur.Instrs[k].Slot
 		fr.regs[slot] = tmp[k]
 		fr.defTicks[slot] = in.clock
 		in.tick(1)
@@ -347,28 +374,43 @@ func (in *Interp) loopEvents(fr *frame, cur, prev *ir.Block) {
 		if top.Loop.Contains(cur) {
 			break
 		}
+		in.flushTicks()
 		in.hooks.ExitLoop(top)
 		fr.loops = fr.loops[:len(fr.loops)-1]
 	}
-	lm := fr.fi.HeaderMeta[cur]
+	var lm *analysis.LoopMeta
+	if mb := fr.fi.MetaByBlock; cur.Index < len(mb) {
+		lm = mb[cur.Index]
+	} else {
+		lm = fr.fi.HeaderMeta[cur] // hand-built FuncInfo without the dense index
+	}
 	if lm == nil {
 		return
 	}
 	if len(fr.loops) > 0 && fr.loops[len(fr.loops)-1] == lm {
 		// Back edge: observe the next iteration's LCD values from the
 		// latch incomings (the phis have not been reassigned yet, so
-		// producer timestamps belong to the finished iteration).
-		obs := make([]LCDObs, len(lm.Observed))
+		// producer timestamps belong to the finished iteration). The
+		// observation slice is scratch, valid only during the call.
+		if cap(in.obsBuf) < len(lm.Observed) {
+			in.obsBuf = make([]LCDObs, len(lm.Observed))
+		}
+		obs := in.obsBuf[:len(lm.Observed)]
 		for k, inc := range lm.ObservedLatch {
 			obs[k] = LCDObs{Val: in.val(fr, inc), DefTick: in.defTickOf(fr, inc)}
 		}
+		in.flushTicks()
 		in.hooks.IterLoop(lm, in.mem.sp, obs)
 		return
 	}
 	// First arrival: loop entry. The iteration-zero values are the phi
-	// incomings along the entry edge.
+	// incomings along the entry edge. Scratch slice, as above.
 	fr.loops = append(fr.loops, lm)
-	init := make([]Val, len(lm.Observed))
+	if cap(in.initBuf) < len(lm.Observed) {
+		in.initBuf = make([]Val, len(lm.Observed))
+	}
+	init := in.initBuf[:len(lm.Observed)]
+	clear(init)
 	for k, phi := range lm.Observed {
 		if prev != nil {
 			if inc := phi.PhiIncoming(prev); inc != nil {
@@ -376,6 +418,7 @@ func (in *Interp) loopEvents(fr *frame, cur, prev *ir.Block) {
 			}
 		}
 	}
+	in.flushTicks()
 	in.hooks.EnterLoop(lm, in.mem.sp, init)
 }
 
@@ -409,9 +452,8 @@ func (in *Interp) execBody(fr *frame, b *ir.Block, from int) (next *ir.Block, re
 }
 
 func (in *Interp) setReg(fr *frame, i *ir.Instr, v Val) {
-	slot := fr.lay.slot[i]
-	fr.regs[slot] = v
-	fr.defTicks[slot] = in.clock
+	fr.regs[i.Slot] = v
+	fr.defTicks[i.Slot] = in.clock
 }
 
 func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
@@ -445,6 +487,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		in.setReg(fr, i, PtrVal(addr))
 	case ir.OpLoad:
 		addr := in.val(fr, i.Args[0]).I
+		in.flushTicks()
 		in.hooks.Load(addr)
 		v, err := in.mem.load(addr)
 		if err != nil {
@@ -458,6 +501,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		in.setReg(fr, i, v)
 	case ir.OpStore:
 		addr := in.val(fr, i.Args[0]).I
+		in.flushTicks()
 		in.hooks.Store(addr)
 		if err := in.mem.store(addr, in.val(fr, i.Args[1])); err != nil {
 			in.failMem(err)
@@ -554,11 +598,14 @@ func (in *Interp) compare(op ir.Op, a, b Val) Val {
 
 func (in *Interp) execCall(fr *frame, i *ir.Instr) {
 	if i.Callee != nil {
-		args := make([]Val, len(i.Args))
+		// Evaluate arguments straight into the callee frame: no
+		// per-call argument slice.
+		nf := in.newFrame(i.Callee)
 		for k, a := range i.Args {
-			args[k] = in.val(fr, a)
+			nf.regs[k] = in.val(fr, a)
 		}
-		ret := in.call(i.Callee, args)
+		ret := in.exec(nf)
+		in.freeFrame(nf)
 		if i.Ty.Kind() != ir.KVoid {
 			in.setReg(fr, i, ret)
 		}

@@ -95,8 +95,42 @@ type Function struct {
 	// Module is the containing module.
 	Module *Module
 
+	// numRegs is the register-frame size assigned by NumberValues
+	// (params + result-producing instructions); 0 until numbered.
+	numRegs  int
+	numbered bool
+
 	nameSeq int
 }
+
+// NumberValues assigns dense register slots to the function's values:
+// parameters occupy slots [0, len(Params)) (their existing Index), and every
+// result-producing instruction receives the next free slot (Instr.Slot;
+// resultless instructions get -1). It returns the total register count and
+// is idempotent. Call it once the IR is final — after all transformation
+// passes — since later instruction insertion would invalidate the numbering.
+func (f *Function) NumberValues() int {
+	n := len(f.Params)
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op.HasResult() && i.Ty.Kind() != KVoid {
+				i.Slot = n
+				n++
+			} else {
+				i.Slot = -1
+			}
+		}
+	}
+	f.numRegs = n
+	f.numbered = true
+	return n
+}
+
+// NumRegs returns the register-frame size assigned by NumberValues.
+func (f *Function) NumRegs() int { return f.numRegs }
+
+// Numbered reports whether NumberValues has run on this function.
+func (f *Function) Numbered() bool { return f.numbered }
 
 // Entry returns the entry block.
 func (f *Function) Entry() *Block { return f.Blocks[0] }

@@ -143,6 +143,11 @@ type Instr struct {
 	Builtin string
 	// Parent is the containing basic block.
 	Parent *Block
+	// Slot is the dense register index of the instruction's result within
+	// its function, assigned by Function.NumberValues after the IR is
+	// final. It is -1 for instructions without a result. Interpreters use
+	// it to index flat register frames instead of probing a map.
+	Slot int
 }
 
 // Type implements Value.

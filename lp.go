@@ -86,8 +86,22 @@ func Analyze(name, src string) (*ModuleInfo, error) {
 
 // RunOptions carries the resource budgets and cancellation context of a
 // run: MaxSteps (dynamic instruction budget), Timeout / Ctx (wall-clock
-// and cooperative cancellation), and MaxHeapCells (simulated heap budget).
+// and cooperative cancellation), MaxHeapCells (simulated heap budget),
+// and Tracker (dependence-tracking implementation).
 type RunOptions = core.RunOptions
+
+// TrackerKind selects the dependence-tracking implementation used by the
+// limit-study engine.
+type TrackerKind = core.TrackerKind
+
+// The dependence trackers. TrackerShadow — flat generation-stamped shadow
+// memory — is the production default (and the zero value). TrackerLegacyMap
+// is the original per-instance hash-map tracker, kept as a differential
+// oracle: both produce bit-identical Reports.
+const (
+	TrackerShadow    = core.TrackerShadow
+	TrackerLegacyMap = core.TrackerLegacyMap
+)
 
 // Outcome classifies a run failure into the taxonomy (see Classify).
 type Outcome = core.Outcome
