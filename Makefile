@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci quick build vet test race bench benchsmoke figures
+.PHONY: ci quick build vet test race bench benchsmoke fuzz fuzz-smoke figures
 
-ci: build vet test race benchsmoke
+ci: build vet test race benchsmoke fuzz-smoke
 
 quick: build vet
 	$(GO) test -short ./...
@@ -27,6 +27,21 @@ race:
 # without paying for stable measurements.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Short coverage-guided runs of every fuzz target (go test allows one
+# -fuzz per invocation, hence the separate lines). Part of `make ci`:
+# ~10s per target catches shallow regressions in the crash-proofing
+# without a dedicated fuzz box.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzLexer$$' -fuzztime=$(FUZZTIME) ./internal/lang
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/lang
+	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/lang
+	$(GO) test -run='^$$' -fuzz='^FuzzCompileAndRun$$' -fuzztime=$(FUZZTIME) ./internal/core
+
+# Longer fuzzing session (override FUZZTIME for overnight runs).
+fuzz:
+	$(MAKE) fuzz-smoke FUZZTIME=2m
 
 # Full measurement run: the PR2 perf suite (engine hot path, interpreter
 # dispatch, end-to-end sweep; shadow vs legacy-map sub-benchmarks) plus

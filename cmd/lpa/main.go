@@ -13,6 +13,11 @@
 //
 // With no file, lpa reads the program from stdin.
 //
+// Compile errors render one canonical "file:line:col: message" line per
+// fault, each with a caret-marked source snippet, on stderr. lpa never
+// exits via panic: an internal compiler bug renders as a diagnostic with a
+// reproduction hint instead of a goroutine dump.
+//
 // Exit codes map the failure taxonomy so scripts can classify runs
 // without parsing messages:
 //
@@ -35,6 +40,7 @@ import (
 
 	"loopapalooza/internal/analysis"
 	"loopapalooza/internal/core"
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/interp"
 	"loopapalooza/internal/lang"
 )
@@ -54,9 +60,58 @@ func main() {
 		Timeout:      *timeout,
 		MaxHeapCells: *memLimit,
 	}
-	if err := run(*cfgStr, *all, *dumpIR, *justRun, flag.Arg(0), opts); err != nil {
+	os.Exit(runMain(*cfgStr, *all, *dumpIR, *justRun, flag.Arg(0), opts))
+}
+
+// runMain loads the program, runs the requested mode, and renders any
+// failure. It is the no-panic boundary: whatever goes wrong below, the
+// process exits through a diagnostic and a taxonomy exit code, never
+// through a goroutine dump.
+func runMain(cfgStr string, all, dumpIR, justRun bool, path string, opts core.RunOptions) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr,
+				"lpa: internal error: %v\nThis is a bug in lpa, not in your program. Please report it together with the input file.\n", r)
+			code = 1
+		}
+	}()
+
+	name := "<stdin>"
+	var src []byte
+	var err error
+	if path == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		name = path
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lpa:", err)
-		os.Exit(exitCode(err))
+		return 1
+	}
+
+	if err := run(cfgStr, all, dumpIR, justRun, name, string(src), opts); err != nil {
+		renderError(err, string(src))
+		return exitCode(err)
+	}
+	return 0
+}
+
+// renderError writes err to stderr: positioned diagnostics and ICEs render
+// in their canonical caret form, everything else as a one-line message.
+func renderError(err error, src string) {
+	var l diag.List
+	var d *diag.Diagnostic
+	var ice *diag.ICE
+	switch {
+	case errors.As(err, &l):
+		fmt.Fprint(os.Stderr, diag.Format(l, src))
+	case errors.As(err, &ice):
+		fmt.Fprint(os.Stderr, diag.Format(ice, src))
+	case errors.As(err, &d):
+		fmt.Fprint(os.Stderr, diag.Format(d, src))
+	default:
+		fmt.Fprintln(os.Stderr, "lpa:", err)
 	}
 }
 
@@ -78,22 +133,9 @@ func exitCode(err error) int {
 	}
 }
 
-func run(cfgStr string, all, dumpIR, justRun bool, path string, opts core.RunOptions) error {
-	name := "<stdin>"
-	var src []byte
-	var err error
-	if path == "" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		name = path
-		src, err = os.ReadFile(path)
-	}
-	if err != nil {
-		return err
-	}
-
+func run(cfgStr string, all, dumpIR, justRun bool, name, src string, opts core.RunOptions) error {
 	if dumpIR {
-		m, err := lang.Compile(name, string(src))
+		m, err := lang.Compile(name, src)
 		if err != nil {
 			return err
 		}
@@ -114,7 +156,7 @@ func run(cfgStr string, all, dumpIR, justRun bool, path string, opts core.RunOpt
 		return nil
 	}
 
-	info, err := core.AnalyzeSource(name, string(src))
+	info, err := core.AnalyzeSource(name, src)
 	if err != nil {
 		return err
 	}

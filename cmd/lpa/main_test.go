@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildLpa compiles the lpa binary once per test process.
+func buildLpa(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lpa")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runLpa executes the built binary and returns exit code, stdout, stderr.
+func runLpa(t *testing.T, bin string, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// assertNoCrashArtifacts fails if output looks like an uncontrolled crash.
+func assertNoCrashArtifacts(t *testing.T, stderr string) {
+	t.Helper()
+	for _, marker := range []string{"goroutine ", "panic:", "runtime error:\n\tgoroutine"} {
+		if strings.Contains(stderr, marker) {
+			t.Errorf("stderr contains crash artifact %q:\n%s", marker, stderr)
+		}
+	}
+}
+
+func TestCLICompileErrorRendering(t *testing.T) {
+	bin := buildLpa(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.lpc")
+	src := "func a() int {\n\tvar x int = ;\n\treturn 0;\n}\nfunc b() int {\n\treturn 1 + ;\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runLpa(t, bin, "", path)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if stdout != "" {
+		t.Errorf("diagnostics leaked to stdout:\n%s", stdout)
+	}
+	assertNoCrashArtifacts(t, stderr)
+
+	// Canonical positioned lines for BOTH independent faults.
+	canonical := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(path) + `:\d+:\d+: `)
+	if got := len(canonical.FindAllString(stderr, -1)); got < 2 {
+		t.Errorf("canonical file:line:col lines = %d, want >= 2:\n%s", got, stderr)
+	}
+	if !strings.Contains(stderr, "^") {
+		t.Errorf("no caret snippet rendered:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, path+":2:14: expected expression, found ;") {
+		t.Errorf("missing exact first diagnostic:\n%s", stderr)
+	}
+}
+
+func TestCLITypeErrorFromStdin(t *testing.T) {
+	bin := buildLpa(t)
+	code, _, stderr := runLpa(t, bin, "func main() int { return q; }\n")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "<stdin>:1:26: undefined: q") {
+		t.Errorf("missing positioned sema diagnostic:\n%s", stderr)
+	}
+	assertNoCrashArtifacts(t, stderr)
+}
+
+func TestCLISuccessAndTaxonomyExitCodes(t *testing.T) {
+	bin := buildLpa(t)
+	dir := t.TempDir()
+	ok := filepath.Join(dir, "ok.lpc")
+	if err := os.WriteFile(ok, []byte("func main() int {\n\tvar s int = 0;\n\tfor (var i int = 0; i < 100; i = i + 1) { s = s + i; }\n\treturn s;\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, stdout, stderr := runLpa(t, bin, "", ok); code != 0 {
+		t.Errorf("exit = %d, stderr:\n%s", code, stderr)
+	} else if !strings.Contains(stdout, "speedup") {
+		t.Errorf("no report on stdout:\n%s", stdout)
+	}
+
+	// Step budget exhaustion → exit 4.
+	loop := filepath.Join(dir, "loop.lpc")
+	if err := os.WriteFile(loop, []byte("func main() int {\n\tvar s int = 0;\n\twhile (true) { s = s + 1; }\n\treturn s;\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runLpa(t, bin, "", "-max-steps", "100000", loop)
+	if code != 4 {
+		t.Errorf("step-limit exit = %d, want 4\nstderr:\n%s", code, stderr)
+	}
+	assertNoCrashArtifacts(t, stderr)
+
+	// Guest runtime fault → exit 3.
+	div := filepath.Join(dir, "div.lpc")
+	if err := os.WriteFile(div, []byte("func main() int {\n\tvar z int = 0;\n\treturn 1 / z;\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runLpa(t, bin, "", div)
+	if code != 3 {
+		t.Errorf("runtime-fault exit = %d, want 3\nstderr:\n%s", code, stderr)
+	}
+	assertNoCrashArtifacts(t, stderr)
+}
+
+func TestCLIMissingFile(t *testing.T) {
+	bin := buildLpa(t)
+	code, _, stderr := runLpa(t, bin, "", filepath.Join(t.TempDir(), "nope.lpc"))
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	assertNoCrashArtifacts(t, stderr)
+}

@@ -85,21 +85,65 @@ type ModuleInfo struct {
 // (mem2reg), scalar evolution, reduction recognition, purity analysis, and
 // per-loop call classification. The module must verify before and after.
 func AnalyzeModule(m *ir.Module) (*ModuleInfo, error) {
+	return analyzeModule(m, false)
+}
+
+// AnalyzeModuleStrict is AnalyzeModule with the verifier run after every
+// individual pass, so a pass that breaks an IR invariant is named in the
+// error instead of being discovered (or masked) passes later. It is the
+// pipeline entry point of the metamorphic test suite and the fuzzing
+// harness; production callers use AnalyzeModule, which verifies only at
+// the pipeline boundaries.
+func AnalyzeModuleStrict(m *ir.Module) (*ModuleInfo, error) {
+	return analyzeModule(m, true)
+}
+
+func analyzeModule(m *ir.Module, strict bool) (*ModuleInfo, error) {
 	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("analysis: input module invalid: %w", err)
+	}
+	check := func(pass string, f *ir.Function) error {
+		if !strict {
+			return nil
+		}
+		if err := ir.Verify(m); err != nil {
+			return fmt.Errorf("analysis: module invalid after %s on %s: %w", pass, f.Name, err)
+		}
+		return nil
 	}
 	info := &ModuleInfo{Mod: m, Funcs: map[*ir.Function]*FuncInfo{}}
 	for _, f := range m.Funcs {
 		RemoveUnreachable(f)
+		if err := check("unreachable-elimination", f); err != nil {
+			return nil, err
+		}
 		Mem2Reg(f)
+		if err := check("mem2reg", f); err != nil {
+			return nil, err
+		}
 		DeadCodeElim(f)
+		if err := check("dce", f); err != nil {
+			return nil, err
+		}
 		dt, forest := LoopSimplify(f)
+		if err := check("loop-simplify", f); err != nil {
+			return nil, err
+		}
 		// mem2reg before simplify handles straight-line code;
 		// a second promotion pass after loop canonicalization catches
 		// slots whose loads/stores were rearranged by edge splitting.
 		if Mem2Reg(f) > 0 {
+			if err := check("mem2reg (second pass)", f); err != nil {
+				return nil, err
+			}
 			DeadCodeElim(f)
+			if err := check("dce (second pass)", f); err != nil {
+				return nil, err
+			}
 			dt, forest = LoopSimplify(f)
+			if err := check("loop-simplify (second pass)", f); err != nil {
+				return nil, err
+			}
 		}
 		info.Funcs[f] = &FuncInfo{Fn: f, Dom: dt, Forest: forest, HeaderMeta: map[*ir.Block]*LoopMeta{}}
 	}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func okReport() *Report {
+	return &Report{
+		Benchmark:    "t",
+		Config:       Config{Model: PDOALL, Reduc: 1, Dep: 0, Fn: 2},
+		SerialCost:   1000,
+		ParallelCost: 250,
+		CoveredTicks: 800,
+		Loops: []LoopReport{{
+			ID: "main:L", Instances: 4, ParallelInstances: 4,
+			Iters: 64, ConflictIters: 3, PredHitRate: 0.5,
+		}},
+	}
+}
+
+func TestVerifyReportAcceptsHealthy(t *testing.T) {
+	if err := VerifyReport(okReport()); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+}
+
+func TestVerifyReportCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string
+	}{
+		{"nil", nil, "nil report"},
+		{"speedup below one", func(r *Report) { r.ParallelCost = r.SerialCost + 1 }, "speedup < 1"},
+		{"negative cost", func(r *Report) { r.SerialCost = -1 }, "negative cost"},
+		{"covered exceeds serial", func(r *Report) { r.CoveredTicks = r.SerialCost + 1 }, "covered ticks"},
+		{"anomalies", func(r *Report) { r.Anomalies.IterMismatch = 2 }, "unattributed loop events"},
+		{"conflict exceeds iters", func(r *Report) { r.Loops[0].ConflictIters = 65 }, "conflict iters"},
+		{"parallel instances exceed instances", func(r *Report) { r.Loops[0].ParallelInstances = 5 }, "parallel instances"},
+		{"predictor rate out of range", func(r *Report) { r.Loops[0].PredHitRate = 1.5 }, "hit rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r *Report
+			if tc.mut != nil {
+				r = okReport()
+				tc.mut(r)
+			}
+			err := VerifyReport(r)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareReportsDetectsDivergence(t *testing.T) {
+	a, b := okReport(), okReport()
+	if err := CompareReports(a, b); err != nil {
+		t.Fatalf("equal reports compared unequal: %v", err)
+	}
+	b.Loops[0].ConflictIters++
+	if err := CompareReports(a, b); err == nil {
+		t.Fatal("divergent reports compared equal")
+	}
+	if err := CompareReports(a, nil); err == nil {
+		t.Fatal("nil report compared equal")
+	}
+}
+
+func TestCheckModelOrdering(t *testing.T) {
+	doall := okReport()
+	doall.Config = Config{Model: DOALL, Reduc: 1, Dep: 0, Fn: 2}
+	doall.ParallelCost = 500
+	pdoall := okReport()
+
+	if err := CheckModelOrdering(doall, pdoall); err != nil {
+		t.Fatalf("valid ordering rejected: %v", err)
+	}
+	worse := okReport()
+	worse.ParallelCost = 600
+	if err := CheckModelOrdering(doall, worse); err == nil || !strings.Contains(err.Error(), "exceeds DOALL") {
+		t.Errorf("dominance violation not caught: %v", err)
+	}
+	flags := okReport()
+	flags.Config.Fn = 0
+	if err := CheckModelOrdering(doall, flags); err == nil || !strings.Contains(err.Error(), "flags differ") {
+		t.Errorf("flag mismatch not caught: %v", err)
+	}
+	if err := CheckModelOrdering(pdoall, doall); err == nil {
+		t.Error("swapped models not caught")
+	}
+}

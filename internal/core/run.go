@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/interp"
 	"loopapalooza/internal/lang"
 )
@@ -39,10 +41,19 @@ type RunOptions struct {
 // matches exactly one taxonomy sentinel (ErrStepLimit, ErrMemLimit,
 // ErrDeadline, ErrCanceled, ErrRuntime) under errors.Is; other failures
 // (bad configuration) classify as OutcomeError.
-func Run(info *analysis.ModuleInfo, cfg Config, opts RunOptions) (*Report, error) {
+func Run(info *analysis.ModuleInfo, cfg Config, opts RunOptions) (rep *Report, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// The interpreter and engine hooks are panic-free by design, but a bug
+	// there must not crash the embedding process (CLI, sweep worker,
+	// fuzzer): convert any escaping panic into a classified *PanicError.
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("core: %s: %w", info.Mod.Name,
+				&PanicError{Val: r, Stack: string(debug.Stack())})
+		}
+	}()
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
@@ -75,10 +86,25 @@ func RunSource(name, src string, cfg Config, opts RunOptions) (*Report, error) {
 // AnalyzeSource compiles and canonicalizes LPC source, returning the
 // compile-time analysis. Reuse the result across configurations: the
 // analysis is configuration-independent.
-func AnalyzeSource(name, src string) (*analysis.ModuleInfo, error) {
+//
+// Like lang.Compile, AnalyzeSource never exits via panic: a panic escaping
+// the mid-end pipeline is converted into a *diag.ICE naming the "analysis"
+// stage and carrying the source as a reproducer.
+func AnalyzeSource(name, src string) (info *analysis.ModuleInfo, err error) {
 	m, err := lang.Compile(name, src)
 	if err != nil {
 		return nil, err
 	}
-	return analysis.AnalyzeModule(m)
+	defer func() {
+		if r := recover(); r != nil {
+			info, err = nil, diag.NewICE(name, "analysis", src, r)
+		}
+	}()
+	info, aerr := analysis.AnalyzeModule(m)
+	if aerr != nil {
+		// The module verified after codegen, so a pass breaking it is a
+		// compiler bug, not a user error.
+		return nil, diag.NewICE(name, "analysis", src, aerr)
+	}
+	return info, nil
 }

@@ -1,0 +1,108 @@
+package diag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/lang/token"
+)
+
+func TestDiagnosticError(t *testing.T) {
+	d := New("prog.lpc", token.Pos{Line: 3, Col: 7}, "undefined: %s", "x")
+	if got, want := d.Error(), "prog.lpc:3:7: undefined: x"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	noPos := New("prog.lpc", token.Pos{}, "no main function")
+	if got, want := noPos.Error(), "prog.lpc: no main function"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestListSortAndErr(t *testing.T) {
+	l := List{
+		New("a.lpc", token.Pos{Line: 5, Col: 1}, "later"),
+		New("a.lpc", token.Pos{Line: 2, Col: 9}, "first"),
+		New("a.lpc", token.Pos{Line: 2, Col: 9}, "second-at-same-pos"),
+	}
+	err := l.Err()
+	if err == nil {
+		t.Fatal("Err() = nil for non-empty list")
+	}
+	lines := strings.Split(err.Error(), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if !strings.Contains(lines[0], "first") || !strings.Contains(lines[1], "second-at-same-pos") || !strings.Contains(lines[2], "later") {
+		t.Errorf("bad order:\n%s", err)
+	}
+	if (List{}).Err() != nil {
+		t.Error("empty list Err() != nil")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	var l List
+	for i := 0; i < MaxDiagnostics+15; i++ {
+		l = append(l, New("f.lpc", token.Pos{Line: i + 1, Col: 1}, "e%d", i))
+	}
+	got := l.Truncate("f.lpc")
+	if len(got) != MaxDiagnostics+1 {
+		t.Fatalf("len = %d, want %d", len(got), MaxDiagnostics+1)
+	}
+	if got[len(got)-1].Msg != "too many errors" {
+		t.Errorf("last = %q, want marker", got[len(got)-1].Msg)
+	}
+}
+
+func TestSnippetCaret(t *testing.T) {
+	src := "func main() int {\n\tvar x int = y;\n}\n"
+	sn := Snippet(src, token.Pos{Line: 2, Col: 14})
+	want := "\t\tvar x int = y;\n\t\t            ^"
+	if sn != want {
+		t.Errorf("Snippet = %q, want %q", sn, want)
+	}
+	if Snippet(src, token.Pos{Line: 99, Col: 1}) != "" {
+		t.Error("out-of-range line should render no snippet")
+	}
+	if Snippet(src, token.Pos{}) != "" {
+		t.Error("zero position should render no snippet")
+	}
+	// Column past end of line clamps to just after the last byte.
+	if sn := Snippet("ab", token.Pos{Line: 1, Col: 50}); !strings.HasSuffix(sn, "  ^") {
+		t.Errorf("clamped snippet = %q", sn)
+	}
+}
+
+func TestFormatList(t *testing.T) {
+	src := "var x imt;\n"
+	l := List{New("p.lpc", token.Pos{Line: 1, Col: 7}, "expected type, found imt")}
+	out := Format(l, src)
+	if !strings.Contains(out, "p.lpc:1:7: expected type, found imt") {
+		t.Errorf("missing canonical line:\n%s", out)
+	}
+	if !strings.Contains(out, "^") {
+		t.Errorf("missing caret:\n%s", out)
+	}
+}
+
+func TestICE(t *testing.T) {
+	ice := NewICE("p.lpc", "codegen", "func main() {}", "boom")
+	if !strings.Contains(ice.Error(), "internal compiler error in codegen: boom") {
+		t.Errorf("Error() = %q", ice.Error())
+	}
+	if ice.Stack == "" {
+		t.Error("no stack captured")
+	}
+	rep := Format(ice, ice.Source)
+	if strings.Contains(rep, "goroutine ") {
+		t.Errorf("user report leaks a raw stack:\n%s", rep)
+	}
+	if !strings.Contains(rep, "compiler bug") {
+		t.Errorf("report missing triage note:\n%s", rep)
+	}
+	var asICE *ICE
+	if !errors.As(error(ice), &asICE) {
+		t.Error("errors.As fails on *ICE")
+	}
+}

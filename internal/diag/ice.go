@@ -1,0 +1,57 @@
+package diag
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// ICE is a recovered internal compiler error: a panic raised anywhere in
+// the front-end pipeline, converted into an ordinary error so the
+// compile-and-run surface never crashes. It carries the panic value, the
+// goroutine stack at the panic site, and the source text as a reproducer.
+type ICE struct {
+	// File names the compilation unit being compiled.
+	File string
+	// Stage names the pipeline stage that panicked
+	// ("lexer", "parser", "sema", "codegen", "analysis", ...).
+	Stage string
+	// Val is the recovered panic value (or the invalid-IR verify error).
+	Val any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+	// Source is the full source text: the reproducer for bug reports and
+	// for minimizing into testdata/crashers/.
+	Source string
+}
+
+// NewICE builds an ICE from a recovered panic value. Call it from a
+// recover() site with the stage that was running.
+func NewICE(file, stage string, src string, val any) *ICE {
+	return &ICE{
+		File:   file,
+		Stage:  stage,
+		Val:    val,
+		Stack:  string(debug.Stack()),
+		Source: src,
+	}
+}
+
+// Error renders the canonical one-line form.
+func (e *ICE) Error() string {
+	return fmt.Sprintf("%s: internal compiler error in %s: %v", e.File, e.Stage, e.Val)
+}
+
+// Report renders the user-facing multi-line form: the error line plus
+// triage notes. The raw Go stack is intentionally omitted (it is carried in
+// Stack for programmatic use and verbose modes); users see a stable,
+// greppable report instead of a goroutine dump.
+func (e *ICE) Report() string {
+	var b strings.Builder
+	b.WriteString(e.Error())
+	b.WriteByte('\n')
+	b.WriteString("\tnote: this is a compiler bug, not an error in the program\n")
+	b.WriteString(fmt.Sprintf("\tnote: reproduce with the %d-byte source above; ", len(e.Source)))
+	b.WriteString("minimize and check it into internal/lang/testdata/crashers/\n")
+	return b.String()
+}

@@ -35,6 +35,12 @@ type Config struct {
 // DefaultMaxSteps bounds runaway executions.
 const DefaultMaxSteps = 2_000_000_000
 
+// MaxCallDepth bounds guest call nesting. Guest calls recurse on the host
+// stack, so without this cap a deeply recursive guest program would
+// exhaust the Go stack long before DefaultMaxSteps trips. Exceeding it
+// fails the run with ErrMemLimit (it is a stack-space budget).
+const MaxCallDepth = 10_000
+
 // PollInterval is the step granularity of cancellation/deadline polling:
 // budgets stay amortized so the hot interpreter loop pays one integer
 // comparison per instruction, not a time.Now or channel check.
@@ -62,10 +68,15 @@ type Interp struct {
 	clock     int64
 	pending   int64 // ticks accumulated since the last hooks.Tick flush
 	maxSteps  int64
+	depth     int // live guest call nesting, capped at MaxCallDepth
 	ctx       context.Context
 	deadline  time.Time
 	nextPoll  int64
 	randState uint64
+
+	// initErr defers module-shape faults found during New (which cannot
+	// fail) to the first Run call.
+	initErr error
 
 	// Zero-allocation steady state: returned frames are reused by later
 	// calls, and the loop-event observation slices are scratch buffers
@@ -138,9 +149,24 @@ func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 	} else {
 		in.nextPoll = math.MaxInt64
 	}
+	// The global segment is allocated eagerly, so bound it by the same
+	// budget as the heap: an adversarial (or fuzzer-generated) module
+	// cannot make New allocate unbounded host memory. Overflow-safe: per-
+	// global sizes are validated by ir.Verify, but hand-built modules may
+	// skip it, so saturate instead of trusting the sum.
+	globalCap := cfg.MaxHeapCells
+	if globalCap <= 0 {
+		globalCap = DefaultHeapWords
+	}
 	total := int64(0)
 	for _, g := range in.mod.Globals {
 		in.globalAddr[g] = GlobalBase + total
+		if g.Size < 0 || total > globalCap-g.Size {
+			in.initErr = fmt.Errorf("globals exceed the memory budget: %w",
+				&LimitError{Kind: ErrMemLimit, Limit: globalCap})
+			in.mem = newMemory(0, cfg.MaxHeapCells)
+			return in
+		}
 		total += g.Size
 	}
 	in.mem = newMemory(total, cfg.MaxHeapCells)
@@ -160,6 +186,9 @@ func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 // Run executes fn ("main" by convention) with the given arguments and
 // returns its result and the dynamic instruction count.
 func (in *Interp) Run(fnName string, args ...Val) (res Result, err error) {
+	if in.initErr != nil {
+		return Result{}, fmt.Errorf("interp: %w", in.initErr)
+	}
 	fn := in.mod.Func(fnName)
 	if fn == nil {
 		return Result{}, fmt.Errorf("interp: no function %q", fnName)
@@ -173,6 +202,9 @@ func (in *Interp) Run(fnName string, args ...Val) (res Result, err error) {
 			if !ok {
 				panic(r)
 			}
+			// The unwind skipped the call-site decrements; reset so a
+			// reused interpreter starts from a clean depth.
+			in.depth = 0
 			err = fmt.Errorf("interp: %w", re.err)
 		}
 	}()
@@ -295,10 +327,14 @@ func (in *Interp) newFrame(fn *ir.Function) *frame {
 func (in *Interp) freeFrame(fr *frame) { in.frames = append(in.frames, fr) }
 
 func (in *Interp) call(fn *ir.Function, args []Val) Val {
+	if in.depth++; in.depth > MaxCallDepth {
+		in.failErr(&LimitError{Kind: ErrMemLimit, Limit: MaxCallDepth, Step: in.clock})
+	}
 	fr := in.newFrame(fn)
 	copy(fr.regs, args)
 	ret := in.exec(fr)
 	in.freeFrame(fr)
+	in.depth--
 	return ret
 }
 
@@ -598,6 +634,9 @@ func (in *Interp) compare(op ir.Op, a, b Val) Val {
 
 func (in *Interp) execCall(fr *frame, i *ir.Instr) {
 	if i.Callee != nil {
+		if in.depth++; in.depth > MaxCallDepth {
+			in.failErr(&LimitError{Kind: ErrMemLimit, Limit: MaxCallDepth, Step: in.clock})
+		}
 		// Evaluate arguments straight into the callee frame: no
 		// per-call argument slice.
 		nf := in.newFrame(i.Callee)
@@ -606,6 +645,7 @@ func (in *Interp) execCall(fr *frame, i *ir.Instr) {
 		}
 		ret := in.exec(nf)
 		in.freeFrame(nf)
+		in.depth--
 		if i.Ty.Kind() != ir.KVoid {
 			in.setReg(fr, i, ret)
 		}

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -445,5 +446,59 @@ func main() int { count = count + 1; return count; }`)
 		if res.Ret.I != 1 {
 			t.Errorf("run %d: count = %d, want 1 (fresh memory per New)", i, res.Ret.I)
 		}
+	}
+}
+
+// TestCallDepthLimit: unbounded guest recursion trips the call-depth budget
+// (classified ErrMemLimit) instead of overflowing the host stack.
+func TestCallDepthLimit(t *testing.T) {
+	src := `
+func down(n int) int {
+	return down(n + 1);
+}
+func main() int { return down(0); }`
+	m, err := lang.Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	in := New(info, Config{})
+	_, err = in.Run("main")
+	if !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("err = %v, want ErrMemLimit", err)
+	}
+	// The interpreter stays usable after the aborted run.
+	in2 := New(info, Config{})
+	if _, err := in2.Run("main"); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("second run err = %v", err)
+	}
+}
+
+// TestGlobalsBoundedByHeapBudget: a module whose globals alone exceed the
+// memory budget fails the run with ErrMemLimit instead of making New
+// allocate an arbitrarily large host slice.
+func TestGlobalsBoundedByHeapBudget(t *testing.T) {
+	src := `
+var big [1048576]int;
+func main() int { return big[0]; }`
+	m, err := lang.Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	in := New(info, Config{MaxHeapCells: 1 << 10})
+	if _, err := in.Run("main"); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("err = %v, want ErrMemLimit", err)
+	}
+	// Under the default budget the same module runs fine.
+	in2 := New(info, Config{})
+	if _, err := in2.Run("main"); err != nil {
+		t.Fatalf("default-budget run: %v", err)
 	}
 }

@@ -1,0 +1,48 @@
+package lang
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loopapalooza/internal/diag"
+)
+
+// TestCrasherReplayCompile replays every checked-in crasher through the
+// full front end. These inputs each crashed (or hung) some stage of the
+// compile surface before the corresponding fix; the suite pins the fixes
+// as unit tests so the crashers cannot regress silently between fuzzing
+// sessions. Compile must terminate without panicking, and any failure must
+// be an ordinary positioned diagnostic — an ICE here means a fixed crash
+// came back.
+func TestCrasherReplayCompile(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "crashers", "*.lpc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no crashers checked in under testdata/crashers")
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, cerr := Compile(filepath.Base(p), string(src))
+			if cerr == nil {
+				return // compiles fine now — still a valid no-crash check
+			}
+			var ice *diag.ICE
+			if errors.As(cerr, &ice) {
+				t.Fatalf("crasher regressed to an ICE (stage %s): %v", ice.Stage, ice.Val)
+			}
+			var l diag.List
+			if !errors.As(cerr, &l) {
+				t.Fatalf("crasher error is %T, want diag.List: %v", cerr, cerr)
+			}
+		})
+	}
+}

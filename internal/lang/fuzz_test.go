@@ -1,0 +1,130 @@
+package lang
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loopapalooza/internal/diag"
+	"loopapalooza/internal/lang/lexer"
+	"loopapalooza/internal/lang/parser"
+	"loopapalooza/internal/lang/token"
+)
+
+// addCorpus seeds a fuzz target with every checked-in corpus file
+// (testdata/corpus) and every past crasher (testdata/crashers).
+func addCorpus(f *testing.F) {
+	f.Helper()
+	n := 0
+	for _, dir := range []string{"corpus", "crashers"} {
+		paths, err := filepath.Glob(filepath.Join("testdata", dir, "*"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(b))
+			n++
+		}
+	}
+	if n == 0 {
+		f.Fatal("no seed corpus under testdata/corpus — the seeds must be checked in")
+	}
+}
+
+// FuzzLexer: scanning any byte string terminates, ends in EOF, keeps every
+// diagnostic position valid, and bounds the diagnostic list.
+func FuzzLexer(f *testing.F) {
+	addCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		l := lexer.New(src)
+		toks := l.All()
+		if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+			t.Fatalf("token stream does not end in EOF")
+		}
+		for _, tk := range toks[:len(toks)-1] {
+			if tk.Pos.Line < 1 || tk.Pos.Col < 1 {
+				t.Fatalf("token %s has invalid position %v", tk.Kind, tk.Pos)
+			}
+		}
+		errs := l.Errors()
+		if len(errs) > diag.MaxDiagnostics {
+			t.Fatalf("diagnostics unbounded: %d", len(errs))
+		}
+		for _, d := range errs {
+			if d.Pos.Line < 1 || d.Pos.Col < 1 {
+				t.Fatalf("diagnostic %q has invalid position %v", d.Msg, d.Pos)
+			}
+		}
+	})
+}
+
+// FuzzParse: parsing any byte string terminates without panicking; every
+// failure is a positioned, sorted, bounded diag.List that renders cleanly.
+func FuzzParse(f *testing.F) {
+	addCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := parser.Parse("fuzz.lpc", src)
+		if err == nil {
+			if file == nil {
+				t.Fatal("nil file with nil error")
+			}
+			return
+		}
+		if file != nil {
+			t.Fatal("non-nil file with error")
+		}
+		var l diag.List
+		if !errors.As(err, &l) {
+			t.Fatalf("parse error is %T, want diag.List: %v", err, err)
+		}
+		if len(l) == 0 || len(l) > diag.MaxDiagnostics+1 {
+			t.Fatalf("diagnostic count %d outside (0, %d]", len(l), diag.MaxDiagnostics+1)
+		}
+		for i, d := range l {
+			if d.File != "fuzz.lpc" {
+				t.Fatalf("diagnostic %d not stamped with unit name: %q", i, d.File)
+			}
+			if i > 0 && d.Msg != "too many errors" {
+				a, b := l[i-1].Pos, d.Pos
+				if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
+					t.Fatalf("diagnostics out of order: %v before %v", a, b)
+				}
+			}
+		}
+		if out := diag.Format(err, src); out == "" {
+			t.Fatal("Format rendered nothing for a parse error")
+		}
+	})
+}
+
+// FuzzCompile: the whole front end accepts any byte string without
+// panicking. A *diag.ICE here IS the crash — Compile converts stage panics
+// into ICEs precisely so the fuzzer can report them with a reproducer.
+func FuzzCompile(f *testing.F) {
+	addCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Compile("fuzz.lpc", src)
+		if err == nil {
+			if m == nil {
+				t.Fatal("nil module with nil error")
+			}
+			return
+		}
+		var ice *diag.ICE
+		if errors.As(err, &ice) {
+			t.Fatalf("internal compiler error (stage %s): %v\nreproducer:\n%s", ice.Stage, ice.Val, src)
+		}
+		var l diag.List
+		if !errors.As(err, &l) {
+			t.Fatalf("compile error is %T, want diag.List: %v", err, err)
+		}
+		if out := diag.Format(err, src); out == "" {
+			t.Fatal("Format rendered nothing for a compile error")
+		}
+	})
+}

@@ -6,25 +6,57 @@
 // bools, one-level pointers, fixed-size arrays, functions, and the usual
 // structured control flow. See the package documentation of
 // internal/lang/parser for the grammar.
+//
+// Compile never panics: a panic escaping any front-end stage is converted
+// into a *diag.ICE carrying the stage name, the offending source, and the
+// captured stack, so tools built on this package can always render a
+// diagnostic instead of crashing.
 package lang
 
 import (
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/ir"
 	"loopapalooza/internal/lang/codegen"
 	"loopapalooza/internal/lang/parser"
 	"loopapalooza/internal/lang/sema"
 )
 
+// checkFn is the type-checking stage; a variable so tests can inject a
+// panicking stage and exercise the ICE recovery path.
+var checkFn = sema.Check
+
 // Compile parses, checks, and lowers one LPC compilation unit. The returned
 // module verifies but has not been canonicalized; run
 // analysis.AnalyzeModule on it before interpretation.
-func Compile(name, src string) (*ir.Module, error) {
-	file, err := parser.Parse(name, src)
-	if err != nil {
-		return nil, err
+//
+// User-level faults come back as diag.List (positioned, multi-error);
+// compiler bugs — a panic in any stage, or codegen emitting IR that fails
+// verification — come back as *diag.ICE. Compile never exits via panic.
+func Compile(name, src string) (mod *ir.Module, err error) {
+	stage := "lexer/parser"
+	defer func() {
+		if r := recover(); r != nil {
+			mod, err = nil, diag.NewICE(name, stage, src, r)
+		}
+	}()
+
+	file, perr := parser.Parse(name, src)
+	if perr != nil {
+		return nil, perr
 	}
-	if err := sema.Check(file); err != nil {
-		return nil, err
+
+	stage = "sema"
+	if serr := checkFn(file); serr != nil {
+		return nil, serr
 	}
-	return codegen.Generate(file)
+
+	stage = "codegen"
+	mod, gerr := codegen.Generate(file)
+	if gerr != nil {
+		// Generate only fails when the emitted module does not verify.
+		// Sema already accepted the program, so this is a compiler bug,
+		// not a user error: report it as an ICE with a reproducer.
+		return nil, diag.NewICE(name, "codegen", src, gerr)
+	}
+	return mod, nil
 }

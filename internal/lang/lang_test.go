@@ -1,10 +1,14 @@
 package lang
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/ir"
+	"loopapalooza/internal/lang/ast"
 )
 
 func compile(t *testing.T, src string) *ir.Module {
@@ -229,5 +233,51 @@ func TestCompileRejectsBadPrograms(t *testing.T) {
 		if _, err := Compile("bad", src); err == nil {
 			t.Errorf("no error for %q", src)
 		}
+	}
+}
+
+// TestCompileICERecovery: a panic escaping a front-end stage becomes a
+// *diag.ICE naming the stage — Compile never exits via panic.
+func TestCompileICERecovery(t *testing.T) {
+	orig := checkFn
+	checkFn = func(f *ast.File) error { panic("injected sema bug") }
+	defer func() { checkFn = orig }()
+
+	src := "func main() int { return 0; }\n"
+	m, err := Compile("ice.lpc", src)
+	if m != nil || err == nil {
+		t.Fatalf("Compile = %v, %v; want nil module and ICE", m, err)
+	}
+	var ice *diag.ICE
+	if !errors.As(err, &ice) {
+		t.Fatalf("error is %T, want *diag.ICE: %v", err, err)
+	}
+	if ice.Stage != "sema" {
+		t.Errorf("Stage = %q, want sema", ice.Stage)
+	}
+	if ice.Source != src {
+		t.Errorf("Source reproducer not captured")
+	}
+	if !strings.Contains(ice.Error(), "internal compiler error in sema: injected sema bug") {
+		t.Errorf("Error() = %q", ice.Error())
+	}
+	if ice.Stack == "" {
+		t.Error("no stack captured for triage")
+	}
+}
+
+// TestCompileUserErrorsAreNotICE: ordinary front-end faults stay diag.List.
+func TestCompileUserErrorsAreNotICE(t *testing.T) {
+	_, err := Compile("bad.lpc", "func f() int { return q; }\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var ice *diag.ICE
+	if errors.As(err, &ice) {
+		t.Fatalf("user error reported as ICE: %v", err)
+	}
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error is %T, want diag.List", err)
 	}
 }

@@ -1,19 +1,25 @@
 // Package lexer turns LPC source text into a token stream.
+//
+// The lexer never fails hard: every lexical fault (stray byte, string
+// literal, unterminated comment, malformed number) produces a positioned
+// diagnostic plus an ILLEGAL token, and scanning continues. At end of input
+// Next returns EOF forever, so a parser can never hang on a bad input.
 package lexer
 
 import (
-	"fmt"
+	"unicode/utf8"
 
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/lang/token"
 )
 
 // Lexer scans LPC source text.
 type Lexer struct {
-	src  string
-	off  int
-	line int
-	col  int
-	errs []error
+	src   string
+	off   int
+	line  int
+	col   int
+	diags diag.List
 }
 
 // New returns a lexer over src.
@@ -21,11 +27,14 @@ func New(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
 
-// Errors returns the lexical errors encountered so far.
-func (l *Lexer) Errors() []error { return l.errs }
+// Errors returns the lexical diagnostics encountered so far. The File
+// field is left empty: the parser (which knows the unit name) stamps it.
+func (l *Lexer) Errors() diag.List { return l.diags }
 
 func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
-	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	if len(l.diags) < diag.MaxDiagnostics {
+		l.diags = append(l.diags, diag.New("", pos, format, args...))
+	}
 }
 
 func (l *Lexer) peek() byte {
@@ -168,9 +177,46 @@ func (l *Lexer) Next() token.Token {
 		return token.Token{Kind: token.COMMA, Pos: pos}
 	case ';':
 		return token.Token{Kind: token.SEMI, Pos: pos}
+	case '"', '\'':
+		return l.quotedLit(pos, c)
+	}
+	if c >= utf8.RuneSelf {
+		// Consume the whole rune so one stray multi-byte character
+		// yields one diagnostic, not one per continuation byte.
+		r, size := utf8.DecodeRuneInString(l.src[l.off-1:])
+		for i := 1; i < size; i++ {
+			l.advance()
+		}
+		l.errorf(pos, "unexpected character %q", r)
+		return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: pos}
 	}
 	l.errorf(pos, "unexpected character %q", c)
 	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// quotedLit scans a string or character literal (neither exists in LPC) so
+// the whole literal becomes one positioned diagnostic and one ILLEGAL
+// token instead of a cascade of stray-byte errors. The opening quote has
+// already been consumed. A literal left open at a newline or at end of
+// input reports "unterminated".
+func (l *Lexer) quotedLit(pos token.Pos, quote byte) token.Token {
+	start := l.off - 1
+	kind := "string"
+	if quote == '\'' {
+		kind = "character"
+	}
+	for l.off < len(l.src) && l.peek() != '\n' {
+		c := l.advance()
+		if c == quote {
+			l.errorf(pos, "%s literals are not supported in LPC", kind)
+			return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: pos}
+		}
+		if c == '\\' && l.off < len(l.src) && l.peek() != '\n' {
+			l.advance() // an escaped quote does not close the literal
+		}
+	}
+	l.errorf(pos, "unterminated %s literal", kind)
+	return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: pos}
 }
 
 func (l *Lexer) ident(pos token.Pos) token.Token {
@@ -191,8 +237,14 @@ func (l *Lexer) number(pos token.Pos) token.Token {
 	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
 		l.advance()
 		l.advance()
+		n := 0
 		for l.off < len(l.src) && isHexDigit(l.peek()) {
 			l.advance()
+			n++
+		}
+		if n == 0 {
+			l.errorf(pos, "hex literal has no digits")
+			return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: pos}
 		}
 		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
 	}

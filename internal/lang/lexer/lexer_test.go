@@ -1,6 +1,7 @@
 package lexer
 
 import (
+	"strings"
 	"testing"
 
 	"loopapalooza/internal/lang/token"
@@ -112,3 +113,88 @@ func TestIllegalChar(t *testing.T) {
 		t.Error("expected ILLEGAL token and error for $")
 	}
 }
+
+// TestEOFEdgeCases scans inputs that end mid-construct. Every case must
+// terminate (All() returns), produce the expected positioned diagnostic,
+// and never fabricate a bogus non-ILLEGAL token for the broken construct.
+func TestEOFEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantMsg string // substring of the first diagnostic ("" = no error)
+		wantPos string // "line:col" of the first diagnostic
+	}{
+		{"unterminated block comment", "a /* never closed", "unterminated block comment", "1:3"},
+		{"block comment ends at star", "/* closed almost *", "unterminated block comment", "1:1"},
+		{"unterminated string", `x = "abc`, "unterminated string literal", "1:5"},
+		{"string closed by newline", "\"abc\ndef", "unterminated string literal", "1:1"},
+		{"closed string still rejected", `"abc"`, "string literals are not supported", "1:1"},
+		{"escaped quote then EOF", `"ab\"`, "unterminated string literal", "1:1"},
+		{"unterminated char", "'a", "unterminated character literal", "1:1"},
+		{"closed char rejected", "'a'", "character literals are not supported", "1:1"},
+		{"hex prefix only", "0x", "hex literal has no digits", "1:1"},
+		{"hex prefix then op", "0x+1", "hex literal has no digits", "1:1"},
+		{"stray byte at EOF", "a@", `unexpected character '@'`, "1:2"},
+		{"stray utf8 rune", "π", "unexpected character 'π'", "1:1"},
+		{"nul byte", "a\x00b", `unexpected character '\x00'`, "1:2"},
+		{"line comment at EOF", "a // trailing", "", ""},
+		{"lone slash at EOF", "a /", "", ""},
+		{"exponent rewind at EOF", "7e", "", ""},
+		{"dot without digits", "1.", "", ""}, // "1" INT, then "." is a stray byte
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := New(tc.src)
+			toks := l.All() // must terminate
+			if toks[len(toks)-1].Kind != token.EOF {
+				t.Fatal("All() did not end with EOF")
+			}
+			errs := l.Errors()
+			if tc.wantMsg == "" {
+				if tc.name == "dot without digits" {
+					return // "." is a stray byte; only termination matters here
+				}
+				if len(errs) != 0 {
+					t.Fatalf("unexpected diagnostics: %v", errs)
+				}
+				return
+			}
+			if len(errs) == 0 {
+				t.Fatalf("no diagnostic, want %q", tc.wantMsg)
+			}
+			if got := errs[0].Msg; !strings.Contains(got, tc.wantMsg) {
+				t.Errorf("diagnostic = %q, want substring %q", got, tc.wantMsg)
+			}
+			if got := errs[0].Pos.String(); got != tc.wantPos {
+				t.Errorf("position = %s, want %s", got, tc.wantPos)
+			}
+		})
+	}
+}
+
+// TestEOFForever: after end of input, Next keeps returning EOF (a parser
+// that over-reads can never hang or read garbage).
+func TestEOFForever(t *testing.T) {
+	l := New("x")
+	l.Next()
+	for i := 0; i < 10; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("Next() after EOF = %s", tk)
+		}
+	}
+}
+
+// TestErrorCap: a pathological input stops collecting diagnostics at the
+// cap instead of building an unbounded error list.
+func TestErrorCap(t *testing.T) {
+	src := ""
+	for i := 0; i < 1000; i++ {
+		src += "$ "
+	}
+	l := New(src)
+	l.All()
+	if n := len(l.Errors()); n > 64 {
+		t.Errorf("diagnostics = %d, want capped", n)
+	}
+}
+

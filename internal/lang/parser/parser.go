@@ -9,49 +9,99 @@
 //	5 (tightest):* / % << >> &
 //
 // Unary operators: - ! * (deref) & (address-of).
+//
+// The parser collects every syntax error it can attribute independently:
+// a fault inside a statement resynchronizes to the next statement boundary
+// (the following ';' or the enclosing '}'), and a fault inside a
+// declaration resynchronizes to the next top-level 'func', 'var', or
+// 'const', so one bad statement no longer hides the rest of the file.
+// Parse returns a diag.List of positioned diagnostics in source order.
 package parser
 
 import (
-	"fmt"
 	"strconv"
 
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/lang/ast"
 	"loopapalooza/internal/lang/lexer"
 	"loopapalooza/internal/lang/token"
 )
 
-// Parse parses one LPC compilation unit named name.
+// maxNestingDepth bounds expression and statement nesting so adversarial
+// inputs (e.g. one megabyte of '(') cannot overflow the host stack through
+// the recursive-descent parser, the checker, or codegen.
+const maxNestingDepth = 200
+
+// Parse parses one LPC compilation unit named name. On failure it returns
+// a diag.List with every independently attributable error, sorted by
+// position; the partial syntax tree is discarded.
 func Parse(name, src string) (f *ast.File, err error) {
-	p := &parser{lex: lexer.New(src), consts: map[string]int64{}}
+	p := &parser{lex: lexer.New(src), name: name, consts: map[string]int64{}}
 	p.next()
-	defer func() {
-		if r := recover(); r != nil {
-			pe, ok := r.(parseError)
-			if !ok {
-				panic(r)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(bailout); !ok {
+					panic(r)
+				}
+				// Too many errors: the file-level loop stopped early.
 			}
-			err = fmt.Errorf("%s: %s", name, pe.msg)
-		}
+		}()
+		f = p.parseFile(name)
 	}()
-	f = p.parseFile(name)
-	if errs := p.lex.Errors(); len(errs) > 0 {
-		return nil, fmt.Errorf("%s: %w", name, errs[0])
+	for _, d := range p.lex.Errors() {
+		d.File = name
+		p.diags = append(p.diags, d)
+	}
+	if err := p.diags.Truncate(name).Err(); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
 
-type parseError struct{ msg string }
+// bailout unwinds the parser to the nearest recovery point (statement,
+// declaration, or — when the error budget is exhausted — Parse itself).
+type bailout struct{}
 
 type parser struct {
 	lex    *lexer.Lexer
+	name   string
 	tok    token.Token
+	nread  int // tokens consumed; used to guarantee resync progress
 	consts map[string]int64 // module-level integer constants
+	diags  diag.List
+	depth  int // combined statement/expression nesting depth
 }
 
-func (p *parser) next() { p.tok = p.lex.Next() }
+func (p *parser) next() {
+	p.nread++
+	for {
+		p.tok = p.lex.Next()
+		// Skip ILLEGAL tokens: the lexer already diagnosed them, and
+		// letting them reach the grammar would only cascade
+		// "expected X, found ILLEGAL" noise.
+		if p.tok.Kind != token.ILLEGAL {
+			return
+		}
+	}
+}
 
+// errorf records a positioned diagnostic and unwinds to the nearest
+// recovery point.
 func (p *parser) errorf(pos token.Pos, format string, args ...any) {
-	panic(parseError{msg: fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...))})
+	if len(p.diags) < diag.MaxDiagnostics {
+		p.diags = append(p.diags, diag.New(p.name, pos, format, args...))
+	}
+	panic(bailout{})
+}
+
+// enter guards recursion depth; the returned func must be deferred.
+func (p *parser) enter() func() {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		p.errorf(p.tok.Pos, "program nesting too deep (more than %d levels)", maxNestingDepth)
+	}
+	return func() { p.depth-- }
 }
 
 func (p *parser) expect(k token.Kind) token.Token {
@@ -71,21 +121,77 @@ func (p *parser) accept(k token.Kind) bool {
 	return false
 }
 
+// atEOF reports whether the parser ran off the end of the input. The error
+// budget doubles as a hard stop: once exhausted, recovery points must not
+// keep parsing.
+func (p *parser) exhausted() bool {
+	return p.tok.Kind == token.EOF || len(p.diags) >= diag.MaxDiagnostics
+}
+
+// syncTopLevel skips tokens until the start of a plausible next top-level
+// declaration ('func', 'var', 'const') or end of input. It always consumes
+// at least one token when not at EOF, so file-level recovery cannot loop.
+func (p *parser) syncTopLevel(nreadAtError int) {
+	for {
+		switch p.tok.Kind {
+		case token.EOF:
+			return
+		case token.KwFunc, token.KwVar, token.KwConst:
+			if p.nread > nreadAtError {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// syncStmt skips to the next statement boundary: past the next ';', or to
+// (not past) the enclosing '}' / a token that can start a statement. It
+// always makes progress relative to nreadAtError.
+func (p *parser) syncStmt(nreadAtError int) {
+	for {
+		switch p.tok.Kind {
+		case token.EOF, token.RBRACE:
+			return
+		case token.SEMI:
+			p.next()
+			return
+		case token.KwIf, token.KwWhile, token.KwFor, token.KwReturn,
+			token.KwBreak, token.KwContinue, token.KwVar, token.LBRACE:
+			if p.nread > nreadAtError {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
 func (p *parser) parseFile(name string) *ast.File {
 	f := &ast.File{Name: name}
-	for p.tok.Kind != token.EOF {
-		switch p.tok.Kind {
-		case token.KwConst:
-			f.Consts = append(f.Consts, p.parseConstDecl())
-		case token.KwVar:
-			d := p.parseVarDecl()
-			d.Global = true
-			f.Globals = append(f.Globals, d)
-		case token.KwFunc:
-			f.Funcs = append(f.Funcs, p.parseFuncDecl())
-		default:
-			p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
-		}
+	for !p.exhausted() {
+		mark := p.nread
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(bailout); !ok {
+						panic(r)
+					}
+					p.syncTopLevel(mark)
+				}
+			}()
+			switch p.tok.Kind {
+			case token.KwConst:
+				f.Consts = append(f.Consts, p.parseConstDecl())
+			case token.KwVar:
+				d := p.parseVarDecl()
+				d.Global = true
+				f.Globals = append(f.Globals, d)
+			case token.KwFunc:
+				f.Funcs = append(f.Funcs, p.parseFuncDecl())
+			default:
+				p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+			}
+		}()
 	}
 	return f
 }
@@ -184,6 +290,11 @@ func (p *parser) parseVarDecl() *ast.VarDecl {
 	return d
 }
 
+// maxArrayLen bounds declared array lengths: a single declaration may not
+// outsize the interpreter's whole default heap, so pathological sources
+// fail with a positioned diagnostic instead of an allocation blow-up.
+const maxArrayLen = 1 << 26
+
 func (p *parser) parseType() ast.Type {
 	switch p.tok.Kind {
 	case token.KwInt:
@@ -200,12 +311,16 @@ func (p *parser) parseType() ast.Type {
 		elem := p.parseElemKind()
 		return ast.PtrType(elem)
 	case token.LBRACK:
+		pos := p.tok.Pos
 		p.next()
 		n := p.constExpr()
 		p.expect(token.RBRACK)
 		elem := p.parseElemKind()
 		if n <= 0 {
-			p.errorf(p.tok.Pos, "array length must be positive, got %d", n)
+			p.errorf(pos, "array length must be positive, got %d", n)
+		}
+		if n > maxArrayLen {
+			p.errorf(pos, "array length %d exceeds the maximum %d", n, int64(maxArrayLen))
 		}
 		return ast.ArrayType(n, elem)
 	}
@@ -233,6 +348,9 @@ func (p *parser) parseFuncDecl() *ast.FuncDecl {
 	p.expect(token.LPAREN)
 	var params []*ast.ParamDecl
 	for p.tok.Kind != token.RPAREN {
+		if p.tok.Kind == token.EOF {
+			p.errorf(p.tok.Pos, "unexpected end of input in parameter list of %s", name)
+		}
 		if len(params) > 0 {
 			p.expect(token.COMMA)
 		}
@@ -257,16 +375,32 @@ func (p *parser) parseFuncDecl() *ast.FuncDecl {
 }
 
 func (p *parser) parseBlock() *ast.Block {
+	defer p.enter()()
 	pos := p.expect(token.LBRACE).Pos
 	b := &ast.Block{P: pos}
 	for p.tok.Kind != token.RBRACE {
-		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.exhausted() {
+			p.errorf(p.tok.Pos, "unexpected end of input: missing }")
+		}
+		mark := p.nread
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(bailout); !ok {
+						panic(r)
+					}
+					p.syncStmt(mark)
+				}
+			}()
+			b.Stmts = append(b.Stmts, p.parseStmt())
+		}()
 	}
 	p.expect(token.RBRACE)
 	return b
 }
 
 func (p *parser) parseStmt() ast.Stmt {
+	defer p.enter()()
 	switch p.tok.Kind {
 	case token.KwVar:
 		return p.parseVarDecl()
@@ -407,6 +541,7 @@ func (p *parser) parseBinary(minPrec int) ast.Expr {
 }
 
 func (p *parser) parseUnary() ast.Expr {
+	defer p.enter()()
 	switch p.tok.Kind {
 	case token.SUB, token.NOT, token.MUL, token.AND:
 		op := p.tok.Kind
@@ -441,6 +576,9 @@ func (p *parser) parsePostfix() ast.Expr {
 			p.next()
 			var args []ast.Expr
 			for p.tok.Kind != token.RPAREN {
+				if p.tok.Kind == token.EOF {
+					p.errorf(p.tok.Pos, "unexpected end of input in argument list")
+				}
 				if len(args) > 0 {
 					p.expect(token.COMMA)
 				}
@@ -457,6 +595,7 @@ func (p *parser) parsePostfix() ast.Expr {
 }
 
 func (p *parser) parsePrimary() ast.Expr {
+	defer p.enter()()
 	tok := p.tok
 	switch tok.Kind {
 	case token.INT:

@@ -1,8 +1,11 @@
 package parser
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"loopapalooza/internal/diag"
 
 	"loopapalooza/internal/lang/ast"
 	"loopapalooza/internal/lang/token"
@@ -161,6 +164,156 @@ func TestParseErrorMentionsPosition(t *testing.T) {
 	_, err := Parse("pos", "func f() {\n  ?\n}")
 	if err == nil || !strings.Contains(err.Error(), "2:") {
 		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+// TestParseMultiErrorResync is the resynchronization gate: a file with two
+// independent faults in two different functions must report both, in
+// source order, with exact positions.
+func TestParseMultiErrorResync(t *testing.T) {
+	src := `func a() int {
+	var x int = ;
+	return 0;
+}
+func b() int {
+	return 1 + ;
+}
+`
+	_, err := Parse("re.lpc", src)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error is %T, want diag.List", err)
+	}
+	if len(l) < 2 {
+		t.Fatalf("diagnostics = %d, want >= 2 (resync failed):\n%v", len(l), err)
+	}
+	// Golden: exact canonical lines for the two faults.
+	want := []string{
+		"re.lpc:2:14: expected expression, found ;",
+		"re.lpc:6:13: expected expression, found ;",
+	}
+	for i, w := range want {
+		if got := l[i].Error(); got != w {
+			t.Errorf("diag[%d] = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestParseMultiErrorSameFunction: statement-level resync reports several
+// faults inside one body.
+func TestParseMultiErrorSameFunction(t *testing.T) {
+	src := `func f() {
+	x = ;
+	y = 1;
+	z = ;
+}
+`
+	_, err := Parse("st.lpc", src)
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error = %v", err)
+	}
+	if len(l) != 2 {
+		t.Fatalf("diagnostics = %d, want 2:\n%v", len(l), err)
+	}
+	if l[0].Pos.Line != 2 || l[1].Pos.Line != 4 {
+		t.Errorf("positions = %v, %v; want lines 2 and 4", l[0].Pos, l[1].Pos)
+	}
+}
+
+// TestParseResyncTopLevel: a broken declaration header skips to the next
+// top-level declaration instead of aborting the file.
+func TestParseResyncTopLevel(t *testing.T) {
+	src := `var broken [;
+func ok() int { return 1; }
+var alsobroken = ;
+func ok2() int { return 2; }
+`
+	_, err := Parse("tl.lpc", src)
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error = %v", err)
+	}
+	if len(l) < 2 {
+		t.Fatalf("diagnostics = %d, want >= 2:\n%v", len(l), err)
+	}
+	if l[0].Pos.Line != 1 || l[1].Pos.Line != 3 {
+		t.Errorf("positions = %v, %v; want lines 1 and 3", l[0].Pos, l[1].Pos)
+	}
+}
+
+// TestParseErrorOrdering: diagnostics come out sorted by position even
+// when lexer errors interleave with parser errors.
+func TestParseErrorOrdering(t *testing.T) {
+	src := "func f() {\n\tx = $;\n\ty = ;\n}\n"
+	_, err := Parse("ord.lpc", src)
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error = %v", err)
+	}
+	for i := 1; i < len(l); i++ {
+		a, b := l[i-1].Pos, l[i].Pos
+		if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
+			t.Errorf("diagnostics out of order: %v before %v\n%v", a, b, err)
+		}
+	}
+	// The lexical error for '$' must be present and carry the file name.
+	found := false
+	for _, d := range l {
+		if strings.Contains(d.Msg, "unexpected character") {
+			found = true
+			if d.File != "ord.lpc" {
+				t.Errorf("lexer diagnostic file = %q", d.File)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("missing lexical diagnostic:\n%v", err)
+	}
+}
+
+// TestParseDeepNesting: pathological nesting fails with a diagnostic, not
+// a host stack overflow.
+func TestParseDeepNesting(t *testing.T) {
+	src := "func f() int { return " + strings.Repeat("(", 100000) + "1" +
+		strings.Repeat(")", 100000) + "; }"
+	_, err := Parse("deep.lpc", src)
+	if err == nil {
+		t.Fatal("no error for 100k-deep nesting")
+	}
+	if !strings.Contains(err.Error(), "nesting too deep") {
+		t.Errorf("error = %v", err)
+	}
+
+	blocks := "func f() { " + strings.Repeat("{", 100000) + strings.Repeat("}", 100000) + " }"
+	if _, err := Parse("deep2.lpc", blocks); err == nil || !strings.Contains(err.Error(), "nesting too deep") {
+		t.Errorf("block nesting error = %v", err)
+	}
+}
+
+// TestParseErrorCap: an input with hundreds of faults stops at the
+// diagnostic budget.
+func TestParseErrorCap(t *testing.T) {
+	src := "func f() {\n" + strings.Repeat("\tx = ;\n", 500) + "}\n"
+	_, err := Parse("cap.lpc", src)
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error = %v", err)
+	}
+	if len(l) > diag.MaxDiagnostics+1 {
+		t.Errorf("diagnostics = %d, want <= %d", len(l), diag.MaxDiagnostics+1)
+	}
+}
+
+// TestParseArrayLengthBounds: absurd array lengths are rejected at parse
+// time with a position.
+func TestParseArrayLengthBounds(t *testing.T) {
+	_, err := Parse("big.lpc", "var g [99999999999]int;")
+	if err == nil || !strings.Contains(err.Error(), "exceeds the maximum") {
+		t.Errorf("error = %v", err)
 	}
 }
 

@@ -4,16 +4,15 @@
 package sema
 
 import (
-	"errors"
-	"fmt"
-
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/ir"
 	"loopapalooza/internal/lang/ast"
 	"loopapalooza/internal/lang/token"
 )
 
 // Check type-checks f in place, annotating expression types and resolving
-// identifiers. It returns all errors found.
+// identifiers. It returns every error found (up to the diagnostic budget)
+// as a diag.List sorted by source position.
 func Check(f *ast.File) error {
 	c := &checker{
 		file:    f,
@@ -53,7 +52,7 @@ func Check(f *ast.File) error {
 	for _, fn := range f.Funcs {
 		c.checkFunc(fn)
 	}
-	return errors.Join(c.errs...)
+	return c.errs.Truncate(f.Name).Err()
 }
 
 type checker struct {
@@ -61,7 +60,7 @@ type checker struct {
 	funcs   map[string]*ast.FuncDecl
 	globals map[string]*ast.VarDecl
 	consts  map[string]*ast.ConstDecl
-	errs    []error
+	errs    diag.List
 
 	fn     *ast.FuncDecl
 	scopes []map[string]any // *ast.VarDecl or *ast.ParamDecl
@@ -69,8 +68,8 @@ type checker struct {
 }
 
 func (c *checker) errorf(pos token.Pos, format string, args ...any) {
-	if len(c.errs) < 30 {
-		c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	if len(c.errs) <= diag.MaxDiagnostics {
+		c.errs = append(c.errs, diag.New(c.file.Name, pos, format, args...))
 	}
 }
 

@@ -1,9 +1,12 @@
 package sema
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
+	"loopapalooza/internal/diag"
 	"loopapalooza/internal/lang/ast"
 	"loopapalooza/internal/lang/parser"
 )
@@ -159,5 +162,111 @@ func TestSemaIdentTypesAnnotated(t *testing.T) {
 	id := ret.X.(*ast.Ident)
 	if id.Decl != f.Globals[0] {
 		t.Error("ident not resolved to global decl")
+	}
+}
+
+// TestSemaGoldenDiagnostics pins the canonical rendering of representative
+// type errors: file, position, and message text.
+func TestSemaGoldenDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // exact first diagnostic line
+	}{
+		{
+			"undefined",
+			"func f() int {\n\treturn x;\n}\n",
+			"test:2:9: undefined: x",
+		},
+		{
+			"bad return type",
+			"func f() bool {\n\treturn 1;\n}\n",
+			"test:2:2: cannot return int as bool",
+		},
+		{
+			"condition not bool",
+			"func f() {\n\tif (1) { }\n}\n",
+			"test:2:6: if condition must be bool, got int",
+		},
+		{
+			"assign type mismatch",
+			"func f() {\n\tvar x int;\n\tx = 1.5;\n}\n",
+			"test:3:2: cannot assign float to int",
+		},
+		{
+			"redeclared in scope",
+			"func f() {\n\tvar x int;\n\tvar x int;\n}\n",
+			"test:3:2: x redeclared in this scope",
+		},
+		{
+			"break outside loop",
+			"func f() {\n\tbreak;\n}\n",
+			"test:2:2: break outside loop",
+		},
+		{
+			"call arity",
+			"func g(a int) int { return a; }\nfunc f() int {\n\treturn g(1, 2);\n}\n",
+			"test:3:10: g takes 1 arguments, got 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := check(t, tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			var l diag.List
+			if !errors.As(err, &l) {
+				t.Fatalf("error is %T, want diag.List", err)
+			}
+			if got := l[0].Error(); got != tc.want {
+				t.Errorf("diag = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSemaMultiErrorOrdering: several independent type errors all surface,
+// sorted by source position.
+func TestSemaMultiErrorOrdering(t *testing.T) {
+	src := `func f() int {
+	var a bool = 1;
+	return q;
+}
+func g() {
+	break;
+}
+`
+	err := check(t, src)
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error = %v", err)
+	}
+	if len(l) != 3 {
+		t.Fatalf("diagnostics = %d, want 3:\n%v", len(l), err)
+	}
+	wantLines := []int{2, 3, 6}
+	for i, w := range wantLines {
+		if l[i].Pos.Line != w {
+			t.Errorf("diag[%d] at line %d, want %d (%s)", i, l[i].Pos.Line, w, l[i])
+		}
+	}
+}
+
+// TestSemaErrorCap: sema stops collecting at the diagnostic budget.
+func TestSemaErrorCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func f() {\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "\tq%d = 1;\n", i)
+	}
+	b.WriteString("}\n")
+	err := check(t, b.String())
+	var l diag.List
+	if !errors.As(err, &l) {
+		t.Fatalf("error = %v", err)
+	}
+	if len(l) > diag.MaxDiagnostics+2 {
+		t.Errorf("diagnostics = %d, want capped near %d", len(l), diag.MaxDiagnostics)
 	}
 }
