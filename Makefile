@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci quick build vet test race bench benchsmoke fuzz fuzz-smoke figures
+.PHONY: ci quick build vet test race bench benchsmoke fuzz fuzz-smoke figures cover golden
 
-ci: build vet test race benchsmoke fuzz-smoke
+ci: build vet test race cover benchsmoke fuzz-smoke
 
 quick: build vet
 	$(GO) test -short ./...
@@ -22,6 +22,24 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# Statement-coverage gate over the service and taxonomy layers. Atomic
+# mode so the gate composes with concurrent handler code; fails ci when
+# either package drops below COVER_MIN%.
+COVER_MIN ?= 80
+cover:
+	$(GO) test -short -covermode=atomic -coverprofile=cover.out \
+		-coverpkg=loopapalooza/internal/serve,loopapalooza/internal/core \
+		./internal/serve ./internal/core
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { pct = $$3 + 0; printf "coverage: %s (gate %d%%)\n", $$3, min; \
+		  if (pct < min) { print "FAIL: coverage below gate"; exit 1 } }'
+	@rm -f cover.out
+
+# Regenerate the golden report fixtures after an intentional engine
+# change, then review the diff like any other code change.
+golden:
+	$(GO) test ./internal/bench -run TestGolden -update
 
 # One iteration of every benchmark — catches bit-rot in benchmark code
 # without paying for stable measurements.

@@ -115,22 +115,15 @@ func renderError(err error, src string) {
 	}
 }
 
-// exitCode maps the failure taxonomy to distinct exit codes.
+// exitCode maps the failure taxonomy to distinct exit codes — the shared
+// contract lives on core.Outcome so the serve layer's error bodies report
+// the same numbers.
 func exitCode(err error) int {
-	switch {
-	case errors.Is(err, core.ErrStepLimit):
-		return 4
-	case errors.Is(err, core.ErrMemLimit):
-		return 5
-	case errors.Is(err, core.ErrDeadline):
-		return 6
-	case errors.Is(err, core.ErrCanceled):
-		return 7
-	case errors.Is(err, core.ErrRuntime):
-		return 3
-	default:
-		return 1
+	if code := core.Classify(err).ExitCode(); code != 0 {
+		return code
 	}
+	// A non-nil error always exits non-zero, even if it classified as OK.
+	return 1
 }
 
 func run(cfgStr string, all, dumpIR, justRun bool, name, src string, opts core.RunOptions) error {

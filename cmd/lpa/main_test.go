@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"loopapalooza/internal/core"
 )
 
 // buildLpa compiles the lpa binary once per test process.
@@ -126,6 +131,59 @@ func TestCLISuccessAndTaxonomyExitCodes(t *testing.T) {
 	code, _, stderr = runLpa(t, bin, "", div)
 	if code != 3 {
 		t.Errorf("runtime-fault exit = %d, want 3\nstderr:\n%s", code, stderr)
+	}
+	assertNoCrashArtifacts(t, stderr)
+}
+
+// TestExitCodeMapping pins the exitCode function over the whole failure
+// taxonomy — the serve layer's JSON error bodies report the same numbers
+// (core.Outcome.ExitCode), so this table is the cross-surface contract.
+func TestExitCodeMapping(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"runtime fault", fmt.Errorf("core: p: %w", core.ErrRuntime), 3},
+		{"step limit", fmt.Errorf("core: p: %w", core.ErrStepLimit), 4},
+		{"mem limit", fmt.Errorf("core: p: %w", core.ErrMemLimit), 5},
+		{"deadline", fmt.Errorf("core: p: %w", core.ErrDeadline), 6},
+		{"context deadline", context.DeadlineExceeded, 6},
+		{"canceled", fmt.Errorf("core: p: %w", core.ErrCanceled), 7},
+		{"context canceled", context.Canceled, 7},
+		{"recovered panic", &core.PanicError{Val: "boom"}, 1},
+		{"compile error", errors.New("prog.lpc:1:1: syntax error"), 1},
+	}
+	for _, tt := range tests {
+		if got := exitCode(tt.err); got != tt.want {
+			t.Errorf("%s: exitCode = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+// TestCLIMemAndTimeoutExitCodes completes the 3-7 taxonomy at the process
+// level: heap exhaustion → 5, wall-clock expiry → 6.
+func TestCLIMemAndTimeoutExitCodes(t *testing.T) {
+	bin := buildLpa(t)
+	dir := t.TempDir()
+
+	hog := filepath.Join(dir, "hog.lpc")
+	if err := os.WriteFile(hog, []byte("func main() int {\n\tvar p *int = alloc(1000000);\n\treturn *p;\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runLpa(t, bin, "", "-mem-limit", "1000", hog)
+	if code != 5 {
+		t.Errorf("mem-limit exit = %d, want 5\nstderr:\n%s", code, stderr)
+	}
+	assertNoCrashArtifacts(t, stderr)
+
+	spin := filepath.Join(dir, "spin.lpc")
+	if err := os.WriteFile(spin, []byte("func main() int {\n\tvar s int = 0;\n\twhile (true) { s = s + 1; }\n\treturn s;\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runLpa(t, bin, "", "-timeout", "100ms", spin)
+	if code != 6 {
+		t.Errorf("timeout exit = %d, want 6\nstderr:\n%s", code, stderr)
 	}
 	assertNoCrashArtifacts(t, stderr)
 }

@@ -1,0 +1,103 @@
+// Command lpd serves the Loopapalooza limit study over HTTP: a long-lived
+// analysis daemon with a content-addressed result cache, per-request
+// resource budgets, a server-level concurrency limiter, Prometheus
+// metrics, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	lpd -addr :8080
+//	lpd -addr :8080 -max-concurrent 8 -cache 4096 \
+//	    -max-steps 500e6 -timeout 30s -mem-limit 4e6 -drain 15s
+//
+// Endpoints:
+//
+//	POST /v1/analyze  {"name","source","config","budgets"} → report JSON
+//	POST /v1/sweep    {"benchmarks","configs"} → per-cell outcomes
+//	GET  /healthz     liveness and cache/limiter gauges
+//	GET  /metrics     Prometheus text format
+//
+// Budgets passed per request are clamped to the -max-steps/-timeout/
+// -mem-limit caps; requests that omit them inherit the same values as
+// defaults. Error bodies carry the failure-taxonomy outcome and the lpa
+// exit code the same failure would produce, plus positioned diagnostics
+// for rejected programs.
+//
+// On SIGINT/SIGTERM, lpd stops accepting connections, drains in-flight
+// requests for up to -drain, then cancels any stragglers and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"loopapalooza/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneous analysis runs (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 0, "result-cache capacity in entries (0 = default)")
+	maxSteps := flag.Int64("max-steps", 500_000_000, "per-run dynamic instruction budget and cap (0 = interpreter default)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-run wall-clock budget and cap (0 = none)")
+	memLimit := flag.Int64("mem-limit", 0, "per-run heap budget in 64-bit cells and cap (0 = interpreter default)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	os.Exit(run(*addr, *maxConcurrent, *cacheEntries, *maxSteps, *memLimit, *timeout, *drain))
+}
+
+func run(addr string, maxConcurrent, cacheEntries int, maxSteps, memLimit int64, timeout, drain time.Duration) int {
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	budgets := serve.Budgets{
+		MaxSteps:     maxSteps,
+		MaxHeapCells: memLimit,
+		TimeoutMs:    timeout.Milliseconds(),
+	}
+	s, err := serve.New(serve.Options{
+		DefaultBudgets: budgets,
+		MaxBudgets:     budgets,
+		MaxConcurrent:  maxConcurrent,
+		CacheEntries:   cacheEntries,
+		Log:            log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpd:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(addr) }()
+	log.Info("lpd listening", "addr", addr, "maxSteps", maxSteps,
+		"timeoutMs", timeout.Milliseconds(), "memLimit", memLimit)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Error("serve failed", "err", err.Error())
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	log.Info("draining", "window", drain.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = s.Shutdown(drainCtx)
+	s.Close()
+	if err != nil {
+		log.Error("drain incomplete", "err", err.Error())
+		return 1
+	}
+	log.Info("lpd stopped")
+	return 0
+}

@@ -1,0 +1,191 @@
+package bench
+
+// The golden-report regression suite: every benchmark × {DOALL, PDOALL,
+// HELIX} report is pinned against a checked-in fixture, so no future
+// change can silently shift a paper figure. The fixtures capture exactly
+// the numbers the figures are built from — costs, covered ticks, per-loop
+// tick/iteration/conflict counts, serialization reasons, and the anomaly
+// total.
+//
+// Regenerate after an intentional engine change with:
+//
+//	go test ./internal/bench -run TestGolden -update
+//
+// and review the fixture diff like any other code change.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loopapalooza/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report fixtures")
+
+// goldenConfigs are the three execution models under the strictest flags:
+// the baseline every relaxation in Figures 2-5 is measured against.
+func goldenConfigs() []core.Config {
+	return []core.Config{
+		{Model: core.DOALL},
+		{Model: core.PDOALL},
+		{Model: core.HELIX},
+	}
+}
+
+// goldenLoop pins one loop's dynamic profile.
+type goldenLoop struct {
+	ID            string            `json:"id"`
+	Depth         int               `json:"depth"`
+	Parallel      bool              `json:"parallel"`
+	Reason        core.SerialReason `json:"reason"`
+	SerialTicks   int64             `json:"serialTicks"`
+	Iters         int64             `json:"iters"`
+	ConflictIters int64             `json:"conflictIters"`
+}
+
+// goldenCell pins one (benchmark, configuration) report.
+type goldenCell struct {
+	Config       core.Config  `json:"config"`
+	SerialCost   int64        `json:"serialCost"`
+	ParallelCost int64        `json:"parallelCost"`
+	CoveredTicks int64        `json:"coveredTicks"`
+	Speedup      string       `json:"speedup"`
+	Anomalies    int64        `json:"anomalies"`
+	Loops        []goldenLoop `json:"loops"`
+}
+
+// goldenFile is one benchmark's fixture.
+type goldenFile struct {
+	Benchmark string       `json:"benchmark"`
+	Cells     []goldenCell `json:"cells"`
+}
+
+// goldenOf distills a report into its pinned figure inputs.
+func goldenOf(r *core.Report) goldenCell {
+	cell := goldenCell{
+		Config:       r.Config,
+		SerialCost:   r.SerialCost,
+		ParallelCost: r.ParallelCost,
+		CoveredTicks: r.CoveredTicks,
+		Speedup:      fmt.Sprintf("%.4fx", r.Speedup()),
+		Anomalies:    r.Anomalies.Total(),
+	}
+	for _, lr := range r.Loops {
+		cell.Loops = append(cell.Loops, goldenLoop{
+			ID:            lr.ID,
+			Depth:         lr.Depth,
+			Parallel:      lr.Parallel,
+			Reason:        lr.Reason,
+			SerialTicks:   lr.SerialTicks,
+			Iters:         lr.Iters,
+			ConflictIters: lr.ConflictIters,
+		})
+	}
+	return cell
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite runs the full benchmark set; skipped under -short")
+	}
+	h := NewHarness()
+	h.Sweep(context.Background(), All(), goldenConfigs())
+
+	for _, b := range All() {
+		t.Run(b.Name, func(t *testing.T) {
+			gf := goldenFile{Benchmark: b.Name}
+			for _, cfg := range goldenConfigs() {
+				r, err := h.Report(b, cfg)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", b.Name, cfg, err)
+				}
+				gf.Cells = append(gf.Cells, goldenOf(r))
+			}
+			got, err := json.MarshalIndent(gf, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := goldenPath(b.Name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture %s (run with -update to create): %v", path, err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("report drifted from %s.\nIf this change is intentional, regenerate with\n  go test ./internal/bench -run TestGolden -update\nand review the diff.\n%s",
+					path, diffHint(string(want), string(got)))
+			}
+		})
+	}
+}
+
+// diffHint points at the first diverging line of two fixture texts.
+func diffHint(want, got string) string {
+	wl, gl := splitLines(want), splitLines(got)
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("fixture has %d lines, report has %d", len(wl), len(gl))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// TestGoldenFixturesComplete fails when a registered benchmark has no
+// fixture (or a fixture has no benchmark), so additions stay pinned.
+func TestGoldenFixturesComplete(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden fixtures missing (run go test ./internal/bench -run TestGolden -update): %v", err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		onDisk[e.Name()] = true
+	}
+	for _, b := range All() {
+		name := b.Name + ".json"
+		if !onDisk[name] {
+			t.Errorf("benchmark %s has no golden fixture", b.Name)
+		}
+		delete(onDisk, name)
+	}
+	for name := range onDisk {
+		t.Errorf("fixture %s matches no registered benchmark", name)
+	}
+}

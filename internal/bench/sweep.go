@@ -273,6 +273,36 @@ func (sr *SweepResult) Summary() string {
 	return s
 }
 
+// CellStats is a snapshot of the harness's recorded cells — the gauge the
+// serving layer exports so a live lpd shows how much sweep work its
+// resident harness has already amortized.
+type CellStats struct {
+	// Total counts every cell ever started (including in-flight).
+	Total int
+	// Done counts completed cells.
+	Done int
+	// Failed counts completed cells that recorded an error.
+	Failed int
+}
+
+// CellStats snapshots the harness cell cache.
+func (h *Harness) CellStats() CellStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := CellStats{Total: len(h.cells)}
+	for _, c := range h.cells {
+		select {
+		case <-c.done:
+			st.Done++
+			if c.err != nil {
+				st.Failed++
+			}
+		default:
+		}
+	}
+	return st
+}
+
 // Failures returns every failed cell the harness has recorded so far
 // (across all sweeps and Report calls), sorted by benchmark then
 // configuration. In-flight cells are skipped.

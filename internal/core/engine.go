@@ -53,15 +53,15 @@ type Engine struct {
 // frontends or hook wiring surface on the Report instead of vanishing.
 type LoopEventAnomalies struct {
 	// IterNoActive counts IterLoop events with an empty instance stack.
-	IterNoActive int64
+	IterNoActive int64 `json:"iterNoActive"`
 	// IterMismatch counts IterLoop events whose loop is not the top of
 	// the instance stack.
-	IterMismatch int64
+	IterMismatch int64 `json:"iterMismatch"`
 	// ExitNoActive counts ExitLoop events with an empty instance stack.
-	ExitNoActive int64
+	ExitNoActive int64 `json:"exitNoActive"`
 	// ExitMismatch counts ExitLoop events whose loop is not the top of
 	// the instance stack.
-	ExitMismatch int64
+	ExitMismatch int64 `json:"exitMismatch"`
 }
 
 // Total sums all anomaly counters.

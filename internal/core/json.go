@@ -1,0 +1,219 @@
+package core
+
+// JSON and text encodings of the report surface. The serve layer and the
+// golden-report fixtures depend on these round-tripping exactly: every
+// enum encodes as its canonical label, Config as its paper string
+// ("reduc1-dep1-fn2 HELIX"), and Report gains derived speedup/coverage
+// fields on the wire. Changing any encoding here is a wire-format break:
+// regenerate the golden fixtures and bump the serve docs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// MarshalText encodes the model as its name (DOALL, PDOALL, HELIX).
+func (m Model) MarshalText() ([]byte, error) {
+	if int(m) >= len(modelNames) {
+		return nil, fmt.Errorf("core: model %d out of range", m)
+	}
+	return []byte(modelNames[m]), nil
+}
+
+// UnmarshalText parses a model name, accepting the same case-insensitive
+// aliases as ParseConfig (PARTIAL-DOALL, DOACROSS, ...).
+func (m *Model) UnmarshalText(b []byte) error {
+	switch strings.ToUpper(string(b)) {
+	case "DOALL":
+		*m = DOALL
+	case "PDOALL", "PARTIAL-DOALL", "PARTIALDOALL":
+		*m = PDOALL
+	case "HELIX", "DOACROSS":
+		*m = HELIX
+	default:
+		return fmt.Errorf("core: unknown model %q", b)
+	}
+	return nil
+}
+
+// MarshalText encodes the configuration as its paper string, e.g.
+// "reduc1-dep1-fn2 HELIX".
+func (c Config) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses a paper configuration string via ParseConfig.
+func (c *Config) UnmarshalText(b []byte) error {
+	cfg, err := ParseConfig(string(b))
+	if err != nil {
+		return err
+	}
+	*c = cfg
+	return nil
+}
+
+// MarshalText encodes the serialization reason as its label
+// ("parallel", "register LCD", ...).
+func (r SerialReason) MarshalText() ([]byte, error) {
+	if int(r) >= len(serialReasonNames) {
+		return nil, fmt.Errorf("core: serial reason %d out of range", r)
+	}
+	return []byte(serialReasonNames[r]), nil
+}
+
+// UnmarshalText parses a serialization-reason label.
+func (r *SerialReason) UnmarshalText(b []byte) error {
+	for i, name := range serialReasonNames {
+		if string(b) == name {
+			*r = SerialReason(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown serial reason %q", b)
+}
+
+// MarshalText encodes the outcome as its taxonomy label ("step-limit").
+func (o Outcome) MarshalText() ([]byte, error) {
+	if int(o) >= len(outcomeNames) {
+		return nil, fmt.Errorf("core: outcome %d out of range", o)
+	}
+	return []byte(outcomeNames[o]), nil
+}
+
+// UnmarshalText parses a taxonomy label via ParseOutcome.
+func (o *Outcome) UnmarshalText(b []byte) error {
+	parsed, err := ParseOutcome(string(b))
+	if err != nil {
+		return err
+	}
+	*o = parsed
+	return nil
+}
+
+// ParseOutcome maps a taxonomy label ("ok", "step-limit", ...) back to its
+// Outcome — the inverse of Outcome.String over the defined values.
+func ParseOutcome(s string) (Outcome, error) {
+	for i, name := range outcomeNames {
+		if s == name {
+			return Outcome(i), nil
+		}
+	}
+	return OutcomeError, fmt.Errorf("core: unknown outcome %q", s)
+}
+
+// ExitCode maps the outcome to the CLI exit-code contract shared by lpa
+// and the serve layer's error bodies:
+//
+//	0  success
+//	3  guest runtime fault
+//	4  step budget exhausted
+//	5  memory budget exhausted
+//	6  deadline/timeout exceeded
+//	7  canceled
+//	1  everything else (compile, configuration, panic, ...)
+func (o Outcome) ExitCode() int {
+	switch o {
+	case OutcomeOK:
+		return 0
+	case OutcomeRuntimeError:
+		return 3
+	case OutcomeStepLimit:
+		return 4
+	case OutcomeMemLimit:
+		return 5
+	case OutcomeTimeout:
+		return 6
+	case OutcomeCanceled:
+		return 7
+	default:
+		return 1
+	}
+}
+
+// depCategorySlugs are the wire labels of the Table I categories: stable,
+// space-free keys for JSON objects and metric labels.
+var depCategorySlugs = [...]string{
+	DepComputable:       "computable",
+	DepReduction:        "reduction",
+	DepPredictableReg:   "predictable-reg",
+	DepUnpredictableReg: "unpredictable-reg",
+	DepMemFrequent:      "mem-frequent",
+	DepMemInfrequent:    "mem-infrequent",
+	DepFalse:            "false-dep",
+	DepStructural:       "structural",
+}
+
+// Slug returns the stable wire label of the category.
+func (c DepCategory) Slug() string {
+	if int(c) < len(depCategorySlugs) {
+		return depCategorySlugs[c]
+	}
+	return fmt.Sprintf("category-%d", c)
+}
+
+// MarshalText encodes the category as its slug.
+func (c DepCategory) MarshalText() ([]byte, error) { return []byte(c.Slug()), nil }
+
+// UnmarshalText parses a category slug.
+func (c *DepCategory) UnmarshalText(b []byte) error {
+	for i, slug := range depCategorySlugs {
+		if string(b) == slug {
+			*c = DepCategory(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown dependency category %q", b)
+}
+
+// MarshalJSON encodes the census as a slug-keyed object with every Table I
+// category present (zeros included, so fixtures diff stably).
+func (c DepCensus) MarshalJSON() ([]byte, error) {
+	m := make(map[string]int64, len(c.counts))
+	for _, cat := range Categories() {
+		m[cat.Slug()] = c.counts[cat]
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes a slug-keyed census object.
+func (c *DepCensus) UnmarshalJSON(b []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	*c = DepCensus{}
+	for slug, n := range m {
+		var cat DepCategory
+		if err := cat.UnmarshalText([]byte(slug)); err != nil {
+			return err
+		}
+		c.counts[cat] = n
+	}
+	return nil
+}
+
+// reportJSON mirrors Report on the wire, adding the derived speedup and
+// coverage so clients need not recompute them.
+type reportJSON struct {
+	*reportAlias
+	Speedup  float64 `json:"speedup"`
+	Coverage float64 `json:"coverage"`
+}
+
+// reportAlias strips Report's methods to avoid marshal recursion.
+type reportAlias Report
+
+// MarshalJSON encodes the report with derived speedup/coverage fields.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		reportAlias: (*reportAlias)(r),
+		Speedup:     r.Speedup(),
+		Coverage:    r.Coverage(),
+	})
+}
+
+// UnmarshalJSON decodes a report, ignoring the derived fields (they are
+// recomputable from the costs).
+func (r *Report) UnmarshalJSON(b []byte) error {
+	aux := reportJSON{reportAlias: (*reportAlias)(r)}
+	return json.Unmarshal(b, &aux)
+}

@@ -11,35 +11,35 @@ import (
 // LoopReport summarizes one static loop under one configuration.
 type LoopReport struct {
 	// ID is "function:header".
-	ID string
+	ID string `json:"id"`
 	// Depth is the nesting depth (1 = outermost).
-	Depth int
+	Depth int `json:"depth"`
 	// Parallel reports whether the loop ended the run still considered
 	// parallelizable.
-	Parallel bool
+	Parallel bool `json:"parallel"`
 	// Reason explains serialization (SerialNone when parallel).
-	Reason SerialReason
+	Reason SerialReason `json:"reason"`
 	// StaticallySerial distinguishes Table II rejections from dynamic
 	// discoveries.
-	StaticallySerial bool
+	StaticallySerial bool `json:"staticallySerial"`
 	// Instances / ParallelInstances / Iters / ConflictIters /
 	// SerialTicks aggregate dynamic behaviour.
-	Instances         int64
-	ParallelInstances int64
-	Iters             int64
-	ConflictIters     int64
-	SerialTicks       int64
+	Instances         int64 `json:"instances"`
+	ParallelInstances int64 `json:"parallelInstances"`
+	Iters             int64 `json:"iters"`
+	ConflictIters     int64 `json:"conflictIters"`
+	SerialTicks       int64 `json:"serialTicks"`
 	// Computable / Reductions / NonComputable are the static register
 	// LCD counts (Table I).
-	Computable    int
-	Reductions    int
-	NonComputable int
+	Computable    int `json:"computable"`
+	Reductions    int `json:"reductions"`
+	NonComputable int `json:"nonComputable"`
 	// PredHitRate is the hybrid predictor hit rate over the loop's
 	// observed LCDs (NaN-free: 0 when nothing was observed).
-	PredHitRate float64
+	PredHitRate float64 `json:"predHitRate"`
 	// Delta and Slowest echo the engine's HELIX diagnostics.
-	Delta   int64
-	Slowest int64
+	Delta   int64 `json:"delta"`
+	Slowest int64 `json:"slowest"`
 }
 
 // ConflictIterRate returns the fraction of iterations that conflicted.
@@ -53,24 +53,24 @@ func (lr *LoopReport) ConflictIterRate() float64 {
 // Report is the outcome of one limit-study run.
 type Report struct {
 	// Benchmark names the program.
-	Benchmark string
+	Benchmark string `json:"benchmark"`
 	// Config is the configuration that produced the report.
-	Config Config
+	Config Config `json:"config"`
 	// SerialCost is the dynamic IR instruction count of the sequential
 	// execution (the baseline).
-	SerialCost int64
+	SerialCost int64 `json:"serialCost"`
 	// ParallelCost is the limit-study parallel time.
-	ParallelCost int64
+	ParallelCost int64 `json:"parallelCost"`
 	// CoveredTicks is the serial time spent inside parallel loops.
-	CoveredTicks int64
+	CoveredTicks int64 `json:"coveredTicks"`
 	// Loops reports every static loop, outer first.
-	Loops []LoopReport
+	Loops []LoopReport `json:"loops"`
 	// Census tallies Table I dependency categories.
-	Census DepCensus
+	Census DepCensus `json:"census"`
 	// Anomalies counts loop hook events the engine could not attribute
 	// (mismatched or underflowing Enter/Iter/Exit sequences). All zero on
 	// a healthy run.
-	Anomalies LoopEventAnomalies
+	Anomalies LoopEventAnomalies `json:"anomalies"`
 }
 
 // Speedup returns SerialCost / ParallelCost.

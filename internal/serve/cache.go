@@ -1,0 +1,185 @@
+package serve
+
+// The content-addressed result cache. A request's identity is the SHA-256
+// of its program name, source, configuration, and effective budgets —
+// identical submissions from any number of clients share one compile+run.
+// Three mechanisms stack:
+//
+//   - LRU store: completed, deterministic outcomes are kept up to a
+//     capacity; a hit costs a map lookup and a list splice.
+//   - Singleflight: concurrent requests for the same key wait on the one
+//     in-flight fill instead of running their own.
+//   - Outcome filter: wall-clock- or environment-dependent failures
+//     (timeout, cancellation, recovered panics) are never cached, so a
+//     transient failure cannot poison the key.
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"sync"
+
+	"loopapalooza/internal/core"
+)
+
+// Entry is one completed analysis outcome: a report or a classified error.
+type Entry struct {
+	// Report is the completed report (nil on failure).
+	Report *core.Report
+	// Err is the per-run error (nil on success).
+	Err error
+	// Outcome classifies Err.
+	Outcome core.Outcome
+}
+
+// CacheStats is a monotonic snapshot of cache traffic.
+type CacheStats struct {
+	// Hits counts requests served from a stored entry.
+	Hits uint64
+	// Misses counts requests that ran their own fill.
+	Misses uint64
+	// Coalesced counts requests that waited on another request's fill.
+	Coalesced uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Entries is the current stored-entry count (not monotonic).
+	Entries int
+}
+
+// Cache is the LRU-bounded, singleflight-deduplicated result store.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *cacheItem
+	items   map[string]*list.Element
+	flights map[string]*flight
+	stats   CacheStats
+}
+
+type cacheItem struct {
+	key   string
+	entry Entry
+}
+
+// flight is one in-progress fill; waiters block on done.
+type flight struct {
+	done  chan struct{}
+	entry Entry
+}
+
+// DefaultCacheEntries bounds the cache when Options leave it zero.
+const DefaultCacheEntries = 1024
+
+// NewCache returns a cache bounded to capacity entries
+// (capacity <= 0 = DefaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   map[string]*list.Element{},
+		flights: map[string]*flight{},
+	}
+}
+
+// Key computes the content address of one analyze request.
+func Key(name, source string, cfg core.Config, b Budgets) string {
+	h := sha256.New()
+	for _, s := range []string{name, source, cfg.String()} {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(b.MaxSteps))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(b.MaxHeapCells))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(b.TimeoutMs))
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheable reports whether an outcome is deterministic for a fixed
+// (source, config, budgets) key and therefore safe to store.
+func cacheable(o core.Outcome) bool {
+	switch o {
+	case core.OutcomeOK, core.OutcomeStepLimit, core.OutcomeMemLimit,
+		core.OutcomeRuntimeError, core.OutcomeError:
+		return true
+	default:
+		// Timeouts depend on machine load, cancellations on the client,
+		// panics on whatever environmental bug triggered them.
+		return false
+	}
+}
+
+// Do returns the entry for key, running fill at most once across all
+// concurrent callers. The boolean reports whether this caller was served
+// without running fill (stored hit or coalesced wait). The error is
+// non-nil only when ctx ended while waiting on another caller's fill; the
+// fill itself always completes and publishes its entry.
+func (c *Cache) Do(ctx context.Context, key string, fill func() (*core.Report, error)) (Entry, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		e := el.Value.(*cacheItem).entry
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.entry, true, nil
+		case <-ctx.Done():
+			return Entry{}, false, ctx.Err()
+		}
+	}
+	c.stats.Misses++
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	rep, err := fill()
+	f.entry = Entry{Report: rep, Err: err, Outcome: core.Classify(err)}
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if cacheable(f.entry.Outcome) {
+		c.insertLocked(key, f.entry)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.entry, false, nil
+}
+
+// insertLocked stores an entry at the LRU front, evicting the tail past
+// capacity. Callers hold c.mu.
+func (c *Cache) insertLocked(key string, e Entry) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).entry = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheItem).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a traffic snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

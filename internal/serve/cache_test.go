@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loopapalooza/internal/core"
+)
+
+func mkReport(cost int64) *core.Report {
+	return &core.Report{Benchmark: "r", SerialCost: cost, ParallelCost: 1}
+}
+
+// TestCacheSingleflight checks concurrent requests for one key share a
+// single fill.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8)
+	var fills atomic.Int64
+	fill := func() (*core.Report, error) {
+		fills.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		return mkReport(42), nil
+	}
+	const waiters = 16
+	var wg sync.WaitGroup
+	reports := make([]*core.Report, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.Do(context.Background(), "k", fill)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			reports[i] = e.Report
+		}(i)
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Errorf("%d fills, want 1 (singleflight)", n)
+	}
+	for i, r := range reports {
+		if r != reports[0] {
+			t.Fatalf("waiter %d got a different report instance", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != waiters-1 {
+		t.Errorf("stats %+v, want 1 miss and %d shared", st, waiters-1)
+	}
+}
+
+// TestCacheLRU checks the capacity bound evicts least-recently-used keys.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	fill := func(cost int64) func() (*core.Report, error) {
+		return func() (*core.Report, error) { return mkReport(cost), nil }
+	}
+	ctx := context.Background()
+	c.Do(ctx, "a", fill(1))
+	c.Do(ctx, "b", fill(2))
+	c.Do(ctx, "c", fill(3)) // evicts a
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats %+v, want 1 eviction, 2 entries", st)
+	}
+	if _, hit, _ := c.Do(ctx, "c", fill(3)); !hit {
+		t.Error("c missing after insert")
+	}
+	if _, hit, _ := c.Do(ctx, "a", fill(1)); hit {
+		t.Error("a survived past capacity")
+	}
+	// Touching b made it recent; inserting a again evicted... b was LRU
+	// after c,a touches. Verify b is gone and c stays.
+	if _, hit, _ := c.Do(ctx, "b", fill(2)); hit {
+		t.Error("b not evicted by a's reinsert")
+	}
+}
+
+// TestCacheUncacheableOutcomes checks wall-clock-dependent failures are
+// never stored.
+func TestCacheUncacheableOutcomes(t *testing.T) {
+	for _, tt := range []struct {
+		name      string
+		err       error
+		cacheable bool
+	}{
+		{"ok", nil, true},
+		{"step-limit", fmt.Errorf("x: %w", core.ErrStepLimit), true},
+		{"mem-limit", fmt.Errorf("x: %w", core.ErrMemLimit), true},
+		{"runtime", fmt.Errorf("x: %w", core.ErrRuntime), true},
+		{"compile", fmt.Errorf("syntax error"), true},
+		{"timeout", fmt.Errorf("x: %w", core.ErrDeadline), false},
+		{"canceled", fmt.Errorf("x: %w", core.ErrCanceled), false},
+		{"panic", &core.PanicError{Val: "boom"}, false},
+	} {
+		c := NewCache(8)
+		var fills int
+		fill := func() (*core.Report, error) {
+			fills++
+			if tt.err != nil {
+				return nil, tt.err
+			}
+			return mkReport(1), nil
+		}
+		c.Do(context.Background(), "k", fill)
+		_, hit, _ := c.Do(context.Background(), "k", fill)
+		wantFills := 2
+		if tt.cacheable {
+			wantFills = 1
+		}
+		if fills != wantFills || hit != tt.cacheable {
+			t.Errorf("%s: fills=%d hit=%v, want fills=%d hit=%v",
+				tt.name, fills, hit, wantFills, tt.cacheable)
+		}
+	}
+}
+
+// TestCacheWaiterCancellation checks a canceled waiter unblocks without
+// disturbing the fill.
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := NewCache(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (*core.Report, error) {
+		close(started)
+		<-release
+		return mkReport(1), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() (*core.Report, error) {
+		t.Error("second fill ran despite singleflight")
+		return nil, nil
+	})
+	if err == nil {
+		t.Error("canceled waiter returned nil error")
+	}
+	close(release)
+	// The fill still completed and cached; a new request hits.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, hit, _ := c.Do(context.Background(), "k", func() (*core.Report, error) {
+			return mkReport(1), nil
+		}); hit {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fill result never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestKey checks the content address covers every request dimension.
+func TestKey(t *testing.T) {
+	base := Key("n", "src", core.Config{Model: core.DOALL}, Budgets{MaxSteps: 1})
+	if base != Key("n", "src", core.Config{Model: core.DOALL}, Budgets{MaxSteps: 1}) {
+		t.Error("identical requests produced different keys")
+	}
+	for name, k := range map[string]string{
+		"name":    Key("m", "src", core.Config{Model: core.DOALL}, Budgets{MaxSteps: 1}),
+		"source":  Key("n", "src2", core.Config{Model: core.DOALL}, Budgets{MaxSteps: 1}),
+		"config":  Key("n", "src", core.Config{Model: core.PDOALL}, Budgets{MaxSteps: 1}),
+		"budgets": Key("n", "src", core.Config{Model: core.DOALL}, Budgets{MaxSteps: 2}),
+	} {
+		if k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+	// Field boundaries are delimited: ("ab","c") != ("a","bc").
+	if Key("ab", "c", core.Config{}, Budgets{}) == Key("a", "bc", core.Config{}, Budgets{}) {
+		t.Error("name/source boundary not delimited")
+	}
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+)
+
+// Limiter bounds how many analysis executions run simultaneously. Cache
+// hits bypass it entirely; only cache fills and sweeps take a slot, so a
+// hot cache keeps serving while the CPUs are saturated with misses.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter returns a limiter admitting n concurrent holders
+// (n <= 0 = GOMAXPROCS).
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot frees or ctx is done.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (l *Limiter) Release() { <-l.sem }
+
+// InUse returns the number of currently held slots.
+func (l *Limiter) InUse() int { return len(l.sem) }
+
+// Cap returns the limiter's capacity.
+func (l *Limiter) Cap() int { return cap(l.sem) }

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLimiterBounds(t *testing.T) {
+	l := NewLimiter(2)
+	if l.Cap() != 2 {
+		t.Fatalf("cap %d", l.Cap())
+	}
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if l.InUse() != 2 {
+		t.Errorf("in use %d, want 2", l.InUse())
+	}
+
+	// A third acquire blocks until a release.
+	acquired := make(chan struct{})
+	go func() {
+		if err := l.Acquire(ctx); err == nil {
+			close(acquired)
+		}
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("third acquire succeeded while full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire never unblocked after release")
+	}
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); err == nil {
+		t.Fatal("acquire succeeded on a full limiter with expired context")
+	}
+	l.Release()
+	if l.InUse() != 0 {
+		t.Errorf("in use %d after release", l.InUse())
+	}
+}
+
+func TestLimiterDefaultCap(t *testing.T) {
+	if NewLimiter(0).Cap() <= 0 {
+		t.Error("default capacity not positive")
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.Write(&b)
+	return b.String()
+}
+
+func TestCounterRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_requests_total", "Requests.", "path", "code")
+	c.Inc("/b", "200")
+	c.Add(2, "/a", "200")
+	c.Inc("/a", "500")
+	out := render(r)
+	want := `# HELP t_requests_total Requests.
+# TYPE t_requests_total counter
+t_requests_total{path="/a",code="200"} 2
+t_requests_total{path="/a",code="500"} 1
+t_requests_total{path="/b",code="200"} 1
+`
+	if out != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", out, want)
+	}
+	if c.Value("/a", "200") != 2 || c.Total() != 4 {
+		t.Errorf("value %v total %v", c.Value("/a", "200"), c.Total())
+	}
+}
+
+func TestUnlabeledCounterRendersZero(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_ticks_total", "Ticks.")
+	if out := render(r); !strings.Contains(out, "t_ticks_total 0\n") {
+		t.Errorf("untouched unlabeled counter not rendered as 0:\n%s", out)
+	}
+}
+
+func TestGaugeAndCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.NewGaugeFunc("t_entries", "Entries.", func() float64 { return v })
+	r.NewCounterFunc("t_hits_total", "Hits.", func() float64 { return 7 })
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE t_entries gauge", "t_entries 3",
+		"# TYPE t_hits_total counter", "t_hits_total 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_seconds", "Latency.", []float64{0.1, 1}, "path")
+	h.Observe(0.05, "/a")
+	h.Observe(0.5, "/a")
+	h.Observe(5, "/a")
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE t_seconds histogram",
+		`t_seconds_bucket{path="/a",le="0.1"} 1`,
+		`t_seconds_bucket{path="/a",le="1"} 2`,
+		`t_seconds_bucket{path="/a",le="+Inf"} 3`,
+		`t_seconds_count{path="/a"} 3`,
+		`t_seconds_sum{path="/a"} 5.55`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count("/a") != 3 {
+		t.Errorf("count %d", h.Count("/a"))
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_weird_total", "Weird.", "msg")
+	c.Inc("a\"b\\c\nd")
+	out := render(r)
+	if !strings.Contains(out, `t_weird_total{msg="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}

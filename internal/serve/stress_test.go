@@ -1,0 +1,115 @@
+package serve
+
+// The concurrency stress leg: many goroutines hammer one server with a
+// mixed request stream. Run under -race (make ci's race leg), it asserts
+// no race, no panic (a handler panic would surface as a 500), and that
+// the cache actually absorbed repeated traffic.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestStressConcurrentMix(t *testing.T) {
+	s, err := New(Options{MaxConcurrent: 4, CacheEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	const goroutines = 64
+	const perG = 12
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: goroutines}
+
+	post := func(req AnalyzeRequest) (int, []byte, error) {
+		b, _ := json.Marshal(req)
+		resp, err := client.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var body json.RawMessage
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Per-goroutine unique program: same shape, distinct constant,
+			// so its first request is a guaranteed cache miss.
+			unique := fmt.Sprintf(`
+func main() int {
+	var i int;
+	var s int = 0;
+	for (i = 0; i < 500; i = i + 1) { s = s + i %% %d; }
+	return s;
+}`, g+3)
+			for n := 0; n < perG; n++ {
+				var status int
+				var err error
+				switch n % 4 {
+				case 0: // shared program: one miss process-wide, then hits
+					status, _, err = post(AnalyzeRequest{Name: "shared", Source: okSrc, Config: "reduc1-dep0-fn0 DOALL"})
+					if err == nil && status != http.StatusOK {
+						err = fmt.Errorf("shared: status %d", status)
+					}
+				case 1: // unique program
+					status, _, err = post(AnalyzeRequest{Name: fmt.Sprintf("g%d", g), Source: unique})
+					if err == nil && status != http.StatusOK {
+						err = fmt.Errorf("unique: status %d", status)
+					}
+				case 2: // malformed source
+					status, _, err = post(AnalyzeRequest{Name: "bad", Source: badSrc})
+					if err == nil && status != http.StatusBadRequest {
+						err = fmt.Errorf("malformed: status %d", status)
+					}
+				case 3: // budget trip
+					status, _, err = post(AnalyzeRequest{
+						Name: "budget", Source: slowSrc,
+						Budgets: &Budgets{MaxSteps: 5_000},
+					})
+					if err == nil && status != http.StatusUnprocessableEntity {
+						err = fmt.Errorf("budget: status %d", status)
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d request %d: %w", g, n, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.cache.Stats()
+	total := st.Hits + st.Misses + st.Coalesced
+	if st.Hits+st.Coalesced == 0 {
+		t.Fatalf("cache absorbed nothing: %+v", st)
+	}
+	hitRatio := float64(st.Hits+st.Coalesced) / float64(total)
+	t.Logf("cache: %+v (shared-ratio %.2f)", st, hitRatio)
+	if hitRatio <= 0 {
+		t.Errorf("cache-hit ratio %.2f, want > 0", hitRatio)
+	}
+	// The mix repeats 3 cacheable keys (shared, per-g unique after first,
+	// budget) heavily; misses should stay far below total traffic.
+	if st.Misses > uint64(goroutines)*3 {
+		t.Errorf("%d misses for %d goroutines — cache not deduplicating", st.Misses, goroutines)
+	}
+}

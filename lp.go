@@ -103,8 +103,15 @@ const (
 	TrackerLegacyMap = core.TrackerLegacyMap
 )
 
-// Outcome classifies a run failure into the taxonomy (see Classify).
+// Outcome classifies a run failure into the taxonomy (see Classify). It
+// serializes to stable slugs ("ok", "step-limit", ...) via
+// encoding.TextMarshaler, and Outcome.ExitCode gives the process exit
+// code contract shared by cmd/lpa and the lpd service (0, 3-7).
 type Outcome = core.Outcome
+
+// ParseOutcome is the inverse of Outcome.String: it parses the stable
+// slug form used on the wire and in logs.
+func ParseOutcome(s string) (Outcome, error) { return core.ParseOutcome(s) }
 
 // The taxonomy outcomes.
 const (
