@@ -42,7 +42,9 @@ golden:
 	$(GO) test ./internal/bench -run TestGolden -update
 
 # One iteration of every benchmark — catches bit-rot in benchmark code
-# without paying for stable measurements.
+# without paying for stable measurements. Includes the fan-out smoke:
+# BenchmarkSweepFanout runs the full paper grid through core.MultiRun and
+# fails outright if any cell of the shared-execution sweep diverges.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
@@ -61,14 +63,15 @@ fuzz-smoke:
 fuzz:
 	$(MAKE) fuzz-smoke FUZZTIME=2m
 
-# Full measurement run: the PR2 perf suite (engine hot path, interpreter
-# dispatch, end-to-end sweep; shadow vs legacy-map sub-benchmarks) plus
-# the root interpreter benchmark, rendered to BENCH_PR2.json.
+# Full measurement run: the perf suite (engine hot path, interpreter
+# dispatch, end-to-end sweep; shadow vs legacy-map and fanout vs
+# per-config sub-benchmarks) plus the root interpreter benchmark,
+# rendered to BENCH_PR5.json with the speedup-ratio tables.
 bench:
-	$(GO) test -run='^$$' -bench='EngineLoadStore|EngineNestedLoadStore|EngineEnterExit|InterpDispatch|SweepSuite' \
+	$(GO) test -run='^$$' -bench='EngineLoadStore|EngineNestedLoadStore|EngineEnterExit|InterpDispatch|SweepSuite|SweepFanout' \
 		-benchmem -count=1 ./internal/core ./internal/interp ./internal/bench | tee bench.out
 	$(GO) test -run='^$$' -bench='^BenchmarkInterpreter$$' -benchmem -count=1 . | tee -a bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR2.json bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR5.json bench.out
 	rm -f bench.out
 
 figures:

@@ -1,8 +1,12 @@
 // Command benchjson converts `go test -bench` output into a
-// machine-readable JSON summary (BENCH_PR2.json). It parses every
+// machine-readable JSON summary (BENCH_PR5.json). It parses every
 // benchmark line, keeps all reported metrics (ns/op, B/op, allocs/op,
-// and custom metrics like instrs/sec), and derives two ratio tables:
+// and custom metrics like instrs/sec), and derives three ratio tables:
 //
+//   - fanout_vs_perconfig: for each benchmark with /fanout and
+//     /per-config sub-benchmarks, the per-config÷fanout time ratio —
+//     the sweep wall-clock won by interpreting each program once and
+//     fanning the event stream out to every configuration's engine.
 //   - shadow_vs_legacy: for each benchmark with /shadow and /legacy-map
 //     sub-benchmarks, the legacy÷shadow time ratio and the per-op bytes
 //     saved — the cost of the differential oracle's map tracker relative
@@ -12,8 +16,8 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR2.json
-//	go run ./cmd/benchjson -o BENCH_PR2.json bench.out
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR5.json
+//	go run ./cmd/benchjson -o BENCH_PR5.json bench.out
 package main
 
 import (
@@ -86,11 +90,12 @@ var extraCurrent = map[string]map[string]float64{
 }
 
 type output struct {
-	Schema         string                      `json:"schema"`
-	Note           string                      `json:"note"`
-	Benchmarks     []Benchmark                 `json:"benchmarks"`
-	ShadowVsLegacy map[string]map[string]Ratio `json:"shadow_vs_legacy"`
-	SeedVsCurrent  map[string]map[string]Ratio `json:"seed_vs_current"`
+	Schema            string                      `json:"schema"`
+	Note              string                      `json:"note"`
+	Benchmarks        []Benchmark                 `json:"benchmarks"`
+	FanoutVsPerConfig map[string]map[string]Ratio `json:"fanout_vs_perconfig"`
+	ShadowVsLegacy    map[string]map[string]Ratio `json:"shadow_vs_legacy"`
+	SeedVsCurrent     map[string]map[string]Ratio `json:"seed_vs_current"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
@@ -186,6 +191,19 @@ func run() error {
 	}
 	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
 
+	fanoutVsPerConfig := map[string]map[string]Ratio{}
+	for name, fan := range byName {
+		root, ok := strings.CutSuffix(name, "/fanout")
+		if !ok {
+			continue
+		}
+		perConfig, ok := byName[root+"/per-config"]
+		if !ok {
+			continue
+		}
+		fanoutVsPerConfig[root] = ratios(perConfig, fan)
+	}
+
 	shadowVsLegacy := map[string]map[string]Ratio{}
 	for name, shadow := range byName {
 		root, ok := strings.CutSuffix(name, "/shadow")
@@ -210,11 +228,12 @@ func run() error {
 
 	doc := output{
 		Schema: "loopapalooza-bench/v1",
-		Note: "speedup >1 means current/shadow is better; seed baselines measured " +
-			"at commit d237949 with identical access patterns",
-		Benchmarks:     benches,
-		ShadowVsLegacy: shadowVsLegacy,
-		SeedVsCurrent:  seedVsCurrent,
+		Note: "speedup >1 means current/fanout/shadow is better; seed baselines " +
+			"measured at commit d237949 with identical access patterns",
+		Benchmarks:        benches,
+		FanoutVsPerConfig: fanoutVsPerConfig,
+		ShadowVsLegacy:    shadowVsLegacy,
+		SeedVsCurrent:     seedVsCurrent,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -21,6 +21,17 @@
 // lpbench exits 0 when every cell completed and 3 when output was
 // rendered with failed cells (figures, -matrix, and -bench alike).
 //
+// Execution sharing and traces:
+//
+//	lpbench -fanout=false        # one interpretation per cell (baseline)
+//	lpbench -trace-dir traces/   # record each execution's binary event trace
+//
+// By default every benchmark is interpreted ONCE per sweep and the event
+// stream is fanned out to all configurations' engines (reports are
+// bit-identical to per-cell runs). -trace-dir additionally records each
+// execution as a replayable .lptrace file; a stats footer on stderr counts
+// the executions saved.
+//
 // Profiling:
 //
 //	lpbench -cpuprofile cpu.out -memprofile mem.out -figure 2
@@ -54,6 +65,8 @@ func run() int {
 	memLimit := flag.Int64("mem-limit", 0, "per-run heap budget in 64-bit cells (0 = default)")
 	keepGoing := flag.Bool("keep-going", true, "render figures over surviving cells instead of aborting on the first failure")
 	tracker := flag.String("tracker", "shadow", "dependence tracker: shadow or legacy-map (oracle)")
+	fanout := flag.Bool("fanout", true, "share one execution across all of a benchmark's configurations (reports are bit-identical either way)")
+	traceDir := flag.String("trace-dir", "", "record each benchmark execution's event trace into this directory (implies -fanout paths)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -100,6 +113,12 @@ func run() int {
 		}()
 	}
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			return 1
+		}
+	}
 	h := bench.NewHarnessWith(bench.HarnessOptions{
 		Run: core.RunOptions{
 			MaxSteps:     *maxSteps,
@@ -108,7 +127,19 @@ func run() int {
 			Tracker:      kind,
 		},
 		RetryTransient: true,
+		DisableFanout:  !*fanout,
+		TraceDir:       *traceDir,
 	})
+	defer func() {
+		if st := h.Stats(); st.Executions > 0 {
+			fmt.Fprintf(os.Stderr, "lpbench: %d execution(s) served %d cell(s), %d saved by fan-out",
+				st.Executions, st.Cells, st.Saved)
+			if st.Traces > 0 {
+				fmt.Fprintf(os.Stderr, ", %d trace(s) recorded to %s", st.Traces, *traceDir)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}()
 
 	switch {
 	case *matrix:
@@ -256,6 +287,9 @@ func reportOne(h *bench.Harness, name string) error {
 		return fmt.Errorf("unknown benchmark %q (try -list)", name)
 	}
 	fmt.Printf("%s (%s): %s\n\n", b.Name, b.Suite, b.Modeled)
+	// Sweep the whole grid first so all fourteen cells share one
+	// execution; the loop below reads the completed cells.
+	h.Sweep(nil, []*bench.Benchmark{b}, core.PaperConfigs())
 	for _, cfg := range core.PaperConfigs() {
 		r, err := h.Report(b, cfg)
 		if err != nil {

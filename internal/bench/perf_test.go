@@ -47,3 +47,37 @@ func BenchmarkSweepSuite(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSweepFanout measures the full fourteen-configuration paper-grid
+// sweep of the EEMBC suite with the run-once fan-out against the
+// one-execution-per-cell baseline — the headline number of the run-once
+// layer (BENCH_PR5.json's fanout_vs_perconfig table). Reports are
+// bit-identical between the two modes; only the interpretation count
+// differs (1 vs 14 per benchmark).
+func BenchmarkSweepFanout(b *testing.B) {
+	benches := BySuite(SuiteEEMBC)
+	if len(benches) == 0 {
+		b.Fatal("no EEMBC benchmarks registered")
+	}
+	for _, bm := range benches {
+		if _, err := bm.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfgs := core.PaperConfigs()
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fanout", false}, {"per-config", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := NewHarnessWith(HarnessOptions{DisableFanout: mode.disable})
+				sr := h.Sweep(context.Background(), benches, cfgs)
+				if sr.OK() != len(benches)*len(cfgs) {
+					b.Fatalf("sweep failures: %s", sr.Summary())
+				}
+			}
+		})
+	}
+}

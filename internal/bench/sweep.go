@@ -23,6 +23,7 @@ type Harness struct {
 
 	mu    sync.Mutex
 	cells map[string]*cell
+	stats Stats
 }
 
 // HarnessOptions configures the sweep engine.
@@ -35,6 +36,14 @@ type HarnessOptions struct {
 	RetryTransient bool
 	// Workers bounds sweep concurrency (0 = GOMAXPROCS).
 	Workers int
+	// DisableFanout forces one execution per cell. The zero value shares
+	// one execution across all of a benchmark's configurations in a sweep
+	// (core.MultiRun); reports are bit-identical either way, so this is a
+	// debugging and benchmarking knob, not a correctness one.
+	DisableFanout bool
+	// TraceDir, when set, records each fan-out execution's event stream as
+	// a binary trace file (TraceFileName) in this directory.
+	TraceDir string
 }
 
 // cell is one (benchmark, configuration) slot. The goroutine that creates
@@ -135,6 +144,10 @@ func (h *Harness) runOnce(ctx context.Context, b *Benchmark, cfg core.Config) (r
 	if ctx != nil {
 		opts.Ctx = ctx
 	}
+	h.mu.Lock()
+	h.stats.Executions++
+	h.stats.Cells++
+	h.mu.Unlock()
 	return b.RunWith(cfg, opts)
 }
 
@@ -174,18 +187,14 @@ func (h *Harness) Sweep(ctx context.Context, benches []*Benchmark, cfgs []core.C
 		}
 	}
 
+	// One job per benchmark: all of a benchmark's cells share one
+	// execution through the fan-out layer (unless DisableFanout), so the
+	// unit of scheduling is the unit of execution.
 	type job struct {
-		i   int
-		b   *Benchmark
-		cfg core.Config
+		i int
+		b *Benchmark
 	}
-	jobs := make([]job, 0, len(benches)*len(cfgs))
-	for _, b := range benches {
-		for _, cfg := range cfgs {
-			jobs = append(jobs, job{i: len(jobs), b: b, cfg: cfg})
-		}
-	}
-	out := make([]Cell, len(jobs))
+	out := make([]Cell, len(benches)*len(cfgs))
 
 	workers := h.opts.Workers
 	if workers <= 0 {
@@ -198,12 +207,12 @@ func (h *Harness) Sweep(ctx context.Context, benches []*Benchmark, cfgs []core.C
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				out[j.i] = h.sweepCell(ctx, j.b, j.cfg, analysisErr[j.b.Name])
+				copy(out[j.i*len(cfgs):], h.sweepBench(ctx, j.b, cfgs, analysisErr[j.b.Name]))
 			}
 		}()
 	}
-	for _, j := range jobs {
-		ch <- j
+	for i, b := range benches {
+		ch <- job{i: i, b: b}
 	}
 	close(ch)
 	wg.Wait()

@@ -1,0 +1,442 @@
+package core
+
+// Run-once / evaluate-many: one interpretation of a program feeds any
+// number of per-configuration engines. The instrumentation event stream is
+// configuration-independent (paper §III-A separates instrumentation from
+// the run-time models of §III-B), so sweeping the Table II grid does not
+// need to re-interpret the benchmark once per configuration — MultiRun
+// amortizes the expensive producer (the interpreter) across N cheap
+// consumers (the engines).
+//
+// Two fan-out strategies, chosen by configuration count:
+//
+//   - Sequential tee (multiHooks): every event is forwarded to each engine
+//     on the interpreting goroutine. Engines consume events synchronously
+//     and never retain the interpreter's scratch slices, so no copying is
+//     needed and the zero-allocation hot path is preserved.
+//   - Chunked concurrent fan-out: each event is copied ONCE into a pooled,
+//     fixed-size event chunk (flat records plus flat Val/LCDObs payload
+//     arrays — no per-event allocation), and full chunks are published to
+//     one buffered channel per engine. Engine goroutines replay chunks
+//     read-only; a reference count returns each chunk to the pool after
+//     the last consumer. This is the one documented place that copies the
+//     interpreter's scratch buffers (see interp.Hooks), which is what
+//     makes the aliasing safe.
+//
+// The contract, enforced differentially against the golden suite: the
+// reports of MultiRun(info, cfgs, opts) are bit-identical to running
+// Run(info, cfg, opts) once per configuration.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/interp"
+)
+
+// FanoutThreshold is the configuration count at or above which MultiRun
+// switches from the sequential tee to per-engine goroutines. Below it the
+// per-chunk synchronization costs more than the sequential engine work.
+const FanoutThreshold = 4
+
+// evKind tags one flattened instrumentation event.
+type evKind uint8
+
+const (
+	evTick evKind = iota
+	evEnter
+	evIter
+	evExit
+	evLoad
+	evStore
+)
+
+// evRec is one instrumentation event in flattened form. Variable-length
+// payloads (EnterLoop init values, IterLoop observations) live in the
+// owning chunk's flat arrays, referenced by [off, off+n).
+type evRec struct {
+	kind evKind
+	lm   *analysis.LoopMeta // enter/iter/exit
+	a    int64              // Tick n; Enter/Iter sp; Load/Store addr
+	off  int32              // payload start in the chunk's vals/obs
+	n    int32              // payload length
+}
+
+// chunkRecs is the record capacity of one event chunk. At 32 bytes per
+// record a chunk is ~128 KiB of hot, reused memory — large enough that
+// channel synchronization amortizes to well under a nanosecond per event.
+const chunkRecs = 4096
+
+// evChunk is one batch of events plus the copied payloads. Consumers read
+// it strictly read-only; refs counts consumers that have not released it.
+type evChunk struct {
+	recs []evRec
+	vals []interp.Val
+	obs  []interp.LCDObs
+	refs atomic.Int32
+}
+
+// reset readies a recycled chunk for refilling.
+func (c *evChunk) reset() {
+	c.recs = c.recs[:0]
+	c.vals = c.vals[:0]
+	c.obs = c.obs[:0]
+}
+
+// replayChunk applies one chunk of events, in order, to a synchronous
+// hooks consumer. The payload sub-slices alias the chunk; consumers follow
+// the interp.Hooks contract and do not retain them.
+func replayChunk(h interp.Hooks, c *evChunk) {
+	for i := range c.recs {
+		r := &c.recs[i]
+		switch r.kind {
+		case evTick:
+			h.Tick(r.a)
+		case evEnter:
+			h.EnterLoop(r.lm, r.a, c.vals[r.off:r.off+r.n])
+		case evIter:
+			h.IterLoop(r.lm, r.a, c.obs[r.off:r.off+r.n])
+		case evExit:
+			h.ExitLoop(r.lm)
+		case evLoad:
+			h.Load(r.a)
+		case evStore:
+			h.Store(r.a)
+		}
+	}
+}
+
+// multiHooks is the sequential fan-out tee: events forward to every
+// consumer on the interpreting goroutine, scratch slices included — safe
+// because consumers are synchronous and non-retaining.
+type multiHooks struct{ hs []interp.Hooks }
+
+func (m *multiHooks) Tick(n int64) {
+	for _, h := range m.hs {
+		h.Tick(n)
+	}
+}
+
+func (m *multiHooks) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
+	for _, h := range m.hs {
+		h.EnterLoop(lm, sp, init)
+	}
+}
+
+func (m *multiHooks) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
+	for _, h := range m.hs {
+		h.IterLoop(lm, sp, obs)
+	}
+}
+
+func (m *multiHooks) ExitLoop(lm *analysis.LoopMeta) {
+	for _, h := range m.hs {
+		h.ExitLoop(lm)
+	}
+}
+
+func (m *multiHooks) Load(addr int64) {
+	for _, h := range m.hs {
+		h.Load(addr)
+	}
+}
+
+func (m *multiHooks) Store(addr int64) {
+	for _, h := range m.hs {
+		h.Store(addr)
+	}
+}
+
+// chunkFanout is the concurrent fan-out producer: it copies each event
+// into the current chunk and publishes full chunks to every consumer
+// channel. It runs on the interpreting goroutine.
+type chunkFanout struct {
+	outs []chan *evChunk
+	pool chan *evChunk
+	cur  *evChunk
+}
+
+// fanoutPoolSize bounds the chunk free list. With consumer channels of
+// depth fanoutChanDepth, the producer can run at most
+// pool+depth+2 chunks ahead of the slowest consumer.
+const (
+	fanoutPoolSize  = 8
+	fanoutChanDepth = 4
+)
+
+func newChunkFanout(n int) *chunkFanout {
+	f := &chunkFanout{
+		outs: make([]chan *evChunk, n),
+		pool: make(chan *evChunk, fanoutPoolSize),
+	}
+	for i := range f.outs {
+		f.outs[i] = make(chan *evChunk, fanoutChanDepth)
+	}
+	f.cur = f.newChunk()
+	return f
+}
+
+func (f *chunkFanout) newChunk() *evChunk {
+	select {
+	case c := <-f.pool:
+		c.reset()
+		return c
+	default:
+		return &evChunk{recs: make([]evRec, 0, chunkRecs)}
+	}
+}
+
+// release returns a chunk whose last consumer finished to the pool.
+func (f *chunkFanout) release(c *evChunk) {
+	select {
+	case f.pool <- c:
+	default: // pool full: let the GC have it
+	}
+}
+
+// rec appends one record, publishing the chunk when full.
+func (f *chunkFanout) rec(r evRec) {
+	c := f.cur
+	c.recs = append(c.recs, r)
+	if len(c.recs) == cap(c.recs) {
+		f.flush()
+	}
+}
+
+// flush publishes the current (non-empty) chunk to every consumer.
+func (f *chunkFanout) flush() {
+	c := f.cur
+	if len(c.recs) == 0 {
+		return
+	}
+	c.refs.Store(int32(len(f.outs)))
+	for _, ch := range f.outs {
+		ch <- c
+	}
+	f.cur = f.newChunk()
+}
+
+// close flushes the tail chunk and closes every consumer channel.
+func (f *chunkFanout) close() {
+	f.flush()
+	for _, ch := range f.outs {
+		close(ch)
+	}
+}
+
+// Tick implements interp.Hooks.
+func (f *chunkFanout) Tick(n int64) { f.rec(evRec{kind: evTick, a: n}) }
+
+// EnterLoop implements interp.Hooks: the init scratch slice is copied into
+// the chunk's flat payload array (the single copy of the fan-out).
+func (f *chunkFanout) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
+	c := f.cur
+	off := int32(len(c.vals))
+	c.vals = append(c.vals, init...)
+	f.rec(evRec{kind: evEnter, lm: lm, a: sp, off: off, n: int32(len(init))})
+}
+
+// IterLoop implements interp.Hooks: the obs scratch slice is copied into
+// the chunk's flat payload array (the single copy of the fan-out).
+func (f *chunkFanout) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
+	c := f.cur
+	off := int32(len(c.obs))
+	c.obs = append(c.obs, obs...)
+	f.rec(evRec{kind: evIter, lm: lm, a: sp, off: off, n: int32(len(obs))})
+}
+
+// ExitLoop implements interp.Hooks.
+func (f *chunkFanout) ExitLoop(lm *analysis.LoopMeta) { f.rec(evRec{kind: evExit, lm: lm}) }
+
+// Load implements interp.Hooks.
+func (f *chunkFanout) Load(addr int64) { f.rec(evRec{kind: evLoad, a: addr}) }
+
+// Store implements interp.Hooks.
+func (f *chunkFanout) Store(addr int64) { f.rec(evRec{kind: evStore, a: addr}) }
+
+// MultiRun executes the analyzed module's main function ONCE and evaluates
+// every configuration against the shared event stream, returning one
+// report per configuration, in order. The reports are bit-identical to
+// running Run once per configuration; an execution failure (budget trip,
+// guest fault, cancellation) is returned once and applies to every
+// configuration, exactly as N identical executions would each have failed.
+//
+// Small configuration sets (< FanoutThreshold) evaluate sequentially on
+// the interpreting goroutine; larger sets fan out to one goroutine per
+// engine fed by copied event chunks.
+func MultiRun(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
+	if len(cfgs) >= FanoutThreshold {
+		return MultiRunConcurrent(info, cfgs, opts)
+	}
+	return MultiRunSequential(info, cfgs, opts)
+}
+
+// prepareEngines validates every configuration and builds its engine.
+func prepareEngines(info *analysis.ModuleInfo, cfgs []Config, kind TrackerKind) ([]*Engine, error) {
+	engines := make([]*Engine, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		engines[i] = NewEngineTracker(info, cfg, kind)
+	}
+	return engines, nil
+}
+
+// interpret runs main under the given hooks with the RunOptions budgets.
+func interpret(info *analysis.ModuleInfo, opts RunOptions, hooks interp.Hooks) error {
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	in := interp.New(info, interp.Config{
+		Out:          opts.Out,
+		MaxSteps:     opts.MaxSteps,
+		MaxHeapCells: opts.MaxHeapCells,
+		Ctx:          opts.Ctx,
+		Deadline:     deadline,
+		Hooks:        hooks,
+	})
+	if _, err := in.Run("main", opts.EntryArgs...); err != nil {
+		return fmt.Errorf("core: %s: %w", info.Mod.Name, err)
+	}
+	return nil
+}
+
+// reports finalizes one report per engine.
+func reports(engines []*Engine, name string) []*Report {
+	out := make([]*Report, len(engines))
+	for i, e := range engines {
+		out[i] = e.Report(name)
+	}
+	return out
+}
+
+// traceSink wraps the optional opts.Trace writer into a fan-out consumer,
+// returning the hook to append (nil when tracing is off).
+func traceSink(info *analysis.ModuleInfo, opts RunOptions) *TraceWriter {
+	if opts.Trace == nil {
+		return nil
+	}
+	return NewTraceWriter(opts.Trace, info)
+}
+
+// MultiRunSequential is MultiRun restricted to the sequential tee: every
+// engine consumes events on the interpreting goroutine. Exported so the
+// differential oracle can pin both fan-out strategies explicitly.
+func MultiRunSequential(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) (reps []*Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reps, err = nil, fmt.Errorf("core: %s: %w", info.Mod.Name,
+				&PanicError{Val: r, Stack: string(debug.Stack())})
+		}
+	}()
+	engines, err := prepareEngines(info, cfgs, opts.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	hooks := make([]interp.Hooks, len(engines))
+	for i, e := range engines {
+		hooks[i] = e
+	}
+	tw := traceSink(info, opts)
+	if tw != nil {
+		hooks = append(hooks, tw)
+	}
+	if err := interpret(info, opts, &multiHooks{hs: hooks}); err != nil {
+		return nil, err
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return nil, fmt.Errorf("core: %s: writing trace: %w", info.Mod.Name, err)
+		}
+	}
+	return reports(engines, info.Mod.Name), nil
+}
+
+// startConsumers launches one goroutine per consumer, each replaying the
+// chunks published on its channel. The returned wait function blocks until
+// every channel is drained (call it after f.close()) and reports the first
+// consumer panic, if any. A panicked consumer keeps draining its channel
+// without applying events, so the producer never blocks on it, and chunk
+// reference counts stay balanced.
+func startConsumers(f *chunkFanout, consumers []interp.Hooks) (wait func() *PanicError) {
+	var wg sync.WaitGroup
+	var consumerPanic atomic.Pointer[PanicError]
+	for i, h := range consumers {
+		wg.Add(1)
+		go func(h interp.Hooks, ch chan *evChunk) {
+			defer wg.Done()
+			dead := false // after a panic, drain without applying
+			for c := range ch {
+				if !dead {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								dead = true
+								consumerPanic.CompareAndSwap(nil,
+									&PanicError{Val: r, Stack: string(debug.Stack())})
+							}
+						}()
+						replayChunk(h, c)
+					}()
+				}
+				if c.refs.Add(-1) == 0 {
+					f.release(c)
+				}
+			}
+		}(h, f.outs[i])
+	}
+	return func() *PanicError {
+		wg.Wait()
+		return consumerPanic.Load()
+	}
+}
+
+// MultiRunConcurrent is MultiRun restricted to the chunked concurrent
+// fan-out: one goroutine per engine, fed by pooled event chunks. Exported
+// so the differential oracle and the race stress test can pin this
+// strategy regardless of configuration count.
+func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) (reps []*Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reps, err = nil, fmt.Errorf("core: %s: %w", info.Mod.Name,
+				&PanicError{Val: r, Stack: string(debug.Stack())})
+		}
+	}()
+	engines, err := prepareEngines(info, cfgs, opts.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	consumers := make([]interp.Hooks, len(engines))
+	for i, e := range engines {
+		consumers[i] = e
+	}
+	tw := traceSink(info, opts)
+	if tw != nil {
+		consumers = append(consumers, tw)
+	}
+
+	f := newChunkFanout(len(consumers))
+	wait := startConsumers(f, consumers)
+
+	runErr := interpret(info, opts, f)
+	f.close()
+
+	if p := wait(); p != nil {
+		return nil, fmt.Errorf("core: %s: %w", info.Mod.Name, p)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return nil, fmt.Errorf("core: %s: writing trace: %w", info.Mod.Name, err)
+		}
+	}
+	return reports(engines, info.Mod.Name), nil
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/interp"
+	"loopapalooza/internal/ir"
+)
+
+// fanoutSamples covers the dependence shapes the engines care about:
+// independent iterations, memory recurrences, reductions, predictable and
+// unpredictable register LCDs, calls, and stack reuse.
+var fanoutSamples = map[string]string{
+	"doall":         doallSrc,
+	"recurrence":    recurrenceSrc,
+	"infrequent":    infrequentSrc,
+	"reduction":     reductionSrc,
+	"predictable":   predictableSrc,
+	"unpredictable": unpredictableSrc,
+	"dep1":          dep1Src,
+	"call":          callSrc,
+	"stack":         stackSrc,
+}
+
+// multiStrategies pins both fan-out strategies regardless of config count.
+var multiStrategies = map[string]func(*analysis.ModuleInfo, []Config, RunOptions) ([]*Report, error){
+	"sequential": MultiRunSequential,
+	"concurrent": MultiRunConcurrent,
+}
+
+// TestMultiRunBitIdentical is the in-package differential oracle: for every
+// sample program, one MultiRun over the full paper grid must produce
+// reports bit-identical to running each configuration separately.
+func TestMultiRunBitIdentical(t *testing.T) {
+	cfgs := PaperConfigs()
+	for name, src := range fanoutSamples {
+		info, err := AnalyzeSource(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := make([]*Report, len(cfgs))
+		for i, cfg := range cfgs {
+			if want[i], err = Run(info, cfg, RunOptions{}); err != nil {
+				t.Fatalf("%s/%s: %v", name, cfg, err)
+			}
+		}
+		for strat, run := range multiStrategies {
+			got, err := run(info, cfgs, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, strat, err)
+			}
+			if len(got) != len(cfgs) {
+				t.Fatalf("%s/%s: %d reports, want %d", name, strat, len(got), len(cfgs))
+			}
+			for i := range cfgs {
+				if err := CompareReports(want[i], got[i]); err != nil {
+					t.Errorf("%s/%s/%s: %v", name, strat, cfgs[i], err)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiRunAutoSelect exercises MultiRun's strategy choice on both sides
+// of the threshold.
+func TestMultiRunAutoSelect(t *testing.T) {
+	info, err := AnalyzeSource("auto", infrequentSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfgs := range [][]Config{
+		{{Model: DOALL}, BestPDOALL()},                                  // below threshold: sequential tee
+		{{Model: DOALL}, {Model: PDOALL}, BestPDOALL(), BestHELIX()},    // at threshold: concurrent
+		append(PaperConfigs(), PaperConfigs()...),                       // well above: concurrent
+	} {
+		got, err := MultiRun(info, cfgs, RunOptions{})
+		if err != nil {
+			t.Fatalf("MultiRun(%d cfgs): %v", len(cfgs), err)
+		}
+		for i, cfg := range cfgs {
+			want, err := Run(info, cfg, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CompareReports(want, got[i]); err != nil {
+				t.Errorf("%d cfgs, cell %d (%s): %v", len(cfgs), i, cfg, err)
+			}
+		}
+	}
+}
+
+// TestMultiRunEmptyAndInvalid: zero configurations execute once and return
+// zero reports; an invalid configuration anywhere in the set fails the
+// whole call before execution.
+func TestMultiRunEmptyAndInvalid(t *testing.T) {
+	info, err := AnalyzeSource("edge", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for strat, run := range multiStrategies {
+		reps, err := run(info, nil, RunOptions{})
+		if err != nil || len(reps) != 0 {
+			t.Errorf("%s: empty cfgs = (%v, %v), want no reports, no error", strat, reps, err)
+		}
+		bad := []Config{{Model: DOALL}, {Model: DOALL, Dep: 99}}
+		if _, err := run(info, bad, RunOptions{}); err == nil {
+			t.Errorf("%s: invalid config accepted", strat)
+		}
+	}
+}
+
+// TestMultiRunExecutionError: a budget trip surfaces once, classified
+// exactly as a per-config Run would classify it, from both strategies.
+func TestMultiRunExecutionError(t *testing.T) {
+	info, err := AnalyzeSource("budget", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{{Model: DOALL}, BestPDOALL(), BestHELIX(), {Model: PDOALL}}
+	for strat, run := range multiStrategies {
+		_, err := run(info, cfgs, RunOptions{MaxSteps: 10})
+		if !errors.Is(err, ErrStepLimit) {
+			t.Errorf("%s: err = %v, want ErrStepLimit", strat, err)
+		}
+	}
+}
+
+// failWriter fails after n bytes, exercising the sticky trace-error path.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if len(p) <= f.n {
+		f.n -= len(p)
+		return len(p), nil
+	}
+	n := f.n
+	f.n = 0
+	return n, errors.New("disk full")
+}
+
+// TestMultiRunTraceWriteFailure: a failing trace sink fails the run from
+// every entry point that records.
+func TestMultiRunTraceWriteFailure(t *testing.T) {
+	info, err := AnalyzeSource("sink", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{{Model: DOALL}, BestPDOALL(), BestHELIX(), {Model: PDOALL}}
+	for strat, run := range multiStrategies {
+		_, err := run(info, cfgs, RunOptions{Trace: &failWriter{n: 100}})
+		if err == nil || !strings.Contains(err.Error(), "writing trace") {
+			t.Errorf("%s: err = %v, want trace write failure", strat, err)
+		}
+	}
+	if _, err := Run(info, Config{Model: DOALL}, RunOptions{Trace: &failWriter{n: 100}}); err == nil ||
+		!strings.Contains(err.Error(), "writing trace") {
+		t.Errorf("Run: err = %v, want trace write failure", err)
+	}
+}
+
+// eventLog records every hook event in a retained, comparable form — the
+// reference consumer for the chunk fan-out round trip.
+type eventLog struct{ events []string }
+
+func (l *eventLog) Tick(n int64) { l.events = append(l.events, fmt.Sprintf("tick %d", n)) }
+
+func (l *eventLog) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
+	l.events = append(l.events, fmt.Sprintf("enter %s sp=%d init=%v", lm.ID(), sp, init))
+}
+
+func (l *eventLog) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
+	l.events = append(l.events, fmt.Sprintf("iter %s sp=%d obs=%v", lm.ID(), sp, obs))
+}
+
+func (l *eventLog) ExitLoop(lm *analysis.LoopMeta) {
+	l.events = append(l.events, fmt.Sprintf("exit %s", lm.ID()))
+}
+
+func (l *eventLog) Load(addr int64)  { l.events = append(l.events, fmt.Sprintf("load %d", addr)) }
+func (l *eventLog) Store(addr int64) { l.events = append(l.events, fmt.Sprintf("store %d", addr)) }
+
+// TestChunkFanoutPreservesEventStream drives the chunk machinery directly:
+// every consumer must observe the exact event sequence the producer saw,
+// across multiple chunk publications and pool reuse, with scratch buffers
+// mutated after every event (the aliasing hazard the copy exists for).
+func TestChunkFanoutPreservesEventStream(t *testing.T) {
+	info, err := AnalyzeSource("chunks", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := info.Loops[0]
+
+	emit := func(h interp.Hooks) {
+		scratchV := make([]interp.Val, 1)
+		scratchO := make([]interp.LCDObs, 2)
+		// 3 full chunks and a partial tail.
+		for i := 0; i < 3*chunkRecs+17; i++ {
+			switch i % 5 {
+			case 0:
+				h.Tick(int64(i))
+			case 1:
+				scratchV[0] = interp.Val{K: ir.KInt, I: int64(i)}
+				h.EnterLoop(lm, int64(1000+i), scratchV)
+				scratchV[0] = interp.Val{K: ir.KInt, I: -1} // stale scratch
+			case 2:
+				scratchO[0] = interp.LCDObs{Val: interp.Val{K: ir.KFloat, F: float64(i) / 3}, DefTick: int64(i)}
+				scratchO[1] = interp.LCDObs{Val: interp.Val{K: ir.KBool, I: int64(i % 2)}, DefTick: 7}
+				h.IterLoop(lm, int64(i), scratchO)
+				scratchO[0], scratchO[1] = interp.LCDObs{}, interp.LCDObs{} // stale scratch
+			case 3:
+				h.Load(int64(i * 8))
+			case 4:
+				h.Store(int64(i * 8))
+			}
+		}
+		h.ExitLoop(lm)
+	}
+
+	var want eventLog
+	emit(&want)
+
+	const consumers = 3
+	logs := make([]eventLog, consumers)
+	f := newChunkFanout(consumers)
+	done := make(chan struct{})
+	for i := 0; i < consumers; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for c := range f.outs[i] {
+				replayChunk(&logs[i], c)
+				if c.refs.Add(-1) == 0 {
+					f.release(c)
+				}
+			}
+		}(i)
+	}
+	emit(f)
+	f.close()
+	for i := 0; i < consumers; i++ {
+		<-done
+	}
+
+	for i := range logs {
+		if len(logs[i].events) != len(want.events) {
+			t.Fatalf("consumer %d: %d events, want %d", i, len(logs[i].events), len(want.events))
+		}
+		for j := range want.events {
+			if logs[i].events[j] != want.events[j] {
+				t.Fatalf("consumer %d event %d:\n got %s\nwant %s", i, j, logs[i].events[j], want.events[j])
+			}
+		}
+	}
+}
+
+// panicHook panics on the nth Tick it sees.
+type panicHook struct {
+	interp.NopHooks
+	ticks, fuse int
+}
+
+func (p *panicHook) Tick(int64) {
+	p.ticks++
+	if p.ticks == p.fuse {
+		panic("consumer bug")
+	}
+}
+
+// TestConsumerPanicRecovery: a panic inside one consumer goroutine must
+// surface as a classified *PanicError, the other consumers must still see
+// the full stream, and the producer must never deadlock (the panicked
+// consumer keeps draining its channel).
+func TestConsumerPanicRecovery(t *testing.T) {
+	var healthy eventLog
+	bad := &panicHook{fuse: 2}
+	f := newChunkFanout(2)
+	wait := startConsumers(f, []interp.Hooks{bad, &healthy})
+
+	// Far more events than the channel depth holds: without draining, the
+	// producer would block on the dead consumer's channel.
+	total := (fanoutPoolSize + fanoutChanDepth + 4) * chunkRecs
+	for i := 0; i < total; i++ {
+		f.Tick(1)
+	}
+	f.close()
+
+	p := wait()
+	if p == nil || p.Val != "consumer bug" {
+		t.Fatalf("panic = %+v, want recovered consumer bug", p)
+	}
+	if len(healthy.events) != total {
+		t.Errorf("healthy consumer saw %d events, want %d", len(healthy.events), total)
+	}
+}
+
+// TestRunTraceMatchesUntraced: wiring a trace sink into Run must not
+// change the report.
+func TestRunTraceMatchesUntraced(t *testing.T) {
+	info, err := AnalyzeSource("teed", infrequentSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(info, BestPDOALL(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	traced, err := Run(info, BestPDOALL(), RunOptions{Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareReports(plain, traced); err != nil {
+		t.Errorf("trace tee changed the report: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no trace bytes written")
+	}
+}

@@ -34,6 +34,12 @@ type RunOptions struct {
 	// value is the shadow-memory tracker; TrackerLegacyMap keeps the
 	// original map-based write sets (differential-oracle runs).
 	Tracker TrackerKind
+	// Trace, when non-nil, receives the binary event trace of the
+	// execution (see TraceWriter), which ReplayTrace can later evaluate
+	// under any configuration without re-executing. A trace write failure
+	// fails the run; the resource budgets above are enforced while
+	// recording.
+	Trace io.Writer
 }
 
 // Run executes the analyzed module's main function under one configuration
@@ -59,16 +65,26 @@ func Run(info *analysis.ModuleInfo, cfg Config, opts RunOptions) (rep *Report, e
 		deadline = time.Now().Add(opts.Timeout)
 	}
 	engine := NewEngineTracker(info, cfg, opts.Tracker)
+	var hooks interp.Hooks = engine
+	tw := traceSink(info, opts)
+	if tw != nil {
+		hooks = &multiHooks{hs: []interp.Hooks{engine, tw}}
+	}
 	in := interp.New(info, interp.Config{
 		Out:          opts.Out,
 		MaxSteps:     opts.MaxSteps,
 		MaxHeapCells: opts.MaxHeapCells,
 		Ctx:          opts.Ctx,
 		Deadline:     deadline,
-		Hooks:        engine,
+		Hooks:        hooks,
 	})
 	if _, err := in.Run("main", opts.EntryArgs...); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", info.Mod.Name, err)
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return nil, fmt.Errorf("core: %s: writing trace: %w", info.Mod.Name, err)
+		}
 	}
 	return engine.Report(info.Mod.Name), nil
 }

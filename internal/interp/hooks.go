@@ -59,9 +59,18 @@ type LCDObs struct {
 }
 
 // Hooks receives instrumentation events during execution. Methods are called
-// synchronously from the interpreter loop. The init and obs slices passed to
-// EnterLoop/IterLoop are scratch buffers owned by the interpreter and reused
-// across events: implementations must copy any values they need to retain.
+// synchronously from the interpreter loop.
+//
+// Buffer ownership: the init and obs slices passed to EnterLoop/IterLoop
+// are scratch buffers owned by the interpreter and reused across events. A
+// hook that retains one observes stale data at the very next loop event —
+// interp's ownership-violation test demonstrates exactly that. Consume the
+// slices synchronously, or copy their elements before returning. The
+// canonical copiers are core's concurrent fan-out tee (which copies each
+// event once into pooled chunks so engine goroutines can alias safely) and
+// core.TraceWriter (which copies by encoding); everything else, including
+// core.Engine and the sequential fan-out tee, consumes in place without
+// copying.
 type Hooks interface {
 	// Tick advances the dynamic IR instruction counter by n. Ticks are
 	// batched: the interpreter may deliver several instructions' worth in

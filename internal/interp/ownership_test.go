@@ -1,0 +1,71 @@
+package interp
+
+import (
+	"testing"
+
+	"loopapalooza/internal/analysis"
+)
+
+// ownershipSrc: a loop whose observed phi takes a distinct value every
+// iteration, so a stale buffer is distinguishable from any real snapshot.
+const ownershipSrc = `
+const N = 32;
+var out [N]int;
+func main() int {
+	var x int = 1;
+	var i int;
+	for (i = 0; i < N; i = i + 1) {
+		out[i] = x;
+		x = x * 3 + 1;
+	}
+	return x;
+}`
+
+// retainingHooks violates the Hooks buffer-ownership contract on purpose:
+// it keeps the obs slice headers instead of copying the elements.
+type retainingHooks struct {
+	NopHooks
+	retained [][]LCDObs // aliased scratch — the bug under test
+	copied   [][]LCDObs // correct per-event snapshots
+}
+
+func (h *retainingHooks) IterLoop(lm *analysis.LoopMeta, sp int64, obs []LCDObs) {
+	h.retained = append(h.retained, obs)
+	h.copied = append(h.copied, append([]LCDObs(nil), obs...))
+}
+
+// TestHooksScratchBufferOwnership pins the documented aliasing hazard: the
+// obs slices passed to IterLoop are interpreter-owned scratch reused across
+// events, so a hook that retains them MUST observe stale data. If this test
+// ever fails, the interpreter started allocating per event — the
+// zero-allocation contract (and the reason the fan-out tee copies) is gone.
+func TestHooksScratchBufferOwnership(t *testing.T) {
+	h := &retainingHooks{}
+	run(t, ownershipSrc, Config{Hooks: h})
+	if len(h.retained) < 2 {
+		t.Fatalf("only %d iteration events, need several", len(h.retained))
+	}
+	// Every retained header must alias the same backing array…
+	first := &h.retained[0][0]
+	for i := range h.retained {
+		if &h.retained[i][0] != first {
+			t.Fatalf("iteration %d got a fresh buffer: the scratch-reuse contract changed", i)
+		}
+	}
+	// …so all retained snapshots collapse to the LAST event's contents,
+	// and every earlier one is stale relative to its copied twin.
+	stale := 0
+	last := len(h.copied) - 1
+	for i := 0; i < last; i++ {
+		if h.retained[i][0] != h.copied[i][0] {
+			stale++
+		}
+		if h.retained[i][0] != h.copied[last][0] {
+			t.Errorf("retained[%d] = %+v, want the final event's data %+v (buffer is shared)",
+				i, h.retained[i][0], h.copied[last][0])
+		}
+	}
+	if stale != last {
+		t.Errorf("%d/%d retained snapshots stale, want all: retaining scratch must observe stale data", stale, last)
+	}
+}

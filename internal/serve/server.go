@@ -12,6 +12,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -52,6 +53,11 @@ type Options struct {
 	MaxConcurrent int
 	// CacheEntries bounds the result cache (0 = DefaultCacheEntries).
 	CacheEntries int
+	// TraceCacheBytes bounds the trace tier — recorded event streams that
+	// serve novel configurations of already-seen programs by replay
+	// instead of re-interpretation (0 = DefaultTraceCacheBytes, negative
+	// disables the tier).
+	TraceCacheBytes int64
 	// MaxSourceBytes bounds the request body (0 = 1 MiB).
 	MaxSourceBytes int64
 	// DefaultConfig is applied when a request omits the configuration
@@ -69,6 +75,7 @@ type Server struct {
 	opts    Options
 	cfg0    core.Config // parsed DefaultConfig
 	cache   *Cache
+	traces  *TraceCache // nil when the trace tier is disabled
 	lim     *Limiter
 	harness *bench.Harness
 	log     *slog.Logger
@@ -117,10 +124,15 @@ func New(opts Options) (*Server, error) {
 		})
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	var traces *TraceCache
+	if opts.TraceCacheBytes >= 0 {
+		traces = NewTraceCache(opts.TraceCacheBytes)
+	}
 	s := &Server{
 		opts:    opts,
 		cfg0:    cfg0,
 		cache:   NewCache(opts.CacheEntries),
+		traces:  traces,
 		lim:     lim,
 		harness: harness,
 		log:     log,
@@ -173,6 +185,29 @@ func (s *Server) registerMetrics() {
 	s.reg.NewGaugeFunc("lpd_harness_cells",
 		"Sweep cells recorded by the resident harness.",
 		func() float64 { return float64(s.harness.CellStats().Total) })
+	s.reg.NewCounterFunc("lpd_harness_executions_total",
+		"Interpreter executions performed by the resident harness.",
+		func() float64 { return float64(s.harness.Stats().Executions) })
+	s.reg.NewCounterFunc("lpd_harness_executions_saved_total",
+		"Executions avoided by sharing one run across a benchmark's sweep configurations.",
+		func() float64 { return float64(s.harness.Stats().Saved) })
+	if s.traces != nil {
+		s.reg.NewCounterFunc("lpd_trace_cache_hits_total",
+			"Analyze fills served by replaying a cached event trace.",
+			func() float64 { return float64(s.traces.Stats().Hits) })
+		s.reg.NewCounterFunc("lpd_trace_cache_misses_total",
+			"Trace-tier lookups that fell through to a live run.",
+			func() float64 { return float64(s.traces.Stats().Misses) })
+		s.reg.NewCounterFunc("lpd_trace_cache_evictions_total",
+			"Trace entries dropped by the byte budget.",
+			func() float64 { return float64(s.traces.Stats().Evictions) })
+		s.reg.NewGaugeFunc("lpd_trace_cache_bytes",
+			"Bytes of event traces currently stored.",
+			func() float64 { return float64(s.traces.Stats().Bytes) })
+		s.reg.NewGaugeFunc("lpd_trace_cache_entries",
+			"Event traces currently stored.",
+			func() float64 { return float64(s.traces.Stats().Entries) })
+	}
 }
 
 func (s *Server) routes() {
@@ -443,7 +478,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return nil, fmt.Errorf("serve: acquiring run slot: %w", core.ErrCanceled)
 		}
 		defer s.lim.Release()
-		return core.RunSource(name, req.Source, cfg, s.runOptions(budgets))
+		return s.analyzeFill(name, req.Source, cfg, budgets)
 	})
 	if err != nil {
 		// The client went away while waiting on someone else's run.
@@ -485,6 +520,40 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Outcome:   core.OutcomeOK,
 		ElapsedMs: time.Since(start).Milliseconds(),
 	})
+}
+
+// analyzeFill is the cache-miss path of one analyze request: replay a
+// cached trace of the same (name, source, budgets) when the trace tier has
+// one, otherwise run live, recording a trace for the next configuration of
+// this program. Budgets are enforced on the live run; a replayed trace was
+// recorded under the same budgets (they are part of the trace key).
+func (s *Server) analyzeFill(name, source string, cfg core.Config, budgets Budgets) (*core.Report, error) {
+	if s.traces == nil {
+		return core.RunSource(name, source, cfg, s.runOptions(budgets))
+	}
+	tkey := TraceKey(name, source, budgets)
+	if info, trace, ok := s.traces.Get(tkey); ok {
+		rep, err := core.ReplayTrace(name, info, cfg, core.RunOptions{}, bytes.NewReader(trace))
+		if err == nil {
+			return rep, nil
+		}
+		// A trace that fails to replay is useless for every future
+		// configuration: drop it and fall through to a live run.
+		s.traces.Drop(tkey)
+		s.log.Warn("dropping unreplayable trace", "name", name, "key", tkey[:12], "err", err)
+	}
+	info, err := core.AnalyzeSource(name, source)
+	if err != nil {
+		return nil, err
+	}
+	sink := &cappedBuffer{cap: s.traces.EntryCap()}
+	opts := s.runOptions(budgets)
+	opts.Trace = sink
+	rep, err := core.Run(info, cfg, opts)
+	if err == nil && !sink.overflow {
+		s.traces.Put(tkey, info, sink.buf)
+	}
+	return rep, err
 }
 
 // SweepRequest is the POST /v1/sweep body.

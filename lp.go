@@ -26,6 +26,7 @@ package loopapalooza
 
 import (
 	"errors"
+	"io"
 
 	"loopapalooza/internal/analysis"
 	"loopapalooza/internal/bench"
@@ -173,6 +174,24 @@ func StudyAnalyzed(info *ModuleInfo, cfg Config) (*Report, error) {
 // cancellation.
 func StudyAnalyzedWith(info *ModuleInfo, cfg Config, opts RunOptions) (*Report, error) {
 	return core.Run(info, cfg, opts)
+}
+
+// StudyMany executes a previously analyzed module ONCE and evaluates
+// every configuration against the shared instrumentation event stream,
+// returning one report per configuration. The reports are bit-identical
+// to calling StudyAnalyzedWith once per configuration; only the
+// interpretation cost is paid once. Set opts.Trace to also record the
+// event stream for later replay (see ReplayTrace).
+func StudyMany(info *ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
+	return core.MultiRun(info, cfgs, opts)
+}
+
+// ReplayTrace evaluates one configuration against an event trace
+// recorded by a prior run (RunOptions.Trace) of the same analyzed
+// module, without re-executing the program. Resource budgets were
+// enforced when the trace was recorded.
+func ReplayTrace(name string, info *ModuleInfo, cfg Config, r io.Reader) (*Report, error) {
+	return core.ReplayTrace(name, info, cfg, core.RunOptions{}, r)
 }
 
 // Benchmarks returns the registered SPEC/EEMBC-like kernels.

@@ -1,6 +1,7 @@
 package loopapalooza_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -51,6 +52,38 @@ func TestPublicAPIAnalyzeReuse(t *testing.T) {
 	// Best HELIX must not lose to the most restrictive DOALL.
 	if speeds[len(speeds)-1] < speeds[0] {
 		t.Errorf("best HELIX (%.2f) below minimum DOALL (%.2f)", speeds[len(speeds)-1], speeds[0])
+	}
+}
+
+func TestPublicAPIStudyManyAndReplay(t *testing.T) {
+	info, err := lp.Analyze("api", apiProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := lp.PaperConfigs()
+	var trace bytes.Buffer
+	reps, err := lp.StudyMany(info, cfgs, lp.RunOptions{Trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(cfgs) {
+		t.Fatalf("reports = %d, want %d", len(reps), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := lp.StudyAnalyzed(info, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if reps[i].Speedup() != want.Speedup() || reps[i].SerialCost != want.SerialCost {
+			t.Errorf("%s: StudyMany diverged from StudyAnalyzed", cfg)
+		}
+		got, err := lp.ReplayTrace("api", info, cfg, bytes.NewReader(trace.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: replay: %v", cfg, err)
+		}
+		if got.Speedup() != want.Speedup() || got.ParallelCost != want.ParallelCost {
+			t.Errorf("%s: ReplayTrace diverged from StudyAnalyzed", cfg)
+		}
 	}
 }
 
