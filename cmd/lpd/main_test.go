@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadRoleWiring(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  config
+	}{
+		{"unknown role", config{role: "manager"}},
+		{"worker without peers", config{role: "worker"}},
+		{"coordinator with peers", config{role: "coordinator", peers: []string{"http://x:1"}}},
+		{"standalone with peers", config{role: "standalone", peers: []string{"http://x:1"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if rc := run(tc.cfg); rc != 2 {
+				t.Fatalf("run() = %d, want usage error 2", rc)
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import "time"
+
+// The per-worker circuit breaker. A worker that keeps failing — leases
+// expiring (crash, hang, heartbeat loss), corrupt or unverifiable
+// commits, recovered panics — trips from CLOSED to OPEN and stops
+// receiving work, so one sick node can't keep eating cells and burning
+// their retry budgets while the rest of the fleet drains the queue.
+// After a cooldown the breaker admits exactly one probe task
+// (HALF-OPEN); a successful commit closes it, any failure reopens it.
+//
+// The state machine is driven entirely by the coordinator under its
+// lock; the breaker itself is not safe for concurrent use.
+
+// BreakerState is the circuit state of one worker.
+type BreakerState uint8
+
+// The breaker states, in the order they are exported as the
+// lpd_cluster_breaker_state gauge value.
+const (
+	// BreakerClosed: healthy, claims admitted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: quarantined, claims rejected until the cooldown ends.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown over, exactly one probe task admitted.
+	BreakerHalfOpen
+)
+
+var breakerNames = [...]string{
+	BreakerClosed:   "closed",
+	BreakerOpen:     "open",
+	BreakerHalfOpen: "half-open",
+}
+
+func (s BreakerState) String() string {
+	if int(s) < len(breakerNames) {
+		return breakerNames[s]
+	}
+	return "unknown"
+}
+
+// breaker is one worker's circuit.
+type breaker struct {
+	threshold int           // consecutive failures that trip CLOSED → OPEN
+	cooldown  time.Duration // OPEN dwell before the HALF-OPEN probe
+
+	state   BreakerState
+	fails   int       // consecutive failures
+	until   time.Time // OPEN: when the probe may be admitted
+	probing bool      // HALF-OPEN: probe task in flight
+}
+
+// allow reports whether a claim may be admitted now, advancing
+// OPEN → HALF-OPEN when the cooldown has passed. When rejected, the
+// returned duration is the suggested retry delay.
+func (b *breaker) allow(now time.Time) (time.Duration, bool) {
+	switch b.state {
+	case BreakerOpen:
+		if now.Before(b.until) {
+			return b.until.Sub(now), false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probing {
+			return b.cooldown, false
+		}
+		return 0, true
+	default:
+		return 0, true
+	}
+}
+
+// granted records that a task was handed out (marks the HALF-OPEN probe
+// in flight).
+func (b *breaker) granted() {
+	if b.state == BreakerHalfOpen {
+		b.probing = true
+	}
+}
+
+// success records a clean commit: the circuit closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records one failure attributable to the worker. A HALF-OPEN
+// probe failure reopens immediately; a CLOSED streak of threshold
+// failures trips the circuit.
+func (b *breaker) failure(now time.Time) {
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.until = now.Add(b.cooldown)
+		b.probing = false
+	}
+}

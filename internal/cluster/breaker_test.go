@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := breaker{threshold: 3, cooldown: 5 * time.Second}
+	for i := 0; i < 2; i++ {
+		b.failure(now)
+		if _, ok := b.allow(now); !ok {
+			t.Fatalf("breaker open after %d failures (threshold 3)", i+1)
+		}
+	}
+	b.failure(now)
+	if b.state != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.state)
+	}
+	wait, ok := b.allow(now)
+	if ok || wait != 5*time.Second {
+		t.Fatalf("allow during cooldown: ok=%v wait=%v", ok, wait)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := breaker{threshold: 1, cooldown: time.Second}
+	b.failure(now)
+	if _, ok := b.allow(now); ok {
+		t.Fatal("open breaker admitted a claim")
+	}
+
+	// Cooldown over: exactly one probe admitted.
+	now = now.Add(time.Second)
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.state != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.state)
+	}
+	b.granted()
+	if _, ok := b.allow(now); ok {
+		t.Fatal("second probe admitted while first in flight")
+	}
+
+	// Probe failure reopens immediately.
+	b.failure(now)
+	if b.state != BreakerOpen {
+		t.Fatalf("state %v after probe failure, want open", b.state)
+	}
+
+	// Next probe succeeds and closes the circuit.
+	now = now.Add(time.Second)
+	if _, ok := b.allow(now); !ok {
+		t.Fatal("second cooldown refused the probe")
+	}
+	b.granted()
+	b.success()
+	if b.state != BreakerClosed || b.fails != 0 {
+		t.Fatalf("state %v fails %d after success, want closed/0", b.state, b.fails)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := breaker{threshold: 3, cooldown: time.Second}
+	b.failure(now)
+	b.failure(now)
+	b.success()
+	b.failure(now)
+	b.failure(now)
+	if b.state != BreakerClosed {
+		t.Fatalf("state %v: success did not reset the failure streak", b.state)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open", BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("state %d renders %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := tokenBucket{rate: 1, burst: 2}
+	if !tb.allow(now) || !tb.allow(now) {
+		t.Fatal("burst of 2 not admitted")
+	}
+	if tb.allow(now) {
+		t.Fatal("third immediate submission admitted past burst")
+	}
+	if !tb.allow(now.Add(time.Second)) {
+		t.Fatal("refilled token not admitted")
+	}
+	// Refill never exceeds burst.
+	now = now.Add(time.Hour)
+	tb.allow(now)
+	tb.allow(now)
+	if tb.allow(now) {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	tb := tokenBucket{rate: -1}
+	for i := 0; i < 100; i++ {
+		if !tb.allow(time.Unix(1000, 0)) {
+			t.Fatal("disabled rate limit refused a submission")
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package chaos is the fault-injection harness of the sweep cluster.
+//
+// An Injector hands out cluster.Hooks that fire faults on a seeded
+// per-worker schedule — the same five failure modes the coordinator is
+// built to survive:
+//
+//   - panic mid-cell: the worker panics between execution and commit;
+//   - crash: the worker process dies without committing (loop exits);
+//   - hang: the worker blocks past its lease deadline, then abandons
+//     the task without committing;
+//   - corrupt: committed reports are tampered with (they fail
+//     core.VerifyReport or identity checks at the commit gate);
+//   - slow node / dropped heartbeats: execution is delayed, heartbeat
+//     ticks are suppressed.
+//
+// After a run, Verify checks the cluster's safety and liveness
+// contract: every job reached a terminal state, no cell was committed
+// twice or lost, and every completed cell's report is bit-identical to
+// a single-process bench.Harness run of the same (benchmark,
+// configuration) — the differential oracle.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"loopapalooza/internal/bench"
+	"loopapalooza/internal/cluster"
+	"loopapalooza/internal/core"
+)
+
+// Fault names one injectable failure mode.
+type Fault string
+
+// The injectable faults.
+const (
+	FaultPanic         Fault = "panic"
+	FaultCrash         Fault = "crash"
+	FaultHang          Fault = "hang"
+	FaultCorrupt       Fault = "corrupt"
+	FaultSlow          Fault = "slow"
+	FaultDropHeartbeat Fault = "drop-heartbeat"
+)
+
+// Profile is one worker's fault schedule: per-task firing probabilities
+// (DropHeartbeat is per heartbeat tick). Zero is a healthy worker.
+type Profile struct {
+	// Panic injects a panic between execution and commit.
+	Panic float64
+	// Crash kills the worker loop without a commit.
+	Crash float64
+	// Hang blocks for HangDelay before abandoning the task uncommitted.
+	// Set HangDelay beyond the lease to simulate a hung node whose
+	// leases expire.
+	Hang float64
+	// Corrupt tampers with committed reports.
+	Corrupt float64
+	// Slow delays execution by SlowDelay (the slow-node fault).
+	Slow float64
+	// DropHeartbeat suppresses one heartbeat tick.
+	DropHeartbeat float64
+
+	// SlowDelay is the slow-node delay (0 = 10ms).
+	SlowDelay time.Duration
+	// HangDelay is how long a hang blocks (0 = 2x the task lease).
+	HangDelay time.Duration
+}
+
+// Injector builds seeded fault hooks for workers. The schedule is
+// deterministic in (seed, worker id, draw order), so a chaos run is
+// reproducible modulo goroutine scheduling.
+type Injector struct {
+	seed     int64
+	mu       sync.Mutex
+	profiles map[string]Profile
+	counts   map[Fault]int
+}
+
+// NewInjector returns an injector with the given schedule seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		seed:     seed,
+		profiles: map[string]Profile{},
+		counts:   map[Fault]int{},
+	}
+}
+
+// SetProfile assigns a worker's fault profile.
+func (in *Injector) SetProfile(workerID string, p Profile) {
+	in.mu.Lock()
+	in.profiles[workerID] = p
+	in.mu.Unlock()
+}
+
+// Counts snapshots how many times each fault fired.
+func (in *Injector) Counts() map[Fault]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Fault]int, len(in.counts))
+	for f, n := range in.counts {
+		out[f] = n
+	}
+	return out
+}
+
+func (in *Injector) fired(f Fault) {
+	in.mu.Lock()
+	in.counts[f]++
+	in.mu.Unlock()
+}
+
+// rngFor derives the worker's private schedule stream.
+func (in *Injector) rngFor(workerID string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(workerID))
+	return rand.New(rand.NewSource(in.seed ^ int64(h.Sum64())))
+}
+
+// Hooks returns the fault hooks for one worker. The hooks draw from a
+// per-worker seeded stream under a mutex (the heartbeat hook runs on a
+// different goroutine than the execution hooks).
+func (in *Injector) Hooks(workerID string) cluster.Hooks {
+	rng := in.rngFor(workerID)
+	var mu sync.Mutex
+	draw := func(p float64) bool {
+		if p <= 0 {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64() < p
+	}
+	profile := func() Profile {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		return in.profiles[workerID]
+	}
+	return cluster.Hooks{
+		BeforeExecute: func(ctx context.Context, t *cluster.Task) error {
+			p := profile()
+			if draw(p.Crash) {
+				in.fired(FaultCrash)
+				return cluster.ErrWorkerCrashed
+			}
+			if draw(p.Hang) {
+				in.fired(FaultHang)
+				delay := p.HangDelay
+				if delay <= 0 {
+					delay = 2 * t.Lease()
+				}
+				// A hung node does not answer its context either; the
+				// timer alone decides when the task is abandoned.
+				time.Sleep(delay)
+				return fmt.Errorf("chaos: worker %s hung past its lease; abandoning task %s", workerID, t.ID)
+			}
+			if draw(p.Slow) {
+				in.fired(FaultSlow)
+				delay := p.SlowDelay
+				if delay <= 0 {
+					delay = 10 * time.Millisecond
+				}
+				time.Sleep(delay)
+			}
+			return nil
+		},
+		TransformResults: func(t *cluster.Task, results []cluster.CellResult) []cluster.CellResult {
+			p := profile()
+			if draw(p.Panic) {
+				in.fired(FaultPanic)
+				panic(fmt.Sprintf("chaos: injected panic on worker %s task %s", workerID, t.ID))
+			}
+			if draw(p.Corrupt) {
+				in.fired(FaultCorrupt)
+				return corrupt(results)
+			}
+			return results
+		},
+		SuppressHeartbeat: func(*cluster.Task) bool {
+			if draw(profile().DropHeartbeat) {
+				in.fired(FaultDropHeartbeat)
+				return true
+			}
+			return false
+		},
+	}
+}
+
+// corrupt tampers with every OK report in the batch — on copies, never
+// in place, because in-process workers share report pointers with the
+// harness cache that later serves as the differential oracle.
+func corrupt(results []cluster.CellResult) []cluster.CellResult {
+	out := make([]cluster.CellResult, len(results))
+	copy(out, results)
+	for i := range out {
+		if out[i].Outcome != core.OutcomeOK || out[i].Report == nil {
+			continue
+		}
+		bad := *out[i].Report
+		bad.ParallelCost = bad.SerialCost + 1 // speedup < 1: impossible
+		out[i].Report = &bad
+	}
+	return out
+}
+
+// Verify checks the cluster contract after a chaos run:
+//
+//  1. liveness — every submitted job reached a terminal state;
+//  2. safety — the coordinator's structural invariants hold (no cell
+//     double-committed, none lost, bookkeeping consistent);
+//  3. correctness — every completed cell's report is bit-identical to
+//     a single-process run of the same cell on oracle.
+//
+// Parked cells are legal (that is the degraded partial-result path);
+// their outcomes must be non-OK, which the structural invariants check.
+func Verify(c *cluster.Coordinator, jobIDs []string, oracle *bench.Harness) error {
+	if err := c.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, id := range jobIDs {
+		st, err := c.Status(id)
+		if err != nil {
+			return fmt.Errorf("chaos verify: %w", err)
+		}
+		if st.State != cluster.JobDone {
+			return fmt.Errorf("chaos verify: job %s did not terminate: %s (%d/%d cells done)",
+				id, st.State, st.Done, st.Total)
+		}
+		for _, cell := range st.Cells {
+			if cell.State != cluster.CellDone {
+				continue
+			}
+			b := bench.ByName(cell.Bench)
+			if b == nil {
+				return fmt.Errorf("chaos verify: job %s committed unknown benchmark %q", id, cell.Bench)
+			}
+			want, err := oracle.Report(b, cell.Config)
+			if err != nil {
+				return fmt.Errorf("chaos verify: oracle run of %s under %s: %w", cell.Bench, cell.Config, err)
+			}
+			got := c.Report(id, cell.Bench, cell.Config)
+			if got == nil {
+				return fmt.Errorf("chaos verify: done cell %s/%s has no report", cell.Bench, cell.Config)
+			}
+			if err := core.CompareReports(want, got); err != nil {
+				return fmt.Errorf("chaos verify: %s under %s differs from the single-process oracle: %w",
+					cell.Bench, cell.Config, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package cluster turns the single-process sweep surface into a
+// fault-tolerant coordinator + worker fleet.
+//
+// The coordinator owns the async job API: a submitted job is a set of
+// sweep cells — (benchmark, configuration) pairs, the same unit the bench
+// harness executes — fanned into per-tenant FIFO queues behind admission
+// control and token-bucket rate limits. Workers claim batches of cells
+// under a lease: each lease carries a deadline, is kept alive by
+// heartbeats, and is reclaimed when it expires, so a crashed or hung
+// worker can never strand work. Reclaimed and failed cells are retried
+// with exponential backoff plus jitter up to a retry budget, then parked
+// as a typed core.Outcome failure — a job always reaches a terminal
+// state, degrading to partial results instead of wedging.
+//
+// Every worker is watched by a CLOSED/OPEN/HALF-OPEN circuit breaker on
+// the coordinator: consecutive lease expiries, recovered panics, or
+// corrupt commits quarantine the worker (claims rejected) while the rest
+// of the fleet drains the queue; after a cooldown one probe task decides
+// whether it rejoins.
+//
+// Cells are idempotent and deterministic (a report depends only on the
+// benchmark, the configuration, and the harness budgets), so a retried
+// cell commits a bit-identical report wherever it lands; committed
+// reports are validated with core.VerifyReport and a cell is never
+// committed twice. The chaos subpackage proves these properties under a
+// seeded fault schedule.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"loopapalooza/internal/core"
+)
+
+// Typed coordination errors. The HTTP transport maps them onto status
+// codes and back, so errors.Is works identically in-process and over the
+// wire.
+var (
+	// ErrNoWork: the queues hold no eligible cell for this worker.
+	ErrNoWork = errors.New("cluster: no work available")
+	// ErrDraining: the coordinator is shutting down and refuses new work.
+	ErrDraining = errors.New("cluster: coordinator draining")
+	// ErrQueueFull: the tenant's admission-control job cap is reached.
+	ErrQueueFull = errors.New("cluster: tenant queue full")
+	// ErrRateLimited: the tenant's token bucket is empty.
+	ErrRateLimited = errors.New("cluster: tenant rate limited")
+	// ErrLeaseExpired: the task is no longer held by this worker (lease
+	// reclaimed, already committed, or never granted).
+	ErrLeaseExpired = errors.New("cluster: lease expired or not held")
+	// ErrUnknownJob: no job with that id.
+	ErrUnknownJob = errors.New("cluster: unknown job")
+	// ErrBreakerOpen: the worker's circuit breaker rejects claims.
+	ErrBreakerOpen = errors.New("cluster: worker breaker open")
+	// ErrWorkerCrashed is returned by an injected fault to simulate a
+	// worker process dying mid-task (the loop exits without committing).
+	ErrWorkerCrashed = errors.New("cluster: worker crashed (injected)")
+)
+
+// BreakerOpenError rejects a claim from a quarantined worker and carries
+// when a retry may be admitted. errors.Is(err, ErrBreakerOpen) matches it.
+type BreakerOpenError struct {
+	// RetryAfter is the remaining cooldown.
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("cluster: worker breaker open (retry after %s)", e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *BreakerOpenError) Unwrap() error { return ErrBreakerOpen }
+
+// TaskCell is one leased cell of a task.
+type TaskCell struct {
+	// Config is the cell's configuration (the benchmark is task-wide).
+	Config core.Config `json:"config"`
+	// Attempt is the 1-based execution attempt this lease represents.
+	Attempt int `json:"attempt"`
+}
+
+// Task is one unit of claimed work: a batch of cells of a single
+// benchmark under one lease. Batching cells of one benchmark lets the
+// worker's harness share one execution across every configuration
+// (core.MultiRun), while the cell stays the unit of commit and retry.
+type Task struct {
+	// ID identifies the lease.
+	ID string `json:"id"`
+	// Job is the owning job's id.
+	Job string `json:"job"`
+	// Bench is the benchmark every cell of the task belongs to.
+	Bench string `json:"bench"`
+	// Cells are the leased cells.
+	Cells []TaskCell `json:"cells"`
+	// LeaseMs is the lease duration; the worker must heartbeat well
+	// within it (every LeaseMs/3 by default).
+	LeaseMs int64 `json:"leaseMs"`
+}
+
+// Lease returns the task's lease duration.
+func (t *Task) Lease() time.Duration { return time.Duration(t.LeaseMs) * time.Millisecond }
+
+// CellResult is one cell's outcome as committed by a worker.
+type CellResult struct {
+	// Config identifies the cell within the task.
+	Config core.Config `json:"config"`
+	// Outcome classifies the execution.
+	Outcome core.Outcome `json:"outcome"`
+	// Report is the completed report (nil unless Outcome is ok).
+	Report *core.Report `json:"report,omitempty"`
+	// Error is the rendered per-cell error ("" on success).
+	Error string `json:"error,omitempty"`
+}
+
+// ClaimRequest asks for a task.
+type ClaimRequest struct {
+	// Worker identifies the claimant (registers it on first contact).
+	Worker string `json:"worker"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Task   string `json:"task"`
+}
+
+// CommitRequest reports a task's per-cell results.
+type CommitRequest struct {
+	Worker  string       `json:"worker"`
+	Task    string       `json:"task"`
+	Results []CellResult `json:"results"`
+}
+
+// ReleaseRequest returns a task's cells to the queue uncharged (graceful
+// worker drain).
+type ReleaseRequest struct {
+	Worker string `json:"worker"`
+	Task   string `json:"task"`
+}
+
+// Coordination is the worker-facing surface of the coordinator. The
+// *Coordinator implements it directly (in-process fleets) and *Client
+// implements it over HTTP (remote fleets), so a Worker is transport-
+// agnostic.
+type Coordination interface {
+	// Claim returns the next task for the worker, ErrNoWork when the
+	// queues are empty, a *BreakerOpenError while the worker is
+	// quarantined, or ErrDraining during coordinator shutdown.
+	Claim(ctx context.Context, req ClaimRequest) (*Task, error)
+	// Heartbeat extends the task's lease; ErrLeaseExpired means the task
+	// was reclaimed and the worker should abandon it.
+	Heartbeat(ctx context.Context, req HeartbeatRequest) error
+	// Commit delivers the task's results. ErrLeaseExpired means the
+	// lease was reclaimed first and every result was discarded (the
+	// cells are already requeued — nothing is lost and nothing is
+	// double-committed).
+	Commit(ctx context.Context, req CommitRequest) error
+	// Release returns the task's cells to the queue without charging
+	// their retry budgets, each recorded as a canceled attempt.
+	Release(ctx context.Context, req ReleaseRequest) error
+}
+
+// CellState is the lifecycle state of one cell.
+type CellState string
+
+// The cell lifecycle. Queued and leased cells are non-terminal; done and
+// parked cells are terminal.
+const (
+	// CellQueued: waiting in the tenant queue (possibly in backoff).
+	CellQueued CellState = "queued"
+	// CellLeased: held by a worker under a live lease.
+	CellLeased CellState = "leased"
+	// CellDone: committed with a verified report.
+	CellDone CellState = "done"
+	// CellParked: terminally failed — deterministic failure or retry
+	// budget exhausted — with a typed outcome.
+	CellParked CellState = "parked"
+)
+
+// JobState is the lifecycle state of one job.
+type JobState string
+
+// The job lifecycle.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	// JobDone: every cell is terminal (done or parked).
+	JobDone JobState = "done"
+)
+
+// CellStatus is one cell of a job status report.
+type CellStatus struct {
+	Bench    string       `json:"bench"`
+	Config   core.Config  `json:"config"`
+	State    CellState    `json:"state"`
+	Outcome  core.Outcome `json:"outcome"`
+	Attempts int          `json:"attempts"`
+	Speedup  float64      `json:"speedup,omitempty"`
+	Coverage float64      `json:"coverage,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Report   *core.Report `json:"report,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID     string    `json:"id"`
+	Tenant string    `json:"tenant"`
+	State  JobState  `json:"state"`
+	// Done and Total count terminal cells vs all cells.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Counts tallies terminal cells by outcome.
+	Counts map[core.Outcome]int `json:"counts"`
+	// Summary is the human line, e.g. "796/798 cells ok (2 timeout)".
+	Summary string       `json:"summary"`
+	Cells   []CellStatus `json:"cells"`
+}

@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"loopapalooza/internal/bench"
+	"loopapalooza/internal/core"
+)
+
+// fakeClock is an injectable coordinator clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// testBench returns a small real benchmark and two configurations.
+func testBench(t *testing.T) (*bench.Benchmark, []core.Config) {
+	t.Helper()
+	bs := bench.BySuite(bench.SuiteEEMBC)
+	if len(bs) == 0 {
+		t.Fatal("no EEMBC benchmarks registered")
+	}
+	return bs[0], []core.Config{
+		{Model: core.DOALL, Reduc: 1, Dep: 0, Fn: 0},
+		core.BestHELIX(),
+	}
+}
+
+// okResults executes the task's cells for real and returns verified
+// results.
+func okResults(t *testing.T, task *Task) []CellResult {
+	t.Helper()
+	b := bench.ByName(task.Bench)
+	if b == nil {
+		t.Fatalf("unknown benchmark %q", task.Bench)
+	}
+	var out []CellResult
+	for _, tc := range task.Cells {
+		r, err := b.Run(tc.Config)
+		if err != nil {
+			t.Fatalf("running %s under %s: %v", task.Bench, tc.Config, err)
+		}
+		out = append(out, CellResult{Config: tc.Config, Outcome: core.OutcomeOK, Report: r})
+	}
+	return out
+}
+
+func failResults(task *Task, o core.Outcome, msg string) []CellResult {
+	var out []CellResult
+	for _, tc := range task.Cells {
+		out = append(out, CellResult{Config: tc.Config, Outcome: o, Error: msg})
+	}
+	return out
+}
+
+func newTestCoordinator(t *testing.T, opts CoordinatorOptions) (*Coordinator, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	opts.Now = clk.Now
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Lease == 0 {
+		opts.Lease = time.Minute // janitor stays quiet; tests drive reclaim via calls
+	}
+	c := NewCoordinator(opts)
+	t.Cleanup(c.Close)
+	return c, clk
+}
+
+func TestSubmitClaimCommitLifecycle(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+
+	id, err := c.Submit("acme", []*bench.Benchmark{b}, cfgs, false)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err := c.Status(id)
+	if err != nil || st.State != JobQueued || st.Total != 2 {
+		t.Fatalf("status after submit: %+v, %v", st, err)
+	}
+
+	task, err := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	if err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	if task.Bench != b.Name || len(task.Cells) != 2 {
+		t.Fatalf("task batches %d cells of %s, want 2 of %s", len(task.Cells), task.Bench, b.Name)
+	}
+	if st, _ := c.Status(id); st.State != JobRunning {
+		t.Fatalf("state %s while leased, want running", st.State)
+	}
+
+	if err := c.Commit(ctx, CommitRequest{Worker: "w1", Task: task.ID, Results: okResults(t, task)}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	st, _ = c.Status(id)
+	if st.State != JobDone || st.Counts[core.OutcomeOK] != 2 {
+		t.Fatalf("after commit: state %s counts %v", st.State, st.Counts)
+	}
+	if st.Cells[0].Speedup <= 0 {
+		t.Fatalf("committed cell carries no speedup: %+v", st.Cells[0])
+	}
+	if r := c.Report(id, b.Name, cfgs[0]); r == nil {
+		t.Fatal("Report returned nil for a done cell")
+	}
+
+	waitCtx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if err := c.Wait(waitCtx, id); err != nil {
+		t.Fatalf("wait on done job: %v", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseExpiryRequeuesCells(t *testing.T) {
+	c, clk := newTestCoordinator(t, CoordinatorOptions{Lease: 10 * time.Second, MaxBackoff: time.Millisecond, RetryBackoff: time.Millisecond})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	id, _ := c.Submit("", []*bench.Benchmark{b}, cfgs, false)
+
+	task1, err := c.Claim(ctx, ClaimRequest{Worker: "sick"})
+	if err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	clk.Advance(11 * time.Second) // past the lease; next call reclaims
+	if _, err := c.Claim(ctx, ClaimRequest{Worker: "healthy"}); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("claim during retry backoff: %v, want ErrNoWork", err)
+	}
+	clk.Advance(time.Second) // past the retry backoff
+
+	task2, err := c.Claim(ctx, ClaimRequest{Worker: "healthy"})
+	if err != nil {
+		t.Fatalf("claim after expiry: %v", err)
+	}
+	if task2.Cells[0].Attempt != 2 {
+		t.Fatalf("reclaimed cell attempt %d, want 2", task2.Cells[0].Attempt)
+	}
+	if got := c.Stats().LeaseExpiries; got != 1 {
+		t.Fatalf("lease expiries %d, want 1", got)
+	}
+
+	// The sick worker's late commit must be rejected wholesale.
+	err = c.Commit(ctx, CommitRequest{Worker: "sick", Task: task1.ID, Results: okResults(t, task1)})
+	if !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("stale commit error %v, want ErrLeaseExpired", err)
+	}
+	if got := c.Stats().StaleCommits; got != 1 {
+		t.Fatalf("stale commits %d, want 1", got)
+	}
+
+	// The healthy worker commits; nothing is double-committed.
+	if err := c.Commit(ctx, CommitRequest{Worker: "healthy", Task: task2.ID, Results: okResults(t, task2)}); err != nil {
+		t.Fatalf("healthy commit: %v", err)
+	}
+	st, _ := c.Status(id)
+	if st.State != JobDone || st.Counts[core.OutcomeOK] != 2 {
+		t.Fatalf("job not completed cleanly: %s %v", st.State, st.Counts)
+	}
+	if c.Stats().DoubleCommitRejected != 0 {
+		t.Fatal("a double commit reached a terminal cell")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryBudgetParksCell(t *testing.T) {
+	c, clk := newTestCoordinator(t, CoordinatorOptions{MaxAttempts: 2, RetryBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	id, _ := c.Submit("", []*bench.Benchmark{b}, cfgs[:1], false)
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		clk.Advance(time.Second) // clear any retry backoff
+		task, err := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+		if err != nil {
+			t.Fatalf("claim attempt %d: %v", attempt, err)
+		}
+		if task.Cells[0].Attempt != attempt {
+			t.Fatalf("attempt %d, want %d", task.Cells[0].Attempt, attempt)
+		}
+		if err := c.Commit(ctx, CommitRequest{Worker: "w1", Task: task.ID,
+			Results: failResults(task, core.OutcomePanic, "boom")}); err != nil {
+			t.Fatalf("commit attempt %d: %v", attempt, err)
+		}
+	}
+
+	st, _ := c.Status(id)
+	if st.State != JobDone {
+		t.Fatalf("job state %s after budget exhaustion, want done", st.State)
+	}
+	cell := st.Cells[0]
+	if cell.State != CellParked || cell.Outcome != core.OutcomePanic {
+		t.Fatalf("cell %+v, want parked/panic", cell)
+	}
+	if c.Stats().ParkedCells != 1 || c.Stats().Retries != 1 {
+		t.Fatalf("stats %+v, want 1 parked, 1 retry", c.Stats())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicFailureParksImmediately(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	id, _ := c.Submit("", []*bench.Benchmark{b}, cfgs[:1], false)
+	task, _ := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	if err := c.Commit(ctx, CommitRequest{Worker: "w1", Task: task.ID,
+		Results: failResults(task, core.OutcomeStepLimit, "step budget")}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	st, _ := c.Status(id)
+	if st.Cells[0].State != CellParked || st.Cells[0].Attempts != 1 {
+		t.Fatalf("deterministic failure retried: %+v", st.Cells[0])
+	}
+	if st.Counts[core.OutcomeStepLimit] != 1 {
+		t.Fatalf("counts %v", st.Counts)
+	}
+}
+
+func TestCanceledResultRefundsAttempt(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs[:1], false)
+	task, _ := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	if err := c.Commit(ctx, CommitRequest{Worker: "w1", Task: task.ID,
+		Results: failResults(task, core.OutcomeCanceled, "drain")}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	task2, err := c.Claim(ctx, ClaimRequest{Worker: "w2"})
+	if err != nil {
+		t.Fatalf("reclaim after refund: %v", err)
+	}
+	if task2.Cells[0].Attempt != 1 {
+		t.Fatalf("refunded cell attempt %d, want 1 (budget uncharged)", task2.Cells[0].Attempt)
+	}
+	if c.Stats().RefundedCells != 1 {
+		t.Fatalf("refunded %d, want 1", c.Stats().RefundedCells)
+	}
+}
+
+func TestCorruptCommitRetriesAndChargesBreaker(t *testing.T) {
+	c, clk := newTestCoordinator(t, CoordinatorOptions{BreakerThreshold: 1, RetryBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs[:1], false)
+	task, _ := c.Claim(ctx, ClaimRequest{Worker: "lying"})
+	res := okResults(t, task)
+	tampered := *res[0].Report
+	tampered.ParallelCost = tampered.SerialCost + 1 // speedup < 1: impossible
+	res[0].Report = &tampered
+	if err := c.Commit(ctx, CommitRequest{Worker: "lying", Task: task.ID, Results: res}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := c.Stats().CorruptCommits; got != 1 {
+		t.Fatalf("corrupt commits %d, want 1", got)
+	}
+	// The lying worker tripped its breaker (threshold 1).
+	_, err := c.Claim(ctx, ClaimRequest{Worker: "lying"})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("claim after corrupt commit: %v, want breaker open", err)
+	}
+	// An honest worker picks the retried cell up once its backoff passes.
+	clk.Advance(time.Second)
+	task2, err := c.Claim(ctx, ClaimRequest{Worker: "honest"})
+	if err != nil {
+		t.Fatalf("honest claim: %v", err)
+	}
+	if task2.Cells[0].Attempt != 2 {
+		t.Fatalf("attempt %d, want 2", task2.Cells[0].Attempt)
+	}
+}
+
+func TestReportIdentityMismatchIsCorrupt(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs, false)
+	task, _ := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	res := okResults(t, task)
+	// Swap the two reports: each is valid but belongs to the other cell.
+	res[0].Report, res[1].Report = res[1].Report, res[0].Report
+	if err := c.Commit(ctx, CommitRequest{Worker: "w1", Task: task.ID, Results: res}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := c.Stats().CorruptCommits; got != 2 {
+		t.Fatalf("corrupt commits %d, want 2", got)
+	}
+}
+
+func TestAdmissionControlQueueFull(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{MaxQueuedJobs: 1})
+	b, cfgs := testBench(t)
+	if _, err := c.Submit("acme", []*bench.Benchmark{b}, cfgs, false); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err := c.Submit("acme", []*bench.Benchmark{b}, cfgs, false)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submit: %v, want ErrQueueFull", err)
+	}
+	// Another tenant is unaffected.
+	if _, err := c.Submit("other", []*bench.Benchmark{b}, cfgs, false); err != nil {
+		t.Fatalf("other tenant submit: %v", err)
+	}
+	if c.Stats().RejectedJobs != 1 {
+		t.Fatalf("rejected %d, want 1", c.Stats().RejectedJobs)
+	}
+}
+
+func TestRateLimitPerTenant(t *testing.T) {
+	c, clk := newTestCoordinator(t, CoordinatorOptions{RatePerSec: 1, RateBurst: 1})
+	b, cfgs := testBench(t)
+	if _, err := c.Submit("acme", []*bench.Benchmark{b}, cfgs, false); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := c.Submit("acme", []*bench.Benchmark{b}, cfgs, false); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst-exceeding submit: %v, want ErrRateLimited", err)
+	}
+	clk.Advance(time.Second)
+	if _, err := c.Submit("acme", []*bench.Benchmark{b}, cfgs, false); err != nil {
+		t.Fatalf("submit after refill: %v", err)
+	}
+}
+
+func TestTenantRoundRobin(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{BatchSize: 1})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("a", []*bench.Benchmark{b}, cfgs, false)
+	c.Submit("b", []*bench.Benchmark{b}, cfgs, false)
+	seen := map[string]int{}
+	for i := 0; i < 4; i++ {
+		task, err := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+		if err != nil {
+			t.Fatalf("claim %d: %v", i, err)
+		}
+		seen[task.Job]++
+	}
+	if seen["job-000001"] != 2 || seen["job-000002"] != 2 {
+		t.Fatalf("claims not round-robined across tenants: %v", seen)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs, false)
+	task, _ := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	c.Drain()
+	if _, err := c.Submit("", []*bench.Benchmark{b}, cfgs, false); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	if _, err := c.Claim(ctx, ClaimRequest{Worker: "w2"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("claim while draining: %v", err)
+	}
+	// In-flight tasks still commit.
+	if err := c.Commit(ctx, CommitRequest{Worker: "w1", Task: task.ID, Results: okResults(t, task)}); err != nil {
+		t.Fatalf("commit while draining: %v", err)
+	}
+}
+
+func TestReleaseRequeuesWithoutCharge(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs, false)
+	task, _ := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	if err := c.Release(ctx, ReleaseRequest{Worker: "w1", Task: task.ID}); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	task2, err := c.Claim(ctx, ClaimRequest{Worker: "w2"})
+	if err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+	if task2.Cells[0].Attempt != 1 {
+		t.Fatalf("released cell attempt %d, want 1", task2.Cells[0].Attempt)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	c, clk := newTestCoordinator(t, CoordinatorOptions{Lease: 10 * time.Second})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs, false)
+	task, _ := c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	for i := 0; i < 5; i++ {
+		clk.Advance(8 * time.Second)
+		if err := c.Heartbeat(ctx, HeartbeatRequest{Worker: "w1", Task: task.ID}); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if err := c.Commit(ctx, CommitRequest{Worker: "w1", Task: task.ID, Results: okResults(t, task)}); err != nil {
+		t.Fatalf("commit after 40s of heartbeats: %v", err)
+	}
+	if c.Stats().LeaseExpiries != 0 {
+		t.Fatal("heartbeaten lease expired anyway")
+	}
+	// A heartbeat for a finished task reports the lease gone.
+	if err := c.Heartbeat(ctx, HeartbeatRequest{Worker: "w1", Task: task.ID}); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("heartbeat on finished task: %v, want ErrLeaseExpired", err)
+	}
+}
+
+func TestWorkersSnapshot(t *testing.T) {
+	c, _ := newTestCoordinator(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs, false)
+	c.Claim(ctx, ClaimRequest{Worker: "w2"})
+	c.Claim(ctx, ClaimRequest{Worker: "w1"})
+	ws := c.Workers()
+	if len(ws) != 2 || ws[0].ID != "w1" || ws[1].ID != "w2" {
+		t.Fatalf("workers %+v", ws)
+	}
+	if ws[1].Inflight != 1 {
+		t.Fatalf("w2 inflight %d, want 1", ws[1].Inflight)
+	}
+}

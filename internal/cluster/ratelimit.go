@@ -1,0 +1,35 @@
+package cluster
+
+import "time"
+
+// tokenBucket is the per-tenant job-submission rate limit: rate tokens
+// per second up to burst, one token per submission. It is driven under
+// the coordinator's lock and refills lazily from the injected clock, so
+// tests with a fake clock are deterministic.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// allow takes one token if available.
+func (tb *tokenBucket) allow(now time.Time) bool {
+	if tb.rate <= 0 { // unlimited
+		return true
+	}
+	if tb.last.IsZero() {
+		tb.tokens = tb.burst
+	} else if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens += dt * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The HTTP transport of the Coordination interface. Status codes carry
+// the typed errors across the wire so errors.Is works identically
+// in-process and remotely:
+//
+//	204 on claim            → ErrNoWork
+//	503 code "draining"     → ErrDraining
+//	503 code "breaker-open" → *BreakerOpenError (Retry-After honored)
+//	410                     → ErrLeaseExpired
+//
+// Handlers mount under /v1/cluster/ (see Handler); Client is the
+// worker-side implementation.
+
+// transportError is the JSON error body of the cluster endpoints.
+type transportError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Handler returns the coordinator's worker-facing HTTP surface:
+//
+//	POST /v1/cluster/claim      ClaimRequest → Task | 204
+//	POST /v1/cluster/heartbeat  HeartbeatRequest → 204
+//	POST /v1/cluster/commit     CommitRequest → 204
+//	POST /v1/cluster/release    ReleaseRequest → 204
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req ClaimRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		t, err := c.Claim(r.Context(), req)
+		if err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, t)
+	})
+	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if err := c.Heartbeat(r.Context(), req); err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/cluster/commit", func(w http.ResponseWriter, r *http.Request) {
+		var req CommitRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if err := c.Commit(r.Context(), req); err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/cluster/release", func(w http.ResponseWriter, r *http.Request) {
+		var req ReleaseRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if err := c.Release(r.Context(), req); err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(v); err != nil {
+		writeClusterJSON(w, http.StatusBadRequest, transportError{
+			Error: fmt.Sprintf("decoding request: %v", err), Code: "bad-request",
+		})
+		return false
+	}
+	return true
+}
+
+func writeClusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeClusterError maps a typed coordination error to its wire shape.
+func writeClusterError(w http.ResponseWriter, err error) {
+	var boe *BreakerOpenError
+	switch {
+	case errors.Is(err, ErrNoWork):
+		w.WriteHeader(http.StatusNoContent)
+	case errors.As(err, &boe):
+		secs := int64(boe.RetryAfter.Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeClusterJSON(w, http.StatusServiceUnavailable, transportError{Error: err.Error(), Code: "breaker-open"})
+	case errors.Is(err, ErrDraining):
+		writeClusterJSON(w, http.StatusServiceUnavailable, transportError{Error: err.Error(), Code: "draining"})
+	case errors.Is(err, ErrLeaseExpired):
+		writeClusterJSON(w, http.StatusGone, transportError{Error: err.Error(), Code: "lease-expired"})
+	default:
+		writeClusterJSON(w, http.StatusInternalServerError, transportError{Error: err.Error(), Code: "internal"})
+	}
+}
+
+// Client implements Coordination against a remote coordinator.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://coordinator:8080"). hc nil uses a client with sane timeouts
+// for small control-plane RPCs.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster client: encoding %s: %w", path, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("cluster client: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		if resp == nil {
+			io.Copy(io.Discard, hresp.Body)
+			return nil
+		}
+		return json.NewDecoder(hresp.Body).Decode(resp)
+	case http.StatusNoContent:
+		if resp != nil {
+			return ErrNoWork
+		}
+		return nil
+	case http.StatusGone:
+		return ErrLeaseExpired
+	case http.StatusServiceUnavailable:
+		var te transportError
+		_ = json.NewDecoder(hresp.Body).Decode(&te)
+		if te.Code == "breaker-open" {
+			retry := 0 * time.Second
+			if s := hresp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+					retry = time.Duration(secs) * time.Second
+				}
+			}
+			return &BreakerOpenError{RetryAfter: retry}
+		}
+		return ErrDraining
+	default:
+		var te transportError
+		_ = json.NewDecoder(hresp.Body).Decode(&te)
+		if te.Error == "" {
+			te.Error = hresp.Status
+		}
+		return fmt.Errorf("cluster client: %s: %s", path, te.Error)
+	}
+}
+
+// Claim implements Coordination.
+func (c *Client) Claim(ctx context.Context, req ClaimRequest) (*Task, error) {
+	var t Task
+	if err := c.post(ctx, "/v1/cluster/claim", req, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Heartbeat implements Coordination.
+func (c *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) error {
+	return c.post(ctx, "/v1/cluster/heartbeat", req, nil)
+}
+
+// Commit implements Coordination.
+func (c *Client) Commit(ctx context.Context, req CommitRequest) error {
+	return c.post(ctx, "/v1/cluster/commit", req, nil)
+}
+
+// Release implements Coordination.
+func (c *Client) Release(ctx context.Context, req ReleaseRequest) error {
+	return c.post(ctx, "/v1/cluster/release", req, nil)
+}
+
+// Interface conformance.
+var (
+	_ Coordination = (*Coordinator)(nil)
+	_ Coordination = (*Client)(nil)
+)

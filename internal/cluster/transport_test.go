@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"loopapalooza/internal/bench"
+	"loopapalooza/internal/core"
+)
+
+func newTestServer(t *testing.T, opts CoordinatorOptions) (*Coordinator, *Client) {
+	t.Helper()
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	c := NewCoordinator(opts)
+	t.Cleanup(c.Close)
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, NewClient(srv.URL, srv.Client())
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	c, client := newTestServer(t, CoordinatorOptions{})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	id, _ := c.Submit("", []*bench.Benchmark{b}, cfgs, false)
+
+	// Empty-queue claim maps 204 → ErrNoWork once the job is taken.
+	task, err := client.Claim(ctx, ClaimRequest{Worker: "remote"})
+	if err != nil {
+		t.Fatalf("claim over HTTP: %v", err)
+	}
+	if task.Bench != b.Name || len(task.Cells) != 2 || task.Lease() <= 0 {
+		t.Fatalf("wire task %+v", task)
+	}
+	if _, err := client.Claim(ctx, ClaimRequest{Worker: "remote"}); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("second claim: %v, want ErrNoWork", err)
+	}
+
+	if err := client.Heartbeat(ctx, HeartbeatRequest{Worker: "remote", Task: task.ID}); err != nil {
+		t.Fatalf("heartbeat over HTTP: %v", err)
+	}
+	if err := client.Commit(ctx, CommitRequest{Worker: "remote", Task: task.ID, Results: okResults(t, task)}); err != nil {
+		t.Fatalf("commit over HTTP: %v", err)
+	}
+	st, _ := c.Status(id)
+	if st.State != JobDone || st.Counts[core.OutcomeOK] != 2 {
+		t.Fatalf("after remote commit: %s %v", st.State, st.Counts)
+	}
+	// Reports survive the JSON hop bit-identically (the oracle relies
+	// on this).
+	local, err := bench.NewHarness().Report(b, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CompareReports(local, c.Report(id, b.Name, cfgs[0])); err != nil {
+		t.Fatalf("remote-committed report differs from local run: %v", err)
+	}
+}
+
+func TestTransportTypedErrors(t *testing.T) {
+	c, client := newTestServer(t, CoordinatorOptions{BreakerThreshold: 1, BreakerCooldown: time.Minute, Lease: 50 * time.Millisecond, RetryBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	b, cfgs := testBench(t)
+	ctx := context.Background()
+	c.Submit("", []*bench.Benchmark{b}, cfgs[:1], false)
+
+	// Expire a lease to trip the threshold-1 breaker, then check the
+	// 503 breaker-open mapping carries Retry-After.
+	task, err := client.Claim(ctx, ClaimRequest{Worker: "flaky"})
+	if err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	time.Sleep(80 * time.Millisecond) // lease expires; janitor reclaims
+
+	_, err = client.Claim(ctx, ClaimRequest{Worker: "flaky"})
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) || !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("claim with open breaker: %v, want BreakerOpenError", err)
+	}
+	if boe.RetryAfter <= 0 {
+		t.Fatalf("Retry-After %v, want > 0", boe.RetryAfter)
+	}
+
+	// Stale commit maps 410 → ErrLeaseExpired.
+	err = client.Commit(ctx, CommitRequest{Worker: "flaky", Task: task.ID, Results: okResults(t, task)})
+	if !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("stale remote commit: %v, want ErrLeaseExpired", err)
+	}
+	// Heartbeat for the dead lease too.
+	if err := client.Heartbeat(ctx, HeartbeatRequest{Worker: "flaky", Task: task.ID}); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("stale heartbeat: %v, want ErrLeaseExpired", err)
+	}
+
+	// Draining maps 503 code "draining" → ErrDraining.
+	c.Drain()
+	if _, err := client.Claim(ctx, ClaimRequest{Worker: "fresh"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("claim while draining: %v, want ErrDraining", err)
+	}
+}
+
+func TestTransportBadRequest(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{Seed: 1})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/cluster/claim", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed claim body: status %d, want 400", resp.StatusCode)
+	}
+	// Claim without a worker id is a 500-class coordinator error.
+	resp, err = http.Post(srv.URL+"/v1/cluster/claim", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("claim without worker: status %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestRemoteWorkerFleet(t *testing.T) {
+	c, client := newTestServer(t, CoordinatorOptions{Lease: 5 * time.Second})
+	b := bench.BySuite(bench.SuiteEEMBC)[0]
+	id, _ := c.Submit("", []*bench.Benchmark{b}, core.PaperConfigs(), false)
+
+	stop := startFleet(t, client, 2, nil)
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, id); err != nil {
+		t.Fatalf("remote fleet: %v", err)
+	}
+	st, _ := c.Status(id)
+	if st.Counts[core.OutcomeOK] != len(core.PaperConfigs()) {
+		t.Fatalf("counts %v, want %d ok", st.Counts, len(core.PaperConfigs()))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopapalooza/internal/bench"
+	"loopapalooza/internal/core"
+)
+
+// Hooks intercept the worker loop. They exist for the chaos harness and
+// tests: every injectable fault — crash mid-cell, hang past the lease,
+// corrupt results, slow node, dropped heartbeats — is expressed through
+// them, so the production loop and the loop under fault injection are
+// the same code.
+type Hooks struct {
+	// BeforeExecute runs after a task is claimed, before execution.
+	// Returning ErrWorkerCrashed kills the worker loop without a commit
+	// (a simulated process death); blocking simulates a hang; sleeping
+	// simulates a slow node. Any other error abandons the task.
+	BeforeExecute func(ctx context.Context, t *Task) error
+	// TransformResults may replace the results before commit (the
+	// corrupt-result fault).
+	TransformResults func(t *Task, results []CellResult) []CellResult
+	// SuppressHeartbeat reports whether to skip a heartbeat tick (the
+	// heartbeat-loss fault).
+	SuppressHeartbeat func(t *Task) bool
+}
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// ID names the worker to the coordinator (required, stable across
+	// its claims).
+	ID string
+	// Coordinator is the claim/heartbeat/commit surface (required).
+	Coordinator Coordination
+	// Harness executes claimed cells (nil = a fresh default harness).
+	// Its budgets are the worker's cell budgets.
+	Harness *bench.Harness
+	// Poll is the idle sleep between claims when the queue is empty
+	// (0 = 100ms).
+	Poll time.Duration
+	// CommitTimeout bounds the commit/release RPC after an execution
+	// whose context is already canceled, so drain can't wedge on a dead
+	// coordinator (0 = 5s).
+	CommitTimeout time.Duration
+	// Hooks intercept the loop (chaos and tests).
+	Hooks Hooks
+	// Log receives structured worker logs (nil = discard).
+	Log *slog.Logger
+}
+
+// WorkerStats counts one worker's traffic.
+type WorkerStats struct {
+	// Claims counts claim calls; Tasks those that returned work.
+	Claims, Tasks uint64
+	// Cells counts cells executed (including canceled attempts).
+	Cells uint64
+	// Commits counts successful commit RPCs; StaleCommits those
+	// rejected because the lease was reclaimed first.
+	Commits, StaleCommits uint64
+	// BreakerRejections counts claims refused by the worker's breaker.
+	BreakerRejections uint64
+	// HeartbeatMisses counts heartbeats that found the lease gone.
+	HeartbeatMisses uint64
+}
+
+// Worker claims tasks from a Coordination surface, executes their cells
+// on its local harness (sharing one interpretation across a task's
+// configurations), heartbeats its leases, and commits per-cell results.
+// One worker runs one task at a time; fleet parallelism comes from
+// running many workers, cell parallelism from the harness inside a task.
+type Worker struct {
+	opts WorkerOptions
+	log  *slog.Logger
+
+	running     atomic.Bool
+	draining    atomic.Bool
+	quarantined atomic.Bool // last claim was rejected by the breaker
+
+	mu    sync.Mutex
+	stats WorkerStats
+}
+
+// NewWorker builds a worker.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("cluster: worker needs an id")
+	}
+	if opts.Coordinator == nil {
+		return nil, fmt.Errorf("cluster: worker %s needs a coordinator", opts.ID)
+	}
+	if opts.Harness == nil {
+		opts.Harness = bench.NewHarness()
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 100 * time.Millisecond
+	}
+	if opts.CommitTimeout <= 0 {
+		opts.CommitTimeout = 5 * time.Second
+	}
+	log := opts.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Worker{opts: opts, log: log.With("worker", opts.ID)}, nil
+}
+
+// ID returns the worker's id.
+func (w *Worker) ID() string { return w.opts.ID }
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Ready reports whether the worker should receive traffic: running, not
+// draining, and not quarantined by its breaker. It is the /readyz
+// predicate of the worker role.
+func (w *Worker) Ready() bool {
+	return w.running.Load() && !w.draining.Load() && !w.quarantined.Load()
+}
+
+// StartDrain marks the worker NOT-READY ahead of shutdown, so load
+// balancers stop routing before the loop stops claiming.
+func (w *Worker) StartDrain() { w.draining.Store(true) }
+
+// Run claims and executes tasks until ctx is canceled. On cancellation
+// mid-task the execution is cut short and every unfinished cell is
+// committed with a canceled outcome, which the coordinator requeues
+// without charging its retry budget — drain never loses cells. Run
+// returns nil on a clean drain, or the injected crash error.
+func (w *Worker) Run(ctx context.Context) error {
+	w.running.Store(true)
+	defer w.running.Store(false)
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		t, err := w.claim(ctx)
+		switch {
+		case t != nil:
+			w.quarantined.Store(false)
+			if err := w.runTask(ctx, t); errors.Is(err, ErrWorkerCrashed) {
+				w.log.Error("worker crashed", "task", t.ID)
+				return err
+			}
+		case errors.Is(err, ErrBreakerOpen):
+			w.quarantined.Store(true)
+			w.mu.Lock()
+			w.stats.BreakerRejections++
+			w.mu.Unlock()
+			var boe *BreakerOpenError
+			wait := w.opts.Poll
+			if errors.As(err, &boe) && boe.RetryAfter > wait {
+				wait = boe.RetryAfter
+			}
+			sleepCtx(ctx, wait)
+		case errors.Is(err, ErrNoWork), errors.Is(err, ErrDraining):
+			w.quarantined.Store(false)
+			sleepCtx(ctx, w.opts.Poll)
+		case err != nil && ctx.Err() == nil:
+			// Transport trouble: back off a poll and try again.
+			w.log.Warn("claim failed", "err", err.Error())
+			sleepCtx(ctx, w.opts.Poll)
+		}
+	}
+}
+
+func (w *Worker) claim(ctx context.Context) (*Task, error) {
+	w.mu.Lock()
+	w.stats.Claims++
+	w.mu.Unlock()
+	t, err := w.opts.Coordinator.Claim(ctx, ClaimRequest{Worker: w.opts.ID})
+	if t != nil {
+		w.mu.Lock()
+		w.stats.Tasks++
+		w.mu.Unlock()
+	}
+	return t, err
+}
+
+// runTask executes one leased task end to end: fault hooks, heartbeat
+// keepalive, harness execution, commit.
+func (w *Worker) runTask(ctx context.Context, t *Task) error {
+	if h := w.opts.Hooks.BeforeExecute; h != nil {
+		if err := h(ctx, t); err != nil {
+			return err
+		}
+	}
+
+	// The heartbeat loop keeps the lease alive while the harness works;
+	// if the coordinator reports the lease gone, the execution context
+	// is canceled so the worker stops burning time on reclaimed cells.
+	execCtx, cancelExec := context.WithCancel(ctx)
+	defer cancelExec()
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(execCtx, t, hbStop, cancelExec)
+	}()
+
+	results := w.guardedExecute(execCtx, t)
+	close(hbStop)
+	hbWG.Wait()
+
+	// Commit on an independent timeout: during drain ctx is already
+	// canceled, and the canceled results must still reach the
+	// coordinator so the cells requeue immediately instead of waiting
+	// out the lease.
+	commitCtx, cancel := context.WithTimeout(context.Background(), w.opts.CommitTimeout)
+	defer cancel()
+	err := w.opts.Coordinator.Commit(commitCtx, CommitRequest{
+		Worker: w.opts.ID, Task: t.ID, Results: results,
+	})
+	w.mu.Lock()
+	switch {
+	case err == nil:
+		w.stats.Commits++
+	case errors.Is(err, ErrLeaseExpired):
+		w.stats.StaleCommits++
+	}
+	w.mu.Unlock()
+	if err != nil {
+		w.log.Warn("commit failed", "task", t.ID, "err", err.Error())
+	}
+	return nil
+}
+
+// heartbeatLoop extends the lease every lease/3 until stop closes. A
+// rejected heartbeat cancels the execution.
+func (w *Worker) heartbeatLoop(ctx context.Context, t *Task, stop <-chan struct{}, cancelExec context.CancelFunc) {
+	interval := t.Lease() / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if s := w.opts.Hooks.SuppressHeartbeat; s != nil && s(t) {
+				continue
+			}
+			hbCtx, cancel := context.WithTimeout(context.Background(), interval)
+			err := w.opts.Coordinator.Heartbeat(hbCtx, HeartbeatRequest{Worker: w.opts.ID, Task: t.ID})
+			cancel()
+			if errors.Is(err, ErrLeaseExpired) {
+				w.mu.Lock()
+				w.stats.HeartbeatMisses++
+				w.mu.Unlock()
+				cancelExec()
+				return
+			}
+		}
+	}
+}
+
+// guardedExecute runs execution plus the TransformResults hook under a
+// panic guard: a panic anywhere (including an injected one) converts to
+// per-cell panic results rather than killing the worker process.
+func (w *Worker) guardedExecute(ctx context.Context, t *Task) (results []CellResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Sprintf("cluster: worker panic: %v\n%s", p, debug.Stack())
+			results = results[:0]
+			for _, tc := range t.Cells {
+				results = append(results, CellResult{
+					Config: tc.Config, Outcome: core.OutcomePanic, Error: err,
+				})
+			}
+		}
+	}()
+	results = w.execute(ctx, t)
+	if tr := w.opts.Hooks.TransformResults; tr != nil {
+		results = tr(t, results)
+	}
+	return results
+}
+
+// execute runs the task's cells on the local harness. All cells share
+// the task's benchmark, so the harness fans one interpretation across
+// every configuration; per-cell failures come back as typed outcomes,
+// and a panic anywhere in the stack converts to per-cell panic results
+// rather than killing the loop.
+func (w *Worker) execute(ctx context.Context, t *Task) (results []CellResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Sprintf("cluster: worker execution panic: %v\n%s", p, debug.Stack())
+			results = results[:0]
+			for _, tc := range t.Cells {
+				results = append(results, CellResult{
+					Config: tc.Config, Outcome: core.OutcomePanic, Error: err,
+				})
+			}
+		}
+	}()
+	w.mu.Lock()
+	w.stats.Cells += uint64(len(t.Cells))
+	w.mu.Unlock()
+
+	b := bench.ByName(t.Bench)
+	if b == nil {
+		for _, tc := range t.Cells {
+			results = append(results, CellResult{
+				Config:  tc.Config,
+				Outcome: core.OutcomeError,
+				Error:   fmt.Sprintf("cluster: unknown benchmark %q", t.Bench),
+			})
+		}
+		return results
+	}
+	cfgs := make([]core.Config, len(t.Cells))
+	for i, tc := range t.Cells {
+		cfgs[i] = tc.Config
+	}
+	sr := w.opts.Harness.Sweep(ctx, []*bench.Benchmark{b}, cfgs)
+	for _, cell := range sr.Cells {
+		res := CellResult{Config: cell.Config, Outcome: cell.Outcome, Report: cell.Report}
+		if cell.Err != nil {
+			res.Error = cell.Err.Error()
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// sleepCtx sleeps d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"loopapalooza/internal/bench"
+	"loopapalooza/internal/core"
+)
+
+// startFleet runs n workers against coord until the returned stop func.
+func startFleet(t *testing.T, coord Coordination, n int, hooks func(i int) Hooks) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		h := Hooks{}
+		if hooks != nil {
+			h = hooks(i)
+		}
+		w, err := NewWorker(WorkerOptions{
+			ID: string(rune('a'+i)) + "-worker", Coordinator: coord,
+			Poll: 5 * time.Millisecond, Hooks: h,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	return func() { cancel(); wg.Wait() }
+}
+
+func TestWorkerFleetCompletesJob(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{Lease: 5 * time.Second, Seed: 1})
+	defer c.Close()
+	bs := bench.BySuite(bench.SuiteEEMBC)[:2]
+	cfgs := []core.Config{core.BestPDOALL(), core.BestHELIX()}
+
+	id, err := c.Submit("acme", bs, cfgs, false)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	stop := startFleet(t, c, 2, nil)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, id); err != nil {
+		t.Fatalf("waiting for fleet: %v", err)
+	}
+	st, _ := c.Status(id)
+	if st.State != JobDone || st.Counts[core.OutcomeOK] != 4 {
+		t.Fatalf("job finished %s with counts %v, want 4 ok", st.State, st.Counts)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerDrainCommitsCanceledCells(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{Lease: 5 * time.Second, Seed: 1})
+	defer c.Close()
+	b := bench.BySuite(bench.SuiteEEMBC)[0]
+
+	claimed := make(chan struct{})
+	var once sync.Once
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	w, err := NewWorker(WorkerOptions{
+		ID: "drainer", Coordinator: c, Poll: 5 * time.Millisecond,
+		Hooks: Hooks{BeforeExecute: func(ctx context.Context, task *Task) error {
+			once.Do(func() { close(claimed) })
+			<-ctx.Done() // hold the task until the drain lands
+			return nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := c.Submit("", []*bench.Benchmark{b}, []core.Config{core.BestPDOALL()}, false)
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(runCtx) }()
+
+	<-claimed
+	w.StartDrain()
+	if w.Ready() {
+		t.Fatal("draining worker still ready")
+	}
+	cancelRun()
+	<-done
+
+	// The canceled cell was committed back and refunded: still one
+	// pending cell, budget uncharged, nothing lost.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done == 0 && st.Cells[0].State == CellQueued {
+			if st.Cells[0].Attempts != 0 {
+				t.Fatalf("drained cell charged %d attempts, want 0", st.Cells[0].Attempts)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained cell never requeued: %+v", st.Cells[0])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := c.Stats().RefundedCells; got != 1 {
+		t.Fatalf("refunded cells %d, want 1", got)
+	}
+
+	// A fresh worker finishes the job.
+	stop := startFleet(t, c, 1, nil)
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, id); err != nil {
+		t.Fatalf("finishing drained job: %v", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerCrashedHookStopsLoop(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{Lease: 100 * time.Millisecond, RetryBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 1})
+	defer c.Close()
+	b := bench.BySuite(bench.SuiteEEMBC)[0]
+	id, _ := c.Submit("", []*bench.Benchmark{b}, []core.Config{core.BestPDOALL()}, false)
+
+	w, err := NewWorker(WorkerOptions{
+		ID: "mortal", Coordinator: c, Poll: time.Millisecond,
+		Hooks: Hooks{BeforeExecute: func(context.Context, *Task) error { return ErrWorkerCrashed }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(context.Background()); !errors.Is(err, ErrWorkerCrashed) {
+		t.Fatalf("Run returned %v, want ErrWorkerCrashed", err)
+	}
+
+	// The crashed worker's lease expires and a healthy worker completes
+	// the cell on a later attempt.
+	stop := startFleet(t, c, 1, nil)
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, id); err != nil {
+		t.Fatalf("recovering from crash: %v", err)
+	}
+	st, _ := c.Status(id)
+	if st.Counts[core.OutcomeOK] != 1 {
+		t.Fatalf("counts %v after crash recovery, want 1 ok", st.Counts)
+	}
+	if st.Cells[0].Attempts < 2 {
+		t.Fatalf("attempts %d, want >= 2 (crash charged the budget)", st.Cells[0].Attempts)
+	}
+	if c.Stats().LeaseExpiries == 0 {
+		t.Fatal("crash never expired a lease")
+	}
+}
+
+func TestWorkerQuarantinedByBreaker(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{
+		Lease: 5 * time.Second, BreakerThreshold: 1, BreakerCooldown: time.Minute,
+		RetryBackoff: time.Millisecond, MaxBackoff: time.Millisecond, Seed: 1,
+	})
+	defer c.Close()
+	b := bench.BySuite(bench.SuiteEEMBC)[0]
+	c.Submit("", []*bench.Benchmark{b}, []core.Config{core.BestPDOALL()}, false)
+
+	// Every commit from this worker is corrupted, so its first commit
+	// trips the threshold-1 breaker and the next claim quarantines it.
+	w, err := NewWorker(WorkerOptions{
+		ID: "liar", Coordinator: c, Poll: time.Millisecond,
+		Hooks: Hooks{TransformResults: func(task *Task, results []CellResult) []CellResult {
+			for i := range results {
+				results[i].Report = nil // ok outcome without a report: corrupt
+			}
+			return results
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Ready() || w.Stats().BreakerRejections == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never quarantined: ready=%v stats=%+v", w.Ready(), w.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if got := c.Stats().CorruptCommits; got == 0 {
+		t.Fatal("no corrupt commits recorded")
+	}
+	for _, wi := range c.Workers() {
+		if wi.ID == "liar" && wi.Breaker != BreakerOpen {
+			t.Fatalf("liar breaker %s, want open", wi.State)
+		}
+	}
+}
+
+func TestWorkerPanicsBecomePanicResults(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{Lease: 5 * time.Second, MaxAttempts: 1, RetryBackoff: time.Millisecond, MaxBackoff: time.Millisecond, Seed: 1})
+	defer c.Close()
+	b := bench.BySuite(bench.SuiteEEMBC)[0]
+	id, _ := c.Submit("", []*bench.Benchmark{b}, []core.Config{core.BestPDOALL()}, false)
+
+	// An injected panic mid-task must not kill the worker: it converts
+	// to per-cell panic results, which with MaxAttempts=1 park the cell.
+	stop := startFleet(t, c, 1, func(int) Hooks {
+		return Hooks{TransformResults: func(*Task, []CellResult) []CellResult {
+			panic("mid-cell bomb")
+		}}
+	})
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx, id); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	st, _ := c.Status(id)
+	if st.Cells[0].State != CellParked || st.Cells[0].Outcome != core.OutcomePanic {
+		t.Fatalf("cell %+v, want parked panic", st.Cells[0])
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerExecuteUnknownBenchmark(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{Seed: 1})
+	defer c.Close()
+	w, err := NewWorker(WorkerOptions{ID: "w", Coordinator: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := &Task{ID: "t", Job: "j", Bench: "no-such-benchmark",
+		Cells: []TaskCell{{Config: core.BestPDOALL(), Attempt: 1}}, LeaseMs: 1000}
+	results := w.execute(context.Background(), task)
+	if len(results) != 1 || results[0].Outcome != core.OutcomeError {
+		t.Fatalf("unknown benchmark results %+v, want one error outcome", results)
+	}
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	if _, err := NewWorker(WorkerOptions{Coordinator: NewCoordinator(CoordinatorOptions{Seed: 1})}); err == nil {
+		t.Fatal("worker without id accepted")
+	}
+	if _, err := NewWorker(WorkerOptions{ID: "w"}); err == nil {
+		t.Fatal("worker without coordinator accepted")
+	}
+}

@@ -1,4 +1,4 @@
-package serve
+package metrics
 
 import (
 	"strings"
@@ -37,6 +37,27 @@ func TestUnlabeledCounterRendersZero(t *testing.T) {
 	r.NewCounter("t_ticks_total", "Ticks.")
 	if out := render(r); !strings.Contains(out, "t_ticks_total 0\n") {
 		t.Errorf("untouched unlabeled counter not rendered as 0:\n%s", out)
+	}
+}
+
+func TestSettableGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("t_breaker_state", "Breaker state.", "worker")
+	g.Set(1, "w1")
+	g.Set(2, "w0")
+	g.Set(0, "w1") // overwrite, not accumulate
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE t_breaker_state gauge",
+		`t_breaker_state{worker="w0"} 2`,
+		`t_breaker_state{worker="w1"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if g.Value("w0") != 2 {
+		t.Errorf("value %v", g.Value("w0"))
 	}
 }
 

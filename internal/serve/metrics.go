@@ -1,280 +1,33 @@
 package serve
 
-// A minimal Prometheus text-format (version 0.0.4) instrumentation layer.
-// The repo takes no external dependencies, so this file implements the
-// three instrument shapes /metrics needs — counters, function gauges, and
-// cumulative histograms, each optionally labeled — plus a registry that
-// renders them in registration order with sorted label series, so scrapes
-// diff stably.
+// The Prometheus instrumentation layer moved to internal/metrics when the
+// sweep cluster (internal/cluster) started exporting its own series; these
+// aliases keep the serve package's historical names working for the server
+// code and its tests.
 
-import (
-	"fmt"
-	"io"
-	"sort"
-	"strings"
-	"sync"
-)
+import "loopapalooza/internal/metrics"
 
 // Registry holds the registered instruments and renders them.
-type Registry struct {
-	mu    sync.Mutex
-	order []renderer
-}
-
-// renderer is one registered metric family.
-type renderer interface {
-	render(w io.Writer)
-}
-
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
-
-// register appends a family (registration order is render order).
-func (r *Registry) register(m renderer) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.order = append(r.order, m)
-}
-
-// Write renders every family in the Prometheus text exposition format.
-func (r *Registry) Write(w io.Writer) {
-	r.mu.Lock()
-	fams := append([]renderer(nil), r.order...)
-	r.mu.Unlock()
-	for _, m := range fams {
-		m.render(w)
-	}
-}
-
-// labelKey joins label values into a map key; \xff cannot appear in a
-// valid UTF-8 label value byte sequence boundary we care about.
-func labelKey(values []string) string { return strings.Join(values, "\xff") }
-
-// renderLabels formats {name="value",...} for one series ("" when the
-// family has no labels).
-func renderLabels(names, values []string) string {
-	if len(names) == 0 {
-		return ""
-	}
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, n := range names {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		// %q escapes backslash, quote, and newline exactly as the
-		// exposition format requires.
-		fmt.Fprintf(&b, "%s=%q", n, values[i])
-	}
-	b.WriteByte('}')
-	return b.String()
-}
+type Registry = metrics.Registry
 
 // Counter is a monotonically increasing family, optionally labeled.
-type Counter struct {
-	name, help string
-	labels     []string
+type Counter = metrics.Counter
 
-	mu     sync.Mutex
-	vals   map[string]float64
-	series map[string][]string // key → label values, for rendering
-}
-
-// NewCounter registers a counter family.
-func (r *Registry) NewCounter(name, help string, labels ...string) *Counter {
-	c := &Counter{
-		name: name, help: help, labels: labels,
-		vals: map[string]float64{}, series: map[string][]string{},
-	}
-	r.register(c)
-	return c
-}
-
-// Add increments the series identified by labelValues by v (v must be
-// non-negative to keep the counter monotonic).
-func (c *Counter) Add(v float64, labelValues ...string) {
-	if len(labelValues) != len(c.labels) {
-		panic(fmt.Sprintf("metric %s: %d label values for %d labels", c.name, len(labelValues), len(c.labels)))
-	}
-	k := labelKey(labelValues)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.vals[k]; !ok {
-		c.series[k] = append([]string(nil), labelValues...)
-	}
-	c.vals[k] += v
-}
-
-// Inc adds one.
-func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
-
-// Value returns the current value of one series (0 when never touched).
-func (c *Counter) Value(labelValues ...string) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.vals[labelKey(labelValues)]
-}
-
-// Total returns the sum over all series.
-func (c *Counter) Total() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var t float64
-	for _, v := range c.vals {
-		t += v
-	}
-	return t
-}
-
-func (c *Counter) render(w io.Writer) {
-	c.mu.Lock()
-	keys := make([]string, 0, len(c.vals))
-	for k := range c.vals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	type row struct {
-		labels string
-		val    float64
-	}
-	rows := make([]row, 0, len(keys))
-	for _, k := range keys {
-		rows = append(rows, row{renderLabels(c.labels, c.series[k]), c.vals[k]})
-	}
-	c.mu.Unlock()
-
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
-	if len(rows) == 0 && len(c.labels) == 0 {
-		fmt.Fprintf(w, "%s 0\n", c.name)
-		return
-	}
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s%s %g\n", c.name, r.labels, r.val)
-	}
-}
+// Gauge is a settable gauge family, optionally labeled.
+type Gauge = metrics.Gauge
 
 // GaugeFunc is an unlabeled gauge whose value is sampled at scrape time.
-type GaugeFunc struct {
-	name, help string
-	fn         func() float64
-}
+type GaugeFunc = metrics.GaugeFunc
 
-// NewGaugeFunc registers a sampled gauge.
-func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
-	g := &GaugeFunc{name: name, help: help, fn: fn}
-	r.register(g)
-	return g
-}
+// CounterFunc is an unlabeled counter sampled at scrape time.
+type CounterFunc = metrics.CounterFunc
 
-func (g *GaugeFunc) render(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.fn())
-}
+// Histogram is a cumulative histogram family, optionally labeled.
+type Histogram = metrics.Histogram
 
-// CounterFunc is an unlabeled counter whose cumulative value is sampled at
-// scrape time (for monotonic counts owned by another component, e.g. the
-// cache's hit/miss tallies).
-type CounterFunc struct {
-	name, help string
-	fn         func() float64
-}
-
-// NewCounterFunc registers a sampled counter.
-func (r *Registry) NewCounterFunc(name, help string, fn func() float64) *CounterFunc {
-	c := &CounterFunc{name: name, help: help, fn: fn}
-	r.register(c)
-	return c
-}
-
-func (c *CounterFunc) render(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", c.name, c.help, c.name, c.name, c.fn())
-}
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return metrics.NewRegistry() }
 
 // DefaultLatencyBuckets cover 1ms to 10s, the range an analyze request
 // spans between a cache hit and a budget-bounded run.
-var DefaultLatencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10}
-
-// Histogram is a cumulative histogram family, optionally labeled.
-type Histogram struct {
-	name, help string
-	labels     []string
-	buckets    []float64 // upper bounds, ascending; +Inf implied
-
-	mu     sync.Mutex
-	series map[string]*histSeries
-	order  map[string][]string
-}
-
-type histSeries struct {
-	counts []uint64 // one per bucket
-	sum    float64
-	count  uint64
-}
-
-// NewHistogram registers a histogram family with the given upper bounds
-// (nil = DefaultLatencyBuckets).
-func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...string) *Histogram {
-	if buckets == nil {
-		buckets = DefaultLatencyBuckets
-	}
-	h := &Histogram{
-		name: name, help: help, labels: labels, buckets: buckets,
-		series: map[string]*histSeries{}, order: map[string][]string{},
-	}
-	r.register(h)
-	return h
-}
-
-// Observe records one value into the series identified by labelValues.
-func (h *Histogram) Observe(v float64, labelValues ...string) {
-	if len(labelValues) != len(h.labels) {
-		panic(fmt.Sprintf("metric %s: %d label values for %d labels", h.name, len(labelValues), len(h.labels)))
-	}
-	k := labelKey(labelValues)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := h.series[k]
-	if s == nil {
-		s = &histSeries{counts: make([]uint64, len(h.buckets))}
-		h.series[k] = s
-		h.order[k] = append([]string(nil), labelValues...)
-	}
-	for i, ub := range h.buckets {
-		if v <= ub {
-			s.counts[i]++
-		}
-	}
-	s.sum += v
-	s.count++
-}
-
-// Count returns the observation count of one series (tests).
-func (h *Histogram) Count(labelValues ...string) uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s := h.series[labelKey(labelValues)]; s != nil {
-		return s.count
-	}
-	return 0
-}
-
-func (h *Histogram) render(w io.Writer) {
-	h.mu.Lock()
-	keys := make([]string, 0, len(h.series))
-	for k := range h.series {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
-	for _, k := range keys {
-		s, lvs := h.series[k], h.order[k]
-		for i, ub := range h.buckets {
-			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
-				renderLabels(append(h.labels, "le"), append(lvs, fmt.Sprintf("%g", ub))), s.counts[i])
-		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
-			renderLabels(append(h.labels, "le"), append(lvs, "+Inf")), s.count)
-		fmt.Fprintf(w, "%s_sum%s %g\n", h.name, renderLabels(h.labels, lvs), s.sum)
-		fmt.Fprintf(w, "%s_count%s %d\n", h.name, renderLabels(h.labels, lvs), s.count)
-	}
-	h.mu.Unlock()
-}
+var DefaultLatencyBuckets = metrics.DefaultLatencyBuckets

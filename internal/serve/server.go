@@ -1,7 +1,10 @@
 // Package serve turns the limit-study pipeline into a long-lived analysis
 // service: an HTTP server exposing compile+run analysis (POST /v1/analyze),
 // benchmark sweeps over the resident harness (POST /v1/sweep), liveness
-// (GET /healthz), and Prometheus metrics (GET /metrics).
+// (GET /healthz), readiness (GET /readyz), and Prometheus metrics
+// (GET /metrics). With a cluster.Coordinator attached it also serves the
+// async job API (POST /v1/jobs, GET /v1/jobs/{id}) and the worker-facing
+// lease endpoints (POST /v1/cluster/*).
 //
 // Every analyze request flows through a content-addressed cache (SHA-256
 // of name+source+config+budgets, LRU-bounded, singleflight-deduplicated),
@@ -22,9 +25,12 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"loopapalooza/internal/bench"
+	"loopapalooza/internal/cluster"
 	"loopapalooza/internal/core"
 	"loopapalooza/internal/diag"
 )
@@ -66,9 +72,21 @@ type Options struct {
 	// Harness is the sweep substrate; nil creates one wired to the
 	// server's default budgets and limiter width.
 	Harness *bench.Harness
+	// Cluster mounts the async job API (POST /v1/jobs, GET
+	// /v1/jobs/{id}) and the worker-facing lease endpoints (POST
+	// /v1/cluster/*) on this coordinator. Nil serves no cluster surface.
+	Cluster *cluster.Coordinator
+	// ReadyChecks gate GET /readyz: any check returning an error marks
+	// the process NOT-READY with that reason (e.g. a worker role reports
+	// its breaker quarantine). Liveness (GET /healthz) is unaffected.
+	ReadyChecks []ReadyCheck
 	// Log receives structured request logs (nil = discard).
 	Log *slog.Logger
 }
+
+// ReadyCheck reports a reason the process should not receive traffic
+// (nil = ready).
+type ReadyCheck func() error
 
 // Server is the analysis service.
 type Server struct {
@@ -83,9 +101,13 @@ type Server struct {
 	reg     *Registry
 	start   time.Time
 
-	baseCtx context.Context // outlives requests; canceled by Close
-	cancel  context.CancelFunc
-	httpSrv *http.Server
+	baseCtx  context.Context // outlives requests; canceled by Close
+	cancel   context.CancelFunc
+	httpSrv  *http.Server
+	draining atomic.Bool // set when Shutdown begins; flips /readyz
+
+	readyMu     sync.RWMutex
+	readyChecks []ReadyCheck
 
 	// Metrics.
 	mRequests   *Counter
@@ -142,6 +164,7 @@ func New(opts Options) (*Server, error) {
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	s.readyChecks = append(s.readyChecks, opts.ReadyChecks...)
 	s.registerMetrics()
 	s.routes()
 	// Built here, not in Serve, so Shutdown from another goroutine never
@@ -191,6 +214,9 @@ func (s *Server) registerMetrics() {
 	s.reg.NewCounterFunc("lpd_harness_executions_saved_total",
 		"Executions avoided by sharing one run across a benchmark's sweep configurations.",
 		func() float64 { return float64(s.harness.Stats().Saved) })
+	if s.opts.Cluster != nil {
+		s.opts.Cluster.RegisterMetrics(s.reg)
+	}
 	if s.traces != nil {
 		s.reg.NewCounterFunc("lpd_trace_cache_hits_total",
 			"Analyze fills served by replaying a cached event trace.",
@@ -214,7 +240,16 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.opts.Cluster != nil {
+		s.mux.Handle("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
+		s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobStatus))
+		s.mux.Handle("GET /v1/cluster/workers", s.instrument("/v1/cluster/workers", s.handleClusterWorkers))
+		// The worker-facing lease endpoints (claim/heartbeat/commit/
+		// release) come as one subtree from the coordinator.
+		s.mux.Handle("POST /v1/cluster/", s.instrument("/v1/cluster/", s.opts.Cluster.Handler().ServeHTTP))
+	}
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
@@ -239,10 +274,15 @@ func (s *Server) Serve(l net.Listener) error {
 	return err
 }
 
-// Shutdown gracefully drains the server: it stops accepting connections
-// and waits for in-flight requests (and their runs) to complete, up to
-// ctx. Call Close afterwards to cancel any stragglers.
+// Shutdown gracefully drains the server: /readyz flips NOT-READY, the
+// coordinator (when present) refuses new submissions and claims, then
+// the listener stops accepting and in-flight requests (and their runs)
+// complete, up to ctx. Call Close afterwards to cancel any stragglers.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.opts.Cluster != nil {
+		s.opts.Cluster.Drain()
+	}
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -285,13 +325,18 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 			dur := time.Since(start)
 			s.mRequests.Inc(path, fmt.Sprint(rec.status))
 			s.mLatency.Observe(dur.Seconds(), path)
-			if path != "/metrics" && path != "/healthz" {
+			if path != "/metrics" && path != "/healthz" && path != "/readyz" {
 				s.log.Info("request", "method", r.Method, "path", path,
 					"status", rec.status, "durMs", dur.Milliseconds())
 			}
 		}()
 		h(rec, r)
 	})
+}
+
+// decodeJSON decodes a request body bounded by maxBytes into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes)).Decode(v)
 }
 
 // writeJSON writes v with the given status.
@@ -448,8 +493,7 @@ func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req AnalyzeRequest
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxSourceBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := decodeJSON(w, r, s.opts.MaxSourceBytes, &req); err != nil {
 		s.badRequest(w, "decoding request: %v", err)
 		return
 	}
@@ -588,34 +632,14 @@ type SweepResponse struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxSourceBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := decodeJSON(w, r, s.opts.MaxSourceBytes, &req); err != nil {
 		s.badRequest(w, "decoding request: %v", err)
 		return
 	}
-	benches := bench.All()
-	if len(req.Benchmarks) > 0 {
-		benches = benches[:0:0]
-		for _, name := range req.Benchmarks {
-			b := bench.ByName(name)
-			if b == nil {
-				s.badRequest(w, "unknown benchmark %q", name)
-				return
-			}
-			benches = append(benches, b)
-		}
-	}
-	cfgs := core.PaperConfigs()
-	if len(req.Configs) > 0 {
-		cfgs = cfgs[:0:0]
-		for _, cs := range req.Configs {
-			cfg, err := core.ParseConfig(cs)
-			if err != nil {
-				s.badRequest(w, "%v", err)
-				return
-			}
-			cfgs = append(cfgs, cfg)
-		}
+	benches, cfgs, err := s.resolveSelection(req.Benchmarks, req.Configs)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
 	}
 
 	// A sweep is one limiter unit: its internal workers already bound the
@@ -664,6 +688,10 @@ type HealthzResponse struct {
 	InflightRuns  int    `json:"inflightRuns"`
 }
 
+// handleHealthz is pure liveness: the process is up and can answer.
+// It stays 200 through drain and quarantine so orchestrators don't
+// restart a process that is merely refusing traffic — readiness lives
+// at /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthzResponse{
 		Status:        "ok",
@@ -671,6 +699,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		CacheEntries:  s.cache.Stats().Entries,
 		InflightRuns:  s.lim.InUse(),
 	})
+}
+
+// AddReadyCheck appends a readiness gate after construction (e.g. for
+// workers created once the server exists). Safe to call while serving.
+func (s *Server) AddReadyCheck(check ReadyCheck) {
+	s.readyMu.Lock()
+	s.readyChecks = append(s.readyChecks, check)
+	s.readyMu.Unlock()
+}
+
+// ReadyzResponse is the GET /readyz body.
+type ReadyzResponse struct {
+	// Status is "ready" (200) or "not-ready" (503).
+	Status string `json:"status"`
+	// Reasons lists why the process refuses traffic (empty when ready).
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// handleReadyz is readiness: NOT-READY while the server is draining
+// toward shutdown and while any configured ReadyCheck fails (a worker
+// role quarantined by its circuit breaker, for example).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining: shutdown in progress")
+	}
+	s.readyMu.RLock()
+	checks := s.readyChecks
+	s.readyMu.RUnlock()
+	for _, check := range checks {
+		if err := check(); err != nil {
+			reasons = append(reasons, err.Error())
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Status: "not-ready", Reasons: reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyzResponse{Status: "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

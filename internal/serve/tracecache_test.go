@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"net/http"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"loopapalooza/internal/core"
@@ -51,6 +54,114 @@ func TestTraceCacheLRUByteBudget(t *testing.T) {
 	tc.Drop("a")
 	if st := tc.Stats(); st.Bytes != 70 || st.Entries != 3 {
 		t.Errorf("after drop: %+v, want 70 bytes, 3 entries", st)
+	}
+}
+
+// TestTraceCacheConcurrentDropDuringReplay: Drop removes an entry while
+// other goroutines are replaying the trace they just Got. Get hands out
+// the stored byte slice, so an in-flight replay must keep working on its
+// snapshot while the entry disappears (and reappears) under it — the
+// poisoned-trace fallback (Get → failed replay → Drop) races exactly
+// like this in production. Run with -race.
+func TestTraceCacheConcurrentDropDuringReplay(t *testing.T) {
+	info, err := core.AnalyzeSource("race", okSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &cappedBuffer{cap: 1 << 20}
+	want, err := core.Run(info, core.BestHELIX(), core.RunOptions{Trace: sink})
+	if err != nil || sink.overflow {
+		t.Fatalf("recording run: err=%v overflow=%v", err, sink.overflow)
+	}
+	tc := NewTraceCache(1 << 20)
+	tc.Put("k", info, sink.buf)
+
+	// The dropper cycles Drop/Put until every reader has replayed its
+	// quota, so a Get always eventually wins no matter how the goroutines
+	// are scheduled — then one final Drop empties the store.
+	start := make(chan struct{})
+	var readers, dropper sync.WaitGroup
+	var stopDrop atomic.Bool
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			<-start
+			for replayed := 0; replayed < 10; {
+				mi, trace, ok := tc.Get("k")
+				if !ok {
+					continue // dropped from under us: a legal miss
+				}
+				rep, err := core.ReplayTrace("race", mi, core.BestHELIX(), core.RunOptions{}, bytes.NewReader(trace))
+				if err != nil {
+					t.Errorf("replay during concurrent drops: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(want, rep) {
+					t.Error("replay under concurrent drops diverged from the recording run")
+					return
+				}
+				replayed++
+			}
+		}()
+	}
+	dropper.Add(1)
+	go func() {
+		defer dropper.Done()
+		<-start
+		for !stopDrop.Load() {
+			tc.Drop("k")
+			tc.Put("k", info, sink.buf)
+		}
+		tc.Drop("k")
+	}()
+	close(start)
+	readers.Wait()
+	stopDrop.Store(true)
+	dropper.Wait()
+
+	if st := tc.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after final drop: %+v, want an empty, zero-byte store", st)
+	}
+}
+
+// TestTraceCacheAccountingAfterFailedFill: fills that cannot produce a
+// cacheable trace — recording overflow, failed run — must leave the byte
+// account untouched, and Drop must stay idempotent so a failed replay
+// can never double-subtract.
+func TestTraceCacheAccountingAfterFailedFill(t *testing.T) {
+	// A tier so small every recorded trace overflows the per-entry cap:
+	// the analyze succeeds, the trace is discarded, the account stays 0.
+	s, ts := newTestServer(t, Options{TraceCacheBytes: 40})
+	status, body := postJSON(t, ts.URL+"/v1/analyze",
+		AnalyzeRequest{Name: "big", Source: okSrc})
+	if status != http.StatusOK {
+		t.Fatalf("analyze with tiny trace tier: %d\n%s", status, body)
+	}
+	if st := s.traces.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("overflowed recording leaked into the store: %+v", st)
+	}
+
+	// A fill that fails outright must not store its partial trace.
+	s2, ts2 := newTestServer(t, Options{})
+	status, body = postJSON(t, ts2.URL+"/v1/analyze",
+		AnalyzeRequest{Name: "doomed", Source: okSrc, Budgets: &Budgets{MaxSteps: 10}})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("step-limited analyze: %d, want 422\n%s", status, body)
+	}
+	if st := s2.traces.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("failed fill leaked a trace into the store: %+v", st)
+	}
+
+	// Drop is idempotent: ghosts and double drops leave the account exact.
+	tc := NewTraceCache(100)
+	tc.Put("x", nil, make([]byte, 10))
+	tc.Put("y", nil, make([]byte, 7))
+	tc.Drop("ghost")
+	tc.Drop("x")
+	tc.Drop("x")
+	if st := tc.Stats(); st.Bytes != 7 || st.Entries != 1 {
+		t.Fatalf("after ghost/double drops: %+v, want exactly y's 7 bytes", st)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"loopapalooza/internal/analysis"
 	"loopapalooza/internal/bench"
+	"loopapalooza/internal/cluster"
 	"loopapalooza/internal/core"
 )
 
@@ -199,3 +200,47 @@ func Benchmarks() []*Benchmark { return bench.All() }
 
 // BenchmarkByName returns one registered kernel, or nil.
 func BenchmarkByName(name string) *Benchmark { return bench.ByName(name) }
+
+// The cluster facade: a fault-tolerant coordinator + worker fleet for
+// distributed sweeps. A Coordinator owns per-tenant job queues, leases,
+// retries, and per-worker circuit breakers; ClusterWorkers claim batches
+// of sweep cells (in-process, or remotely via NewClusterClient), execute
+// them on a local harness, and commit verified per-cell reports. See
+// internal/cluster for the full semantics.
+
+// Coordinator owns cluster jobs, queues, leases, and breakers.
+type Coordinator = cluster.Coordinator
+
+// CoordinatorOptions configures a Coordinator (zero values = defaults).
+type CoordinatorOptions = cluster.CoordinatorOptions
+
+// ClusterWorker claims and executes sweep cells against a coordinator.
+type ClusterWorker = cluster.Worker
+
+// ClusterWorkerOptions configures a ClusterWorker.
+type ClusterWorkerOptions = cluster.WorkerOptions
+
+// Coordination is the worker-facing coordinator surface, implemented
+// in-process by *Coordinator and over HTTP by NewClusterClient.
+type Coordination = cluster.Coordination
+
+// JobStatus reports one cluster job: per-cell states, outcome counts,
+// and the aggregate summary line.
+type JobStatus = cluster.JobStatus
+
+// NewCoordinator returns a running coordinator; call its Close to stop
+// the lease janitor.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	return cluster.NewCoordinator(opts)
+}
+
+// NewClusterWorker builds a worker against a Coordination surface.
+func NewClusterWorker(opts ClusterWorkerOptions) (*ClusterWorker, error) {
+	return cluster.NewWorker(opts)
+}
+
+// NewClusterClient returns the HTTP Coordination client for the
+// coordinator at base (e.g. "http://coordinator:8080").
+func NewClusterClient(base string) Coordination {
+	return cluster.NewClient(base, nil)
+}

@@ -2,9 +2,11 @@ package loopapalooza_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	lp "loopapalooza"
 )
@@ -175,5 +177,47 @@ func main() int {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	coord := lp.NewCoordinator(lp.CoordinatorOptions{Seed: 1})
+	defer coord.Close()
+	w, err := lp.NewClusterWorker(lp.ClusterWorkerOptions{ID: "facade", Coordinator: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	b := lp.Benchmarks()[0]
+	id, err := coord.Submit("", []*lp.Benchmark{b}, []lp.Config{lp.BestHELIX()}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, waitCancel := context.WithTimeout(ctx, 30*time.Second)
+	defer waitCancel()
+	if err := coord.Wait(waitCtx, id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := coord.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *lp.JobStatus = st
+	if st.Counts[lp.OutcomeOK] != 1 || st.Cells[0].Report == nil {
+		t.Fatalf("cluster job status %+v, want 1 ok with report", st)
+	}
+
+	// The committed report matches a direct single-process study.
+	direct, err := b.Run(lp.BestHELIX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := coord.Report(id, b.Name, lp.BestHELIX())
+	if got == nil || got.SerialCost != direct.SerialCost || got.ParallelCost != direct.ParallelCost {
+		t.Fatalf("cluster report %+v differs from direct run %+v", got, direct)
 	}
 }
