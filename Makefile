@@ -58,6 +58,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/lang
 	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/lang
 	$(GO) test -run='^$$' -fuzz='^FuzzCompileAndRun$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzBytecodeDifferential$$' -fuzztime=$(FUZZTIME) ./internal/core
 
 # Longer fuzzing session (override FUZZTIME for overnight runs).
 fuzz:
@@ -83,14 +84,15 @@ vuln:
 	fi
 
 # Full measurement run: the perf suite (engine hot path, interpreter
-# dispatch, end-to-end sweep; shadow vs legacy-map and fanout vs
-# per-config sub-benchmarks) plus the root interpreter benchmark,
-# rendered to BENCH_PR5.json with the speedup-ratio tables.
+# dispatch, end-to-end sweep; shadow vs legacy-map, fanout vs per-config,
+# and bytecode vs treewalk sub-benchmarks, plus the bytecode compiler's
+# opcode-mix census) and the root interpreter benchmark, rendered to
+# BENCH_PR7.json with the speedup-ratio tables.
 bench:
-	$(GO) test -run='^$$' -bench='EngineLoadStore|EngineNestedLoadStore|EngineEnterExit|InterpDispatch|SweepSuite|SweepFanout' \
+	$(GO) test -run='^$$' -bench='EngineLoadStore|EngineNestedLoadStore|EngineEnterExit|InterpDispatch|SweepSuite|SweepFanout|SweepEngines|BytecodeLowering' \
 		-benchmem -count=1 ./internal/core ./internal/interp ./internal/bench | tee bench.out
 	$(GO) test -run='^$$' -bench='^BenchmarkInterpreter$$' -benchmem -count=1 . | tee -a bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR5.json bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json bench.out
 	rm -f bench.out
 
 figures:

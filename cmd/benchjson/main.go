@@ -1,7 +1,7 @@
 // Command benchjson converts `go test -bench` output into a
-// machine-readable JSON summary (BENCH_PR5.json). It parses every
+// machine-readable JSON summary (BENCH_PR7.json). It parses every
 // benchmark line, keeps all reported metrics (ns/op, B/op, allocs/op,
-// and custom metrics like instrs/sec), and derives three ratio tables:
+// and custom metrics like instrs/sec), and derives four ratio tables:
 //
 //   - fanout_vs_perconfig: for each benchmark with /fanout and
 //     /per-config sub-benchmarks, the per-config÷fanout time ratio —
@@ -11,13 +11,21 @@
 //     sub-benchmarks, the legacy÷shadow time ratio and the per-op bytes
 //     saved — the cost of the differential oracle's map tracker relative
 //     to the production shadow memory.
+//   - bytecode_vs_treewalk: for each benchmark with /bytecode and
+//     /treewalk sub-benchmarks, the treewalk÷bytecode time ratio — the
+//     dispatch cost the register-based bytecode VM compiles away
+//     relative to the tree-walking oracle.
 //   - seed_vs_current: current numbers against baselines measured at the
 //     pre-shadow-memory seed commit with identical access patterns.
 //
+// It also extracts BenchmarkBytecodeLowering's custom "op/<mnemonic>"
+// metrics into a bytecode_lowering table: the suite-wide static opcode
+// mix and superinstruction coverage of the bytecode compiler.
+//
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR5.json
-//	go run ./cmd/benchjson -o BENCH_PR5.json bench.out
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR7.json
+//	go run ./cmd/benchjson -o BENCH_PR7.json bench.out
 package main
 
 import (
@@ -76,6 +84,12 @@ var seedBaselines = map[string]seedBaseline{
 		current: "BenchmarkInterpreter",
 		metrics: map[string]float64{"ns/op": 4.64e6},
 	},
+	// Measured immediately before the bytecode VM landed: the tree-walking
+	// dispatch loop with a fresh interpreter per run.
+	"BenchmarkInterpDispatch": {
+		current: "BenchmarkInterpDispatch/bytecode",
+		metrics: map[string]float64{"ns/op": 6.7e6, "B/op": 5184, "allocs/op": 18},
+	},
 	"lpbench-all-figures": {
 		current: "lpbench-all-figures",
 		metrics: map[string]float64{"sec/run": 21.457},
@@ -90,12 +104,24 @@ var extraCurrent = map[string]map[string]float64{
 }
 
 type output struct {
-	Schema            string                      `json:"schema"`
-	Note              string                      `json:"note"`
-	Benchmarks        []Benchmark                 `json:"benchmarks"`
-	FanoutVsPerConfig map[string]map[string]Ratio `json:"fanout_vs_perconfig"`
-	ShadowVsLegacy    map[string]map[string]Ratio `json:"shadow_vs_legacy"`
-	SeedVsCurrent     map[string]map[string]Ratio `json:"seed_vs_current"`
+	Schema             string                      `json:"schema"`
+	Note               string                      `json:"note"`
+	Benchmarks         []Benchmark                 `json:"benchmarks"`
+	FanoutVsPerConfig  map[string]map[string]Ratio `json:"fanout_vs_perconfig"`
+	ShadowVsLegacy     map[string]map[string]Ratio `json:"shadow_vs_legacy"`
+	BytecodeVsTreewalk map[string]map[string]Ratio `json:"bytecode_vs_treewalk"`
+	BytecodeLowering   *loweringStats              `json:"bytecode_lowering,omitempty"`
+	SeedVsCurrent      map[string]map[string]Ratio `json:"seed_vs_current"`
+}
+
+// loweringStats is the static opcode mix of the bytecode compiler over
+// the whole registered suite, pulled from BenchmarkBytecodeLowering's
+// custom metrics.
+type loweringStats struct {
+	Insts       float64            `json:"insts"`
+	FusedInsts  float64            `json:"fusedInsts"`
+	FusedPct    float64            `json:"fusedPct"`
+	OpcodeCount map[string]float64 `json:"opcodeCounts"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
@@ -217,6 +243,34 @@ func run() error {
 		shadowVsLegacy[root] = ratios(legacy, shadow)
 	}
 
+	bytecodeVsTreewalk := map[string]map[string]Ratio{}
+	for name, bc := range byName {
+		root, ok := strings.CutSuffix(name, "/bytecode")
+		if !ok {
+			continue
+		}
+		tw, ok := byName[root+"/treewalk"]
+		if !ok {
+			continue
+		}
+		bytecodeVsTreewalk[root] = ratios(tw, bc)
+	}
+
+	var lowering *loweringStats
+	if m, ok := byName["BenchmarkBytecodeLowering"]; ok {
+		lowering = &loweringStats{
+			Insts:       m["insts"],
+			FusedInsts:  m["fused-insts"],
+			FusedPct:    m["fused-pct"],
+			OpcodeCount: map[string]float64{},
+		}
+		for unit, v := range m {
+			if op, ok := strings.CutPrefix(unit, "op/"); ok {
+				lowering.OpcodeCount[op] = v
+			}
+		}
+	}
+
 	seedVsCurrent := map[string]map[string]Ratio{}
 	for name, base := range seedBaselines {
 		cur, ok := byName[base.current]
@@ -227,13 +281,16 @@ func run() error {
 	}
 
 	doc := output{
-		Schema: "loopapalooza-bench/v1",
-		Note: "speedup >1 means current/fanout/shadow is better; seed baselines " +
-			"measured at commit d237949 with identical access patterns",
-		Benchmarks:        benches,
-		FanoutVsPerConfig: fanoutVsPerConfig,
-		ShadowVsLegacy:    shadowVsLegacy,
-		SeedVsCurrent:     seedVsCurrent,
+		Schema: "loopapalooza-bench/v2",
+		Note: "speedup >1 means current/fanout/shadow/bytecode is better; seed " +
+			"baselines measured at commit d237949 with identical access patterns, " +
+			"except BenchmarkInterpDispatch (measured at the pre-bytecode-VM commit)",
+		Benchmarks:         benches,
+		FanoutVsPerConfig:  fanoutVsPerConfig,
+		ShadowVsLegacy:     shadowVsLegacy,
+		BytecodeVsTreewalk: bytecodeVsTreewalk,
+		BytecodeLowering:   lowering,
+		SeedVsCurrent:      seedVsCurrent,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

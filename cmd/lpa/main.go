@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/bytecode"
 	"loopapalooza/internal/core"
 	"loopapalooza/internal/diag"
 	"loopapalooza/internal/interp"
@@ -53,12 +54,19 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 0, "dynamic instruction budget (0 = default)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	memLimit := flag.Int64("mem-limit", 0, "heap budget in 64-bit cells (0 = default)")
+	engineFlag := flag.String("engine", "bytecode", "execution engine: bytecode or treewalk (oracle)")
 	flag.Parse()
 
+	engine, err := core.ParseEngineKind(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpa:", err)
+		os.Exit(1)
+	}
 	opts := core.RunOptions{
 		MaxSteps:     *maxSteps,
 		Timeout:      *timeout,
 		MaxHeapCells: *memLimit,
+		Engine:       engine,
 	}
 	os.Exit(runMain(*cfgStr, *all, *dumpIR, *justRun, flag.Arg(0), opts))
 }
@@ -159,13 +167,21 @@ func run(cfgStr string, all, dumpIR, justRun bool, name, src string, opts core.R
 		if opts.Timeout > 0 {
 			deadline = time.Now().Add(opts.Timeout)
 		}
-		in := interp.New(info, interp.Config{
+		cfg := interp.Config{
 			Out:          os.Stdout,
 			MaxSteps:     opts.MaxSteps,
 			MaxHeapCells: opts.MaxHeapCells,
 			Deadline:     deadline,
-		})
-		res, err := in.Run("main")
+		}
+		var res interp.Result
+		if opts.Engine == core.EngineTreewalk {
+			res, err = interp.New(info, cfg).Run("main")
+		} else {
+			var prog *bytecode.Program
+			if prog, err = bytecode.For(info); err == nil {
+				res, err = bytecode.NewVM(prog, cfg).Run("main")
+			}
+		}
 		if err != nil {
 			return err
 		}

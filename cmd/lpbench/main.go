@@ -25,6 +25,7 @@
 //
 //	lpbench -fanout=false        # one interpretation per cell (baseline)
 //	lpbench -trace-dir traces/   # record each execution's binary event trace
+//	lpbench -engine treewalk     # execute on the tree-walking oracle engine
 //
 // By default every benchmark is interpreted ONCE per sweep and the event
 // stream is fanned out to all configurations' engines (reports are
@@ -65,6 +66,7 @@ func run() int {
 	memLimit := flag.Int64("mem-limit", 0, "per-run heap budget in 64-bit cells (0 = default)")
 	keepGoing := flag.Bool("keep-going", true, "render figures over surviving cells instead of aborting on the first failure")
 	tracker := flag.String("tracker", "shadow", "dependence tracker: shadow or legacy-map (oracle)")
+	engineFlag := flag.String("engine", "bytecode", "execution engine: bytecode or treewalk (oracle)")
 	fanout := flag.Bool("fanout", true, "share one execution across all of a benchmark's configurations (reports are bit-identical either way)")
 	traceDir := flag.String("trace-dir", "", "record each benchmark execution's event trace into this directory (implies -fanout paths)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -79,6 +81,11 @@ func run() int {
 		kind = core.TrackerLegacyMap
 	default:
 		fmt.Fprintf(os.Stderr, "lpbench: unknown -tracker %q (shadow or legacy-map)\n", *tracker)
+		return 2
+	}
+	engine, err := core.ParseEngineKind(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpbench: %v\n", err)
 		return 2
 	}
 
@@ -125,6 +132,7 @@ func run() int {
 			Timeout:      *timeout,
 			MaxHeapCells: *memLimit,
 			Tracker:      kind,
+			Engine:       engine,
 		},
 		RetryTransient: true,
 		DisableFanout:  !*fanout,
@@ -132,8 +140,8 @@ func run() int {
 	})
 	defer func() {
 		if st := h.Stats(); st.Executions > 0 {
-			fmt.Fprintf(os.Stderr, "lpbench: %d execution(s) served %d cell(s), %d saved by fan-out",
-				st.Executions, st.Cells, st.Saved)
+			fmt.Fprintf(os.Stderr, "lpbench: %d execution(s) under the %s engine served %d cell(s), %d saved by fan-out",
+				st.Executions, engine, st.Cells, st.Saved)
 			if st.Traces > 0 {
 				fmt.Fprintf(os.Stderr, ", %d trace(s) recorded to %s", st.Traces, *traceDir)
 			}

@@ -64,6 +64,7 @@ import (
 	"time"
 
 	"loopapalooza/internal/cluster"
+	"loopapalooza/internal/core"
 	"loopapalooza/internal/serve"
 )
 
@@ -80,6 +81,7 @@ type config struct {
 	memLimit      int64
 	timeout       time.Duration
 	shutdown      time.Duration
+	engine        string
 
 	lease            time.Duration
 	maxAttempts      int
@@ -104,6 +106,7 @@ func main() {
 	flag.Int64Var(&cfg.memLimit, "mem-limit", 0, "per-run heap budget in 64-bit cells and cap (0 = interpreter default)")
 	flag.DurationVar(&cfg.shutdown, "shutdown-timeout", 15*time.Second,
 		"graceful-shutdown window; on expiry in-flight cells are released back to the queue as canceled")
+	flag.StringVar(&cfg.engine, "engine", "bytecode", "execution engine: bytecode or treewalk (oracle)")
 	flag.DurationVar(&cfg.lease, "lease", cluster.DefaultLease, "cluster task lease duration")
 	flag.IntVar(&cfg.maxAttempts, "max-attempts", cluster.DefaultMaxAttempts, "per-cell retry budget (executions)")
 	flag.DurationVar(&cfg.retryBackoff, "retry-backoff", cluster.DefaultRetryBackoff, "base of the exponential retry backoff")
@@ -123,6 +126,11 @@ func main() {
 
 func run(cfg config) int {
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	engine, err := core.ParseEngineKind(cfg.engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpd:", err)
+		return 2
+	}
 	budgets := serve.Budgets{
 		MaxSteps:     cfg.maxSteps,
 		MaxHeapCells: cfg.memLimit,
@@ -133,6 +141,7 @@ func run(cfg config) int {
 		MaxBudgets:     budgets,
 		MaxConcurrent:  cfg.maxConcurrent,
 		CacheEntries:   cfg.cacheEntries,
+		Engine:         engine,
 		Log:            log,
 	}
 
@@ -253,7 +262,7 @@ func run(cfg config) int {
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe(cfg.addr) }()
 	log.Info("lpd listening", "addr", cfg.addr, "role", cfg.role,
-		"workers", len(workers), "maxSteps", cfg.maxSteps,
+		"engine", engine.String(), "workers", len(workers), "maxSteps", cfg.maxSteps,
 		"timeoutMs", cfg.timeout.Milliseconds(), "memLimit", cfg.memLimit)
 
 	select {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sync"
 
 	"loopapalooza/internal/ir"
 )
@@ -78,6 +79,18 @@ type ModuleInfo struct {
 	Purity *Purity
 	// Loops lists every loop meta in the module, in a stable order.
 	Loops []*LoopMeta
+
+	// Lowered memoizes the bytecode compilation of this module: the
+	// bytecode engine lowers each function exactly once per ModuleInfo
+	// (concurrent runs share the result through Once) and caches it here.
+	// Prog's concrete type is owned by internal/bytecode; hosting the
+	// slot on the analysis ties the lowering's lifetime to the analysis
+	// it was derived from instead of leaking through a global map.
+	Lowered struct {
+		Once sync.Once
+		Prog any
+		Err  error
+	}
 }
 
 // AnalyzeModule runs the full compile-time pipeline on m, mutating it:

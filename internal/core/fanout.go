@@ -287,21 +287,22 @@ func prepareEngines(info *analysis.ModuleInfo, cfgs []Config, kind TrackerKind) 
 	return engines, nil
 }
 
-// interpret runs main under the given hooks with the RunOptions budgets.
+// interpret runs main under the selected execution engine with the given
+// hooks and the RunOptions budgets.
 func interpret(info *analysis.ModuleInfo, opts RunOptions, hooks interp.Hooks) error {
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
-	in := interp.New(info, interp.Config{
+	cfg := interp.Config{
 		Out:          opts.Out,
 		MaxSteps:     opts.MaxSteps,
 		MaxHeapCells: opts.MaxHeapCells,
 		Ctx:          opts.Ctx,
 		Deadline:     deadline,
 		Hooks:        hooks,
-	})
-	if _, err := in.Run("main", opts.EntryArgs...); err != nil {
+	}
+	if _, err := execute(info, opts.Engine, cfg, opts.EntryArgs); err != nil {
 		return fmt.Errorf("core: %s: %w", info.Mod.Name, err)
 	}
 	return nil

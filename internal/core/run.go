@@ -34,6 +34,10 @@ type RunOptions struct {
 	// value is the shadow-memory tracker; TrackerLegacyMap keeps the
 	// original map-based write sets (differential-oracle runs).
 	Tracker TrackerKind
+	// Engine selects the execution engine. The zero value is the bytecode
+	// VM; EngineTreewalk keeps the original IR walker
+	// (differential-oracle runs).
+	Engine EngineKind
 	// Trace, when non-nil, receives the binary event trace of the
 	// execution (see TraceWriter), which ReplayTrace can later evaluate
 	// under any configuration without re-executing. A trace write failure
@@ -60,26 +64,14 @@ func Run(info *analysis.ModuleInfo, cfg Config, opts RunOptions) (rep *Report, e
 				&PanicError{Val: r, Stack: string(debug.Stack())})
 		}
 	}()
-	var deadline time.Time
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
-	}
 	engine := NewEngineTracker(info, cfg, opts.Tracker)
 	var hooks interp.Hooks = engine
 	tw := traceSink(info, opts)
 	if tw != nil {
 		hooks = &multiHooks{hs: []interp.Hooks{engine, tw}}
 	}
-	in := interp.New(info, interp.Config{
-		Out:          opts.Out,
-		MaxSteps:     opts.MaxSteps,
-		MaxHeapCells: opts.MaxHeapCells,
-		Ctx:          opts.Ctx,
-		Deadline:     deadline,
-		Hooks:        hooks,
-	})
-	if _, err := in.Run("main", opts.EntryArgs...); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", info.Mod.Name, err)
+	if err := interpret(info, opts, hooks); err != nil {
+		return nil, err
 	}
 	if tw != nil {
 		if err := tw.Close(); err != nil {

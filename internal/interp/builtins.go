@@ -2,10 +2,88 @@ package interp
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"loopapalooza/internal/ir"
 )
+
+// RandSeed is the initial state of the deterministic guest rand() LCG.
+// Both execution engines start from it so rand-driven programs replay
+// identically under either engine.
+const RandSeed uint64 = 0x2545F4914F6CDD1D
+
+// EvalBuiltin evaluates the builtin name against the engine-owned library
+// state: the simulated memory, the output stream, and the deterministic
+// rand state. It is the single implementation shared by the tree-walking
+// interpreter and the bytecode VM, so builtin semantics (allocation,
+// print formatting, the rand LCG) cannot drift between engines. The
+// caller has already charged the call tick and the registry Cost, and has
+// validated the name against ir.BuiltinAttr. Memory-budget failures wrap
+// ErrMemLimit; any other error is a guest fault described by its text.
+func EvalBuiltin(name string, args []Val, mem *Memory, out io.Writer, randState *uint64) (Val, error) {
+	switch name {
+	case "sqrt":
+		return FloatVal(math.Sqrt(args[0].F)), nil
+	case "sin":
+		return FloatVal(math.Sin(args[0].F)), nil
+	case "cos":
+		return FloatVal(math.Cos(args[0].F)), nil
+	case "exp":
+		return FloatVal(math.Exp(args[0].F)), nil
+	case "log":
+		return FloatVal(math.Log(args[0].F)), nil
+	case "pow":
+		return FloatVal(math.Pow(args[0].F, args[1].F)), nil
+	case "floor":
+		return FloatVal(math.Floor(args[0].F)), nil
+	case "fabs":
+		return FloatVal(math.Abs(args[0].F)), nil
+	case "fmin":
+		return FloatVal(math.Min(args[0].F, args[1].F)), nil
+	case "fmax":
+		return FloatVal(math.Max(args[0].F, args[1].F)), nil
+	case "abs":
+		v := args[0].I
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(v), nil
+	case "min":
+		a, b := args[0].I, args[1].I
+		if b < a {
+			a = b
+		}
+		return IntVal(a), nil
+	case "max":
+		a, b := args[0].I, args[1].I
+		if b > a {
+			a = b
+		}
+		return IntVal(a), nil
+	case "alloc", "allocf":
+		base, err := mem.HeapAlloc(args[0].I)
+		if err != nil {
+			return Val{}, err
+		}
+		return PtrVal(base), nil
+	case "rand":
+		// Deterministic 64-bit LCG (Knuth), hidden library state:
+		// exactly the kind of non-re-entrant function fn2 excludes.
+		*randState = *randState*6364136223846793005 + 1442695040888963407
+		return IntVal(int64(*randState>>33) & 0x7fffffff), nil
+	case "srand":
+		*randState = uint64(args[0].I)*2862933555777941757 + 3037000493
+		return Val{}, nil
+	case "print_i64":
+		fmt.Fprintf(out, "%d\n", args[0].I)
+		return Val{}, nil
+	case "print_f64":
+		fmt.Fprintf(out, "%g\n", args[0].F)
+		return Val{}, nil
+	}
+	return Val{}, fmt.Errorf("builtin %q not implemented", name)
+}
 
 // execBuiltin evaluates a builtin call. Builtins charge their registry Cost
 // in dynamic instructions, standing in for their uninstrumented bodies
@@ -17,67 +95,17 @@ func (in *Interp) execBuiltin(fr *frame, i *ir.Instr) Val {
 	}
 	// The call instruction itself already cost 1 tick; add the body.
 	in.tick(bi.Cost)
-	arg := func(k int) Val { return in.val(fr, i.Args[k]) }
-	switch i.Builtin {
-	case "sqrt":
-		return FloatVal(math.Sqrt(arg(0).F))
-	case "sin":
-		return FloatVal(math.Sin(arg(0).F))
-	case "cos":
-		return FloatVal(math.Cos(arg(0).F))
-	case "exp":
-		return FloatVal(math.Exp(arg(0).F))
-	case "log":
-		return FloatVal(math.Log(arg(0).F))
-	case "pow":
-		return FloatVal(math.Pow(arg(0).F, arg(1).F))
-	case "floor":
-		return FloatVal(math.Floor(arg(0).F))
-	case "fabs":
-		return FloatVal(math.Abs(arg(0).F))
-	case "fmin":
-		return FloatVal(math.Min(arg(0).F, arg(1).F))
-	case "fmax":
-		return FloatVal(math.Max(arg(0).F, arg(1).F))
-	case "abs":
-		v := arg(0).I
-		if v < 0 {
-			v = -v
-		}
-		return IntVal(v)
-	case "min":
-		a, b := arg(0).I, arg(1).I
-		if b < a {
-			a = b
-		}
-		return IntVal(a)
-	case "max":
-		a, b := arg(0).I, arg(1).I
-		if b > a {
-			a = b
-		}
-		return IntVal(a)
-	case "alloc", "allocf":
-		base, err := in.mem.heapAlloc(arg(0).I)
-		if err != nil {
-			in.failMem(err)
-		}
-		return PtrVal(base)
-	case "rand":
-		// Deterministic 64-bit LCG (Knuth), hidden library state:
-		// exactly the kind of non-re-entrant function fn2 excludes.
-		in.randState = in.randState*6364136223846793005 + 1442695040888963407
-		return IntVal(int64(in.randState>>33) & 0x7fffffff)
-	case "srand":
-		in.randState = uint64(arg(0).I)*2862933555777941757 + 3037000493
-		return Val{}
-	case "print_i64":
-		fmt.Fprintf(in.out, "%d\n", arg(0).I)
-		return Val{}
-	case "print_f64":
-		fmt.Fprintf(in.out, "%g\n", arg(0).F)
-		return Val{}
+	var buf [2]Val
+	n := len(i.Args)
+	if n > len(buf) {
+		n = len(buf) // no registered builtin takes more than two args
 	}
-	in.fail("builtin %q not implemented", i.Builtin)
-	return Val{}
+	for k := 0; k < n; k++ {
+		buf[k] = in.val(fr, i.Args[k])
+	}
+	ret, err := EvalBuiltin(i.Builtin, buf[:n], in.mem, in.out, &in.randState)
+	if err != nil {
+		in.failMem(err)
+	}
+	return ret
 }

@@ -62,7 +62,7 @@ type Interp struct {
 	hooks Hooks
 	out   io.Writer
 
-	mem        *memory
+	mem        *Memory
 	globalAddr map[*ir.Global]int64
 
 	clock     int64
@@ -122,7 +122,7 @@ func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 		maxSteps:   cfg.MaxSteps,
 		ctx:        cfg.Ctx,
 		deadline:   cfg.Deadline,
-		randState:  0x2545F4914F6CDD1D,
+		randState:  RandSeed,
 	}
 	// The analysis pipeline numbers every function; cover hand-built
 	// modules (tests) that skip it. Single-threaded by construction —
@@ -164,20 +164,20 @@ func New(info *analysis.ModuleInfo, cfg Config) *Interp {
 		if g.Size < 0 || total > globalCap-g.Size {
 			in.initErr = fmt.Errorf("globals exceed the memory budget: %w",
 				&LimitError{Kind: ErrMemLimit, Limit: globalCap})
-			in.mem = newMemory(0, cfg.MaxHeapCells)
+			in.mem = NewMemory(0, cfg.MaxHeapCells)
 			return in
 		}
 		total += g.Size
 	}
-	in.mem = newMemory(total, cfg.MaxHeapCells)
+	in.mem = NewMemory(total, cfg.MaxHeapCells)
 	for _, g := range in.mod.Globals {
 		base := in.globalAddr[g] - GlobalBase
 		for i, v := range g.InitInt {
 			k := g.Elem.Kind()
-			in.mem.globals[base+int64(i)] = Val{K: k, I: v}
+			in.mem.SetGlobal(base+int64(i), Val{K: k, I: v})
 		}
 		for i, v := range g.InitFloat {
-			in.mem.globals[base+int64(i)] = FloatVal(v)
+			in.mem.SetGlobal(base+int64(i), FloatVal(v))
 		}
 	}
 	return in
@@ -319,7 +319,7 @@ func (in *Interp) newFrame(fn *ir.Function) *frame {
 	} else {
 		fr = &frame{regs: make([]Val, n), defTicks: make([]int64, n)}
 	}
-	fr.fn, fr.savedSP, fr.fi = fn, in.mem.sp, in.info.Funcs[fn]
+	fr.fn, fr.savedSP, fr.fi = fn, in.mem.SP, in.info.Funcs[fn]
 	return fr
 }
 
@@ -368,7 +368,7 @@ func (in *Interp) exec(fr *frame) Val {
 					in.hooks.ExitLoop(fr.loops[i])
 				}
 			}
-			in.mem.sp = fr.savedSP
+			in.mem.SP = fr.savedSP
 			return retVal
 		}
 		prev, cur = cur, next
@@ -436,7 +436,7 @@ func (in *Interp) loopEvents(fr *frame, cur, prev *ir.Block) {
 			obs[k] = LCDObs{Val: in.val(fr, inc), DefTick: in.defTickOf(fr, inc)}
 		}
 		in.flushTicks()
-		in.hooks.IterLoop(lm, in.mem.sp, obs)
+		in.hooks.IterLoop(lm, in.mem.SP, obs)
 		return
 	}
 	// First arrival: loop entry. The iteration-zero values are the phi
@@ -455,7 +455,7 @@ func (in *Interp) loopEvents(fr *frame, cur, prev *ir.Block) {
 		}
 	}
 	in.flushTicks()
-	in.hooks.EnterLoop(lm, in.mem.sp, init)
+	in.hooks.EnterLoop(lm, in.mem.SP, init)
 }
 
 // execBody runs the non-phi instructions of a block. It returns the next
@@ -516,7 +516,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		in.setReg(fr, i, IntVal(int64(in.val(fr, i.Args[0]).F)))
 	case ir.OpAlloca:
 		n := in.val(fr, i.Args[0]).I
-		addr, err := in.mem.alloca(n)
+		addr, err := in.mem.Alloca(n)
 		if err != nil {
 			in.failMem(err)
 		}
@@ -525,7 +525,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		addr := in.val(fr, i.Args[0]).I
 		in.flushTicks()
 		in.hooks.Load(addr)
-		v, err := in.mem.load(addr)
+		v, err := in.mem.Load(addr)
 		if err != nil {
 			in.failMem(err)
 		}
@@ -539,7 +539,7 @@ func (in *Interp) execInstr(fr *frame, i *ir.Instr) {
 		addr := in.val(fr, i.Args[0]).I
 		in.flushTicks()
 		in.hooks.Store(addr)
-		if err := in.mem.store(addr, in.val(fr, i.Args[1])); err != nil {
+		if err := in.mem.Store(addr, in.val(fr, i.Args[1])); err != nil {
 			in.failMem(err)
 		}
 	case ir.OpAddPtr:

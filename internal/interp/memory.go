@@ -27,38 +27,63 @@ const (
 // stack cells in frames younger than the current iteration are private.
 func IsStackAddr(addr int64) bool { return addr >= StackTop-DefaultStackWords && addr < StackTop }
 
-// memory is the simulated flat memory: three segments of 64-bit cells.
-type memory struct {
+// Memory is the simulated flat memory: three segments of 64-bit cells. It
+// is shared by both execution engines (the tree-walking interpreter and
+// the bytecode VM), so segment bounds, error messages, and the
+// zero-on-reuse stack discipline cannot drift between them.
+type Memory struct {
 	globals    []Val // addresses [GlobalBase, GlobalBase+len)
 	heap       []Val // addresses [HeapBase, HeapBase+len)
 	heapLimit  int64
 	stack      []Val // stack[i] holds address StackTop-1-i
 	stackLimit int64
-	sp         int64 // next free stack address + 1 boundary; valid cells are [sp, StackTop)
+	// SP is the stack pointer: next free stack address + 1 boundary;
+	// valid cells are [SP, StackTop). Engines save and restore it around
+	// guest calls (frame pop is a plain SP restore).
+	SP int64
 }
 
-func newMemory(globalWords, heapLimit int64) *memory {
+// NewMemory returns a fresh memory with a zeroed global segment of
+// globalWords cells and the given heap budget (0 = DefaultHeapWords).
+func NewMemory(globalWords, heapLimit int64) *Memory {
 	if heapLimit <= 0 {
 		heapLimit = DefaultHeapWords
 	}
-	return &memory{
+	return &Memory{
 		globals:    make([]Val, globalWords),
 		heapLimit:  heapLimit,
 		stackLimit: DefaultStackWords,
-		sp:         StackTop,
+		SP:         StackTop,
 	}
+}
+
+// SetGlobal writes the global cell at offset i (word GlobalBase+i) during
+// initializer application.
+func (m *Memory) SetGlobal(i int64, v Val) { m.globals[i] = v }
+
+// Reset returns the memory to its initial state while keeping the
+// allocated segments for reuse: the heap empties, the stack pointer
+// returns to the top, and the global segment is re-initialized from img
+// (which must have the global segment's length; pass nil for none).
+func (m *Memory) Reset(img []Val) {
+	m.heap = m.heap[:0]
+	m.SP = StackTop
+	if len(img) != len(m.globals) {
+		m.globals = make([]Val, len(img))
+	}
+	copy(m.globals, img)
 }
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
 
-// load reads the cell at addr.
-func (m *memory) load(addr int64) (Val, error) {
+// Load reads the cell at addr.
+func (m *Memory) Load(addr int64) (Val, error) {
 	switch {
 	case addr >= GlobalBase && addr < GlobalBase+int64(len(m.globals)):
 		return m.globals[addr-GlobalBase], nil
 	case addr >= HeapBase && addr < HeapBase+int64(len(m.heap)):
 		return m.heap[addr-HeapBase], nil
-	case addr >= m.sp && addr < StackTop:
+	case addr >= m.SP && addr < StackTop:
 		return m.stack[StackTop-1-addr], nil
 	case addr == NullAddr:
 		return Val{}, fmt.Errorf("null pointer load")
@@ -67,8 +92,8 @@ func (m *memory) load(addr int64) (Val, error) {
 	}
 }
 
-// store writes the cell at addr.
-func (m *memory) store(addr int64, v Val) error {
+// Store writes the cell at addr.
+func (m *Memory) Store(addr int64, v Val) error {
 	switch {
 	case addr >= GlobalBase && addr < GlobalBase+int64(len(m.globals)):
 		m.globals[addr-GlobalBase] = v
@@ -76,7 +101,7 @@ func (m *memory) store(addr int64, v Val) error {
 	case addr >= HeapBase && addr < HeapBase+int64(len(m.heap)):
 		m.heap[addr-HeapBase] = v
 		return nil
-	case addr >= m.sp && addr < StackTop:
+	case addr >= m.SP && addr < StackTop:
 		m.stack[StackTop-1-addr] = v
 		return nil
 	case addr == NullAddr:
@@ -86,12 +111,12 @@ func (m *memory) store(addr int64, v Val) error {
 	}
 }
 
-// alloca reserves n stack cells and returns the base address.
-func (m *memory) alloca(n int64) (int64, error) {
+// Alloca reserves n stack cells and returns the base address.
+func (m *Memory) Alloca(n int64) (int64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("negative alloca size %d", n)
 	}
-	newSP := m.sp - n
+	newSP := m.SP - n
 	if StackTop-newSP > m.stackLimit {
 		return 0, fmt.Errorf("stack overflow (%d words, budget %d): %w", StackTop-newSP, m.stackLimit, ErrMemLimit)
 	}
@@ -99,22 +124,31 @@ func (m *memory) alloca(n int64) (int64, error) {
 		m.stack = append(m.stack, Val{})
 	}
 	// Zero the reused region (stack frames are reused across calls).
-	for a := newSP; a < m.sp; a++ {
+	for a := newSP; a < m.SP; a++ {
 		m.stack[StackTop-1-a] = Val{}
 	}
-	m.sp = newSP
+	m.SP = newSP
 	return newSP, nil
 }
 
-// heapAlloc reserves n heap cells (never freed) and returns the base.
-func (m *memory) heapAlloc(n int64) (int64, error) {
+// HeapAlloc reserves n heap cells (never freed) and returns the base.
+func (m *Memory) HeapAlloc(n int64) (int64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("negative alloc size %d", n)
 	}
 	base := HeapBase + int64(len(m.heap))
-	if int64(len(m.heap))+n > m.heapLimit {
-		return 0, fmt.Errorf("heap exhausted (%d cells, budget %d): %w", int64(len(m.heap))+n, m.heapLimit, ErrMemLimit)
+	need := int64(len(m.heap)) + n
+	if need > m.heapLimit {
+		return 0, fmt.Errorf("heap exhausted (%d cells, budget %d): %w", need, m.heapLimit, ErrMemLimit)
 	}
-	m.heap = append(m.heap, make([]Val, n)...)
+	// Grow in place when a Reset left capacity behind, zeroing the
+	// reused cells; fall back to append for first-time growth.
+	if need <= int64(cap(m.heap)) {
+		old := len(m.heap)
+		m.heap = m.heap[:need]
+		clear(m.heap[old:])
+	} else {
+		m.heap = append(m.heap, make([]Val, n)...)
+	}
 	return base, nil
 }

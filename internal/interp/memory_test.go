@@ -163,36 +163,36 @@ func main() int {
 // preserve values for arbitrary payloads.
 func TestMemorySegmentsProperty(t *testing.T) {
 	f := func(v int64, idx uint16) bool {
-		m := newMemory(64, 0)
+		m := NewMemory(64, 0)
 		gAddr := GlobalBase + int64(idx%64)
-		if err := m.store(gAddr, IntVal(v)); err != nil {
+		if err := m.Store(gAddr, IntVal(v)); err != nil {
 			return false
 		}
-		got, err := m.load(gAddr)
+		got, err := m.Load(gAddr)
 		if err != nil || got.I != v {
 			return false
 		}
-		hBase, err := m.heapAlloc(128)
+		hBase, err := m.HeapAlloc(128)
 		if err != nil {
 			return false
 		}
 		hAddr := hBase + int64(idx%128)
-		if err := m.store(hAddr, IntVal(v)); err != nil {
+		if err := m.Store(hAddr, IntVal(v)); err != nil {
 			return false
 		}
-		got, err = m.load(hAddr)
+		got, err = m.Load(hAddr)
 		if err != nil || got.I != v {
 			return false
 		}
-		sBase, err := m.alloca(128)
+		sBase, err := m.Alloca(128)
 		if err != nil {
 			return false
 		}
 		sAddr := sBase + int64(idx%128)
-		if err := m.store(sAddr, IntVal(v)); err != nil {
+		if err := m.Store(sAddr, IntVal(v)); err != nil {
 			return false
 		}
-		got, err = m.load(sAddr)
+		got, err = m.Load(sAddr)
 		return err == nil && got.I == v
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -201,16 +201,16 @@ func TestMemorySegmentsProperty(t *testing.T) {
 }
 
 func TestAllocaRestoresOnReturnBoundary(t *testing.T) {
-	m := newMemory(0, 0)
-	sp0 := m.sp
-	a, err := m.alloca(10)
+	m := NewMemory(0, 0)
+	sp0 := m.SP
+	a, err := m.Alloca(10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != sp0-10 || m.sp != sp0-10 {
-		t.Fatalf("alloca layout wrong: a=%d sp=%d", a, m.sp)
+	if a != sp0-10 || m.SP != sp0-10 {
+		t.Fatalf("alloca layout wrong: a=%d sp=%d", a, m.SP)
 	}
-	b, err := m.alloca(6)
+	b, err := m.Alloca(6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,8 +218,8 @@ func TestAllocaRestoresOnReturnBoundary(t *testing.T) {
 		t.Fatalf("second alloca at %d, want %d", b, a-6)
 	}
 	// Frame pop is a plain sp restore (done by the interpreter).
-	m.sp = sp0
-	if _, err := m.load(a); err == nil {
+	m.SP = sp0
+	if _, err := m.Load(a); err == nil {
 		t.Error("load from popped frame should fail")
 	}
 }

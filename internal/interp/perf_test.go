@@ -1,9 +1,11 @@
-package interp
+package interp_test
 
 import (
 	"testing"
 
 	"loopapalooza/internal/analysis"
+	"loopapalooza/internal/bytecode"
+	"loopapalooza/internal/interp"
 	"loopapalooza/internal/lang"
 )
 
@@ -36,11 +38,8 @@ func main() int {
 }
 `
 
-// BenchmarkInterpDispatch measures pure interpreter throughput (flat
-// register frames, pooled activation records, batched ticks) with no
-// instrumentation attached. The custom metric is dynamic IR instructions
-// per second.
-func BenchmarkInterpDispatch(b *testing.B) {
+func dispatchInfo(b *testing.B) *analysis.ModuleInfo {
+	b.Helper()
 	m, err := lang.Compile("dispatch", dispatchSrc)
 	if err != nil {
 		b.Fatal(err)
@@ -49,20 +48,94 @@ func BenchmarkInterpDispatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var steps int64
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		in := New(info, Config{})
-		res, err := in.Run("main")
-		if err != nil {
-			b.Fatal(err)
-		}
-		steps += res.Steps
-	}
+	return info
+}
+
+func reportThroughput(b *testing.B, steps int64) {
+	b.Helper()
 	b.StopTimer()
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "instrs/sec")
 	}
 	b.ReportMetric(float64(steps)/float64(b.N), "instrs/run")
+}
+
+// BenchmarkInterpDispatch measures pure execution throughput with no
+// instrumentation attached, for both engines. The bytecode sub-benchmark
+// is the production configuration — one VM reused across runs via Reset,
+// which the steady-state allocation test below pins at zero — while the
+// treewalk sub-benchmark keeps the oracle's original shape (a fresh
+// interpreter per run). The custom metric is dynamic IR instructions per
+// second.
+func BenchmarkInterpDispatch(b *testing.B) {
+	info := dispatchInfo(b)
+
+	b.Run("bytecode", func(b *testing.B) {
+		prog, err := bytecode.For(info)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm := bytecode.NewVM(prog, interp.Config{})
+		var steps int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vm.Reset()
+			res, err := vm.Run("main")
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		reportThroughput(b, steps)
+	})
+
+	b.Run("treewalk", func(b *testing.B) {
+		var steps int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := interp.New(info, interp.Config{})
+			res, err := in.Run("main")
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		reportThroughput(b, steps)
+	})
+}
+
+// TestDispatchSteadyStateAllocs pins the production configuration —
+// a reused bytecode VM — at zero allocations per run: register frames,
+// observation buffers, and the heap image all come from the VM's pools
+// after the first run.
+func TestDispatchSteadyStateAllocs(t *testing.T) {
+	m, err := lang.Compile("dispatch", dispatchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.AnalyzeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bytecode.For(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := bytecode.NewVM(prog, interp.Config{})
+	// Warm the pools: the first run grows frames and scratch buffers.
+	vm.Reset()
+	if _, err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		vm.Reset()
+		if _, err := vm.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dispatch allocates %.1f times per run, want 0", allocs)
+	}
 }

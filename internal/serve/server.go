@@ -69,6 +69,11 @@ type Options struct {
 	// DefaultConfig is applied when a request omits the configuration
 	// ("" = "reduc1-dep1-fn2 HELIX", the best realistic HELIX of Fig. 4).
 	DefaultConfig string
+	// Engine selects the execution engine for every run this server
+	// performs. The zero value is the bytecode VM; EngineTreewalk keeps
+	// the tree-walking oracle. Exposed as the lpd_engine_info metric
+	// label.
+	Engine core.EngineKind
 	// Harness is the sweep substrate; nil creates one wired to the
 	// server's default budgets and limiter width.
 	Harness *bench.Harness
@@ -141,6 +146,7 @@ func New(opts Options) (*Server, error) {
 				MaxSteps:     opts.DefaultBudgets.MaxSteps,
 				MaxHeapCells: opts.DefaultBudgets.MaxHeapCells,
 				Timeout:      time.Duration(opts.DefaultBudgets.TimeoutMs) * time.Millisecond,
+				Engine:       opts.Engine,
 			},
 			Workers: lim.Cap(),
 		})
@@ -184,6 +190,9 @@ func (s *Server) registerMetrics() {
 		"Serial IR instructions simulated by completed analyze runs.")
 	s.mSweepCells = s.reg.NewCounter("lpd_sweep_cells_total",
 		"Sweep cells by taxonomy outcome.", "outcome")
+	s.reg.NewGauge("lpd_engine_info",
+		"Execution engine of this server (value is always 1).", "engine").
+		Set(1, s.opts.Engine.String())
 	s.reg.NewCounterFunc("lpd_cache_hits_total",
 		"Analyze requests served from a stored cache entry.",
 		func() float64 { return float64(s.cache.Stats().Hits) })
@@ -478,6 +487,7 @@ func (s *Server) runOptions(b Budgets) core.RunOptions {
 		MaxHeapCells: b.MaxHeapCells,
 		Timeout:      time.Duration(b.TimeoutMs) * time.Millisecond,
 		Ctx:          s.baseCtx,
+		Engine:       s.opts.Engine,
 	}
 }
 

@@ -105,6 +105,24 @@ const (
 	TrackerLegacyMap = core.TrackerLegacyMap
 )
 
+// EngineKind selects the execution engine that produces the
+// instrumentation event stream.
+type EngineKind = core.EngineKind
+
+// The execution engines. EngineBytecode — a register-based bytecode VM
+// with type-specialized opcodes and fused superinstructions — is the
+// production default (and the zero value). EngineTreewalk is the original
+// per-instruction IR walker, kept as a differential oracle: both produce
+// bit-identical Reports.
+const (
+	EngineBytecode = core.EngineBytecode
+	EngineTreewalk = core.EngineTreewalk
+)
+
+// ParseEngineKind maps a CLI flag value ("bytecode", "treewalk") to an
+// EngineKind.
+func ParseEngineKind(s string) (EngineKind, error) { return core.ParseEngineKind(s) }
+
 // Outcome classifies a run failure into the taxonomy (see Classify). It
 // serializes to stable slugs ("ok", "step-limit", ...) via
 // encoding.TextMarshaler, and Outcome.ExitCode gives the process exit
