@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci quick build vet test race bench benchsmoke fuzz fuzz-smoke figures cover golden chaos-smoke vuln
+.PHONY: ci quick build vet test race bench benchsmoke fuzz fuzz-smoke figures cover golden chaos-smoke vuln clean
 
 ci: build vet test race cover benchsmoke fuzz-smoke chaos-smoke vuln
 
@@ -59,18 +59,21 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/lang
 	$(GO) test -run='^$$' -fuzz='^FuzzCompileAndRun$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzBytecodeDifferential$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/wal
 
 # Longer fuzzing session (override FUZZTIME for overnight runs).
 fuzz:
 	$(MAKE) fuzz-smoke FUZZTIME=2m
 
-# ~30 seconds of seeded fault waves (panic, crash, hang, corrupt, slow,
+# ~45 seconds of seeded fault waves (panic, crash, hang, corrupt, slow,
 # dropped heartbeats) through a live worker fleet, every wave checked
 # against the chaos contract: jobs terminate, no cell is lost or
 # double-committed, completed cells are bit-identical to a single-process
-# run. See internal/cluster/chaos.
+# run. The Restart variant additionally SIGKILLs the durable coordinator
+# mid-wave (with torn WAL tails injected) and recovers it from its
+# journal. See internal/cluster/chaos.
 chaos-smoke:
-	LPD_CHAOS_SMOKE=1 $(GO) test -run='^TestChaosSmoke$$' -count=1 -v \
+	LPD_CHAOS_SMOKE=1 $(GO) test -run='^TestChaosSmoke(Restart)?$$' -count=1 -v \
 		-timeout 300s ./internal/cluster/chaos
 
 # Known-vulnerability scan. govulncheck is not vendored with the
@@ -97,3 +100,9 @@ bench:
 
 figures:
 	$(GO) run ./cmd/lpbench
+
+# Remove stray run artifacts: recorded traces, journal generations and
+# snapshots left by local lpd -data-dir runs, and coverage/bench scratch.
+clean:
+	find . -name '*.lptrace' -delete -o -name '*.wal' -delete -o -name '*.snap' -delete
+	rm -f cover.out bench.out

@@ -9,8 +9,18 @@
 //	lpd -addr :8080
 //	lpd -role coordinator -addr :8080 -lease 10s -max-attempts 3
 //	lpd -role worker -peers http://coordinator:8080 -addr :8081
+//	lpd -role coordinator -addr :8080 -data-dir /var/lib/lpd
+//	lpd -wal-dump /var/lib/lpd/wal
 //	lpd -addr :8080 -max-concurrent 8 -cache 4096 \
 //	    -max-steps 500e6 -timeout 30s -mem-limit 4e6 -shutdown-timeout 15s
+//
+// With -data-dir the process is durable: the coordinator journals every
+// state transition to <dir>/wal (write-ahead, checksummed, fsynced at
+// the ack points) and recovers jobs, queues, and leases from it after a
+// crash; analyze traces persist to <dir>/traces as chunk-checksummed
+// files that a scrubber re-verifies on startup and every
+// -scrub-interval, quarantining corruption. -wal-dump prints a journal
+// directory's snapshot and records for offline inspection, then exits.
 //
 // Roles:
 //
@@ -55,9 +65,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -66,6 +78,7 @@ import (
 	"loopapalooza/internal/cluster"
 	"loopapalooza/internal/core"
 	"loopapalooza/internal/serve"
+	"loopapalooza/internal/wal"
 )
 
 // config is the parsed flag set.
@@ -82,6 +95,9 @@ type config struct {
 	timeout       time.Duration
 	shutdown      time.Duration
 	engine        string
+	dataDir       string
+	scrubInterval time.Duration
+	walDump       string
 
 	lease            time.Duration
 	maxAttempts      int
@@ -107,6 +123,12 @@ func main() {
 	flag.DurationVar(&cfg.shutdown, "shutdown-timeout", 15*time.Second,
 		"graceful-shutdown window; on expiry in-flight cells are released back to the queue as canceled")
 	flag.StringVar(&cfg.engine, "engine", "bytecode", "execution engine: bytecode or treewalk (oracle)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "",
+		"durable state root: <dir>/wal journals the coordinator for crash recovery, <dir>/traces holds the checksummed trace store (\"\" = in-memory only)")
+	flag.DurationVar(&cfg.scrubInterval, "scrub-interval", 0,
+		"trace-store scrub period (0 = default, negative = startup scrub only)")
+	flag.StringVar(&cfg.walDump, "wal-dump", "",
+		"inspect the journal directory (e.g. <data-dir>/wal) and exit: prints the active generation, snapshot size, every record, and any torn tail")
 	flag.DurationVar(&cfg.lease, "lease", cluster.DefaultLease, "cluster task lease duration")
 	flag.IntVar(&cfg.maxAttempts, "max-attempts", cluster.DefaultMaxAttempts, "per-cell retry budget (executions)")
 	flag.DurationVar(&cfg.retryBackoff, "retry-backoff", cluster.DefaultRetryBackoff, "base of the exponential retry backoff")
@@ -126,6 +148,13 @@ func main() {
 
 func run(cfg config) int {
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if cfg.walDump != "" {
+		if err := dumpWAL(os.Stdout, cfg.walDump); err != nil {
+			fmt.Fprintln(os.Stderr, "lpd:", err)
+			return 1
+		}
+		return 0
+	}
 	engine, err := core.ParseEngineKind(cfg.engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lpd:", err)
@@ -144,6 +173,10 @@ func run(cfg config) int {
 		Engine:         engine,
 		Log:            log,
 	}
+	if cfg.dataDir != "" {
+		opts.TraceDir = filepath.Join(cfg.dataDir, "traces")
+		opts.ScrubInterval = cfg.scrubInterval
+	}
 
 	// Role wiring: who owns a coordinator, and which Coordination surface
 	// the local workers speak.
@@ -156,13 +189,23 @@ func run(cfg config) int {
 			fmt.Fprintf(os.Stderr, "lpd: -peers is only meaningful with -role worker\n")
 			return 2
 		}
-		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{
+		copts := cluster.CoordinatorOptions{
 			Lease:            cfg.lease,
 			MaxAttempts:      cfg.maxAttempts,
 			RetryBackoff:     cfg.retryBackoff,
 			BreakerThreshold: cfg.breakerThreshold,
 			BreakerCooldown:  cfg.breakerCooldown,
-		})
+		}
+		if cfg.dataDir != "" {
+			// Durable coordinator: every transition journaled to
+			// <data-dir>/wal, recovered on the next start.
+			copts.DataDir = filepath.Join(cfg.dataDir, "wal")
+		}
+		coord, err = cluster.OpenCoordinator(copts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lpd:", err)
+			return 1
+		}
 		defer coord.Close()
 		opts.Cluster = coord
 		workerSurface = coord
@@ -302,4 +345,22 @@ func run(cfg config) int {
 	}
 	log.Info("lpd stopped")
 	return 0
+}
+
+// dumpWAL renders a journal directory for inspection without opening it
+// for writing: the active generation, the snapshot size, every valid
+// record payload in order, and how many torn tail bytes a recovery
+// would truncate. Records are the coordinator's JSON transition log, so
+// the dump is greppable as-is.
+func dumpWAL(w io.Writer, dir string) error {
+	info, err := wal.Inspect(dir)
+	if err != nil {
+		return fmt.Errorf("inspecting %s: %w", dir, err)
+	}
+	fmt.Fprintf(w, "wal: generation %d, snapshot %d bytes, %d records, %d torn tail bytes\n",
+		info.Gen, info.SnapshotBytes, len(info.Records), info.TornBytes)
+	for i, rec := range info.Records {
+		fmt.Fprintf(w, "%6d %s\n", i, rec)
+	}
+	return nil
 }

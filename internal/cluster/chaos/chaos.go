@@ -22,9 +22,13 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -204,6 +208,106 @@ func corrupt(results []cluster.CellResult) []cluster.CellResult {
 		out[i].Report = &bad
 	}
 	return out
+}
+
+// ErrCoordinatorDown is what a Proxy returns while the coordinator
+// behind it is killed: a generic coordination error, so workers back
+// off and retry exactly as they would against a crashed remote.
+var ErrCoordinatorDown = errors.New("chaos: coordinator down (killed by harness)")
+
+// Proxy is a switchable cluster.Coordination front. Workers keep their
+// pointer to the Proxy while the harness SIGKILLs the coordinator
+// behind it (Swap(nil)), recovers a replacement from its journal, and
+// swaps it in — the fleet reconnects without being restarted, the way
+// a real fleet rides out a coordinator redeploy.
+type Proxy struct {
+	mu sync.RWMutex
+	c  cluster.Coordination
+}
+
+// NewProxy returns a proxy fronting c.
+func NewProxy(c cluster.Coordination) *Proxy { return &Proxy{c: c} }
+
+// Swap replaces the coordinator behind the proxy; nil takes it down.
+func (p *Proxy) Swap(c cluster.Coordination) {
+	p.mu.Lock()
+	p.c = c
+	p.mu.Unlock()
+}
+
+func (p *Proxy) get() (cluster.Coordination, error) {
+	p.mu.RLock()
+	c := p.c
+	p.mu.RUnlock()
+	if c == nil {
+		return nil, ErrCoordinatorDown
+	}
+	return c, nil
+}
+
+// Claim implements cluster.Coordination.
+func (p *Proxy) Claim(ctx context.Context, req cluster.ClaimRequest) (*cluster.Task, error) {
+	c, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	return c.Claim(ctx, req)
+}
+
+// Heartbeat implements cluster.Coordination.
+func (p *Proxy) Heartbeat(ctx context.Context, req cluster.HeartbeatRequest) error {
+	c, err := p.get()
+	if err != nil {
+		return err
+	}
+	return c.Heartbeat(ctx, req)
+}
+
+// Commit implements cluster.Coordination.
+func (p *Proxy) Commit(ctx context.Context, req cluster.CommitRequest) error {
+	c, err := p.get()
+	if err != nil {
+		return err
+	}
+	return c.Commit(ctx, req)
+}
+
+// Release implements cluster.Coordination.
+func (p *Proxy) Release(ctx context.Context, req cluster.ReleaseRequest) error {
+	c, err := p.get()
+	if err != nil {
+		return err
+	}
+	return c.Release(ctx, req)
+}
+
+// TearWAL injects a torn write into the tail of the newest journal file
+// in dir — the bytes a crash mid-write would leave: a record header
+// promising more payload than follows. Recovery must truncate it and
+// lose nothing that was synced.
+func TearWAL(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var journals []string
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".wal" {
+			journals = append(journals, e.Name())
+		}
+	}
+	if len(journals) == 0 {
+		return fmt.Errorf("chaos: no journal in %s to tear", dir)
+	}
+	sort.Strings(journals)
+	f, err := os.OpenFile(filepath.Join(dir, journals[len(journals)-1]), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Length claims 4096 payload bytes; only 6 arrive.
+	_, err = f.Write([]byte{0x00, 0x10, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x13, 0x37, 0x00, 0x42, 0x00, 0x01})
+	return err
 }
 
 // Verify checks the cluster contract after a chaos run:

@@ -69,10 +69,10 @@ func waitJobs(t *testing.T, c *cluster.Coordinator, timeout time.Duration, jobs 
 // every cell must come back OK and bit-identical to the oracle.
 func TestChaosMixedFaults(t *testing.T) {
 	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
-		Lease:            150 * time.Millisecond,
-		MaxAttempts:      8,
-		RetryBackoff:     5 * time.Millisecond,
-		MaxBackoff:       40 * time.Millisecond,
+		Lease:        150 * time.Millisecond,
+		MaxAttempts:  8,
+		RetryBackoff: 5 * time.Millisecond,
+		MaxBackoff:   40 * time.Millisecond,
 		// Small batches make many tasks, so the per-task fault schedule
 		// gets plenty of draws.
 		BatchSize:        4,
@@ -251,6 +251,173 @@ func TestAcceptanceHungWorkerPaperGrid(t *testing.T) {
 			grepLines(metricsText, "lpd_cluster_breaker_state"))
 	}
 	t.Logf("hangs fired: %d; stats: %+v", inj.Counts()[chaos.FaultHang], coord.Stats())
+}
+
+// waitCommitted polls until the coordinator has committed at least n
+// cells (progress gate for mid-run coordinator kills).
+func waitCommitted(t *testing.T, c *cluster.Coordinator, n uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.Stats().CommittedCells >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("coordinator committed %d cells in %v, want >= %d", c.Stats().CommittedCells, timeout, n)
+}
+
+// TestAcceptanceCoordinatorRestartPaperGrid is the durability acceptance
+// run: a 3-worker fleet sweeps the full 57×14 paper grid while the
+// coordinator is SIGKILLed and restarted twice mid-run, with a torn
+// write injected into the journal tail before each recovery. The fleet
+// is never restarted — workers ride out the outages through a Proxy —
+// and the finished grid must be bit-identical to the single-process
+// oracle with zero lost and zero double-committed cells.
+func TestAcceptanceCoordinatorRestartPaperGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper-grid sweep; skipped with -short")
+	}
+	dir := t.TempDir()
+	opts := cluster.CoordinatorOptions{
+		Lease:        500 * time.Millisecond,
+		MaxAttempts:  8,
+		RetryBackoff: 10 * time.Millisecond,
+		RatePerSec:   -1,
+		Seed:         1,
+		DataDir:      dir,
+	}
+	coord, err := cluster.OpenCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	proxy := chaos.NewProxy(coord)
+	// All-zero fault profiles: this run's fault is the coordinator itself.
+	inj := chaos.NewInjector(9)
+	stop := fleet(t, proxy, inj, []string{"w0", "w1", "w2"})
+	defer stop()
+
+	grid := bench.All()
+	id, err := coord.Submit("paper", grid, core.PaperConfigs(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := uint64(len(grid) * len(core.PaperConfigs()))
+
+	// Kill the coordinator at ~20% and ~60% of the grid.
+	for round, threshold := range []uint64{wantCells / 5, wantCells * 3 / 5} {
+		waitCommitted(t, coord, threshold, 2*time.Minute)
+		proxy.Swap(nil) // the fleet sees ErrCoordinatorDown and backs off
+		coord.Crash()
+		if err := chaos.TearWAL(dir); err != nil {
+			t.Fatalf("restart %d: tearing WAL: %v", round, err)
+		}
+		coord, err = cluster.OpenCoordinator(opts)
+		if err != nil {
+			t.Fatalf("restart %d: recovery: %v", round, err)
+		}
+		if err := coord.CheckInvariants(); err != nil {
+			t.Fatalf("restart %d: invariants after recovery: %v", round, err)
+		}
+		proxy.Swap(coord)
+	}
+
+	waitJobs(t, coord, 5*time.Minute, id)
+	stop()
+
+	if err := chaos.Verify(coord, []string{id}, bench.NewHarness()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := coord.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(st.Counts[core.OutcomeOK]) != wantCells {
+		t.Fatalf("paper grid across restarts: %s, want all %d cells ok (zero lost)", st.Summary, wantCells)
+	}
+	ws := coord.WALStats()
+	if ws.RecoveredRecords == 0 {
+		t.Fatal("final coordinator replayed no journal records")
+	}
+	if ws.TornBytes == 0 {
+		t.Fatal("recovery saw no torn tail despite the injected tear")
+	}
+	t.Logf("replayed %d records (%d torn bytes truncated); stats: %+v",
+		ws.RecoveredRecords, ws.TornBytes, coord.Stats())
+}
+
+// TestChaosSmokeRestart is the coordinator-restart wave of
+// `make chaos-smoke`: mixed worker faults AND a coordinator kill +
+// torn-tail recovery every wave. Gated like TestChaosSmoke.
+func TestChaosSmokeRestart(t *testing.T) {
+	if os.Getenv("LPD_CHAOS_SMOKE") == "" {
+		t.Skip("set LPD_CHAOS_SMOKE=1 (or run `make chaos-smoke`)")
+	}
+	dir := t.TempDir()
+	opts := cluster.CoordinatorOptions{
+		Lease:        300 * time.Millisecond,
+		MaxAttempts:  8,
+		RetryBackoff: 5 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+		RatePerSec:   -1,
+		Seed:         1,
+		DataDir:      dir,
+		// Small threshold so the waves exercise compaction too.
+		CompactEvery: 256,
+	}
+	coord, err := cluster.OpenCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	proxy := chaos.NewProxy(coord)
+
+	inj := chaos.NewInjector(2027)
+	inj.SetProfile("flaky", chaos.Profile{Panic: 0.2, Slow: 0.3, SlowDelay: 10 * time.Millisecond})
+	inj.SetProfile("liar", chaos.Profile{Corrupt: 0.25})
+	stop := fleet(t, proxy, inj, []string{"steady", "flaky", "liar"})
+	defer stop()
+
+	oracle := bench.NewHarness()
+	all := bench.All()
+	deadline := time.Now().Add(15 * time.Second)
+	wave := 0
+	for time.Now().Before(deadline) {
+		bs := make([]*bench.Benchmark, 0, 3)
+		for i := 0; i < 3; i++ {
+			bs = append(bs, all[(wave*3+i)%len(all)])
+		}
+		before := coord.Stats().CommittedCells
+		id, err := coord.Submit(fmt.Sprintf("restart-%d", wave%4), bs, core.PaperConfigs(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Kill mid-wave, tear the tail, recover.
+		waitCommitted(t, coord, before+5, time.Minute)
+		proxy.Swap(nil)
+		coord.Crash()
+		if err := chaos.TearWAL(dir); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		coord, err = cluster.OpenCoordinator(opts)
+		if err != nil {
+			t.Fatalf("wave %d: recovery: %v", wave, err)
+		}
+		proxy.Swap(coord)
+		waitJobs(t, coord, 2*time.Minute, id)
+		if err := chaos.Verify(coord, []string{id}, oracle); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		wave++
+	}
+	stop()
+	if err := coord.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d kill/recover waves survived; faults fired: %v; stats: %+v; wal: %+v",
+		wave, inj.Counts(), coord.Stats(), coord.WALStats())
 }
 
 func grepLines(s, needle string) string {

@@ -204,14 +204,22 @@ type CellStatus struct {
 
 // JobStatus is the GET /v1/jobs/{id} body.
 type JobStatus struct {
-	ID     string    `json:"id"`
-	Tenant string    `json:"tenant"`
-	State  JobState  `json:"state"`
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant"`
+	State  JobState `json:"state"`
 	// Done and Total count terminal cells vs all cells.
 	Done  int `json:"done"`
 	Total int `json:"total"`
 	// Counts tallies terminal cells by outcome.
 	Counts map[core.Outcome]int `json:"counts"`
+	// Retrying counts non-terminal cells with at least one failed
+	// attempt behind them — the retry machinery is still working on
+	// them, unlike the Parked cells it gave up on.
+	Retrying int `json:"retrying"`
+	// Parked lists the terminally failed cells with their typed
+	// outcomes, so a client can tell "gave up" from "retrying" without
+	// scraping metrics or walking Cells.
+	Parked []CellStatus `json:"parked,omitempty"`
 	// Summary is the human line, e.g. "796/798 cells ok (2 timeout)".
 	Summary string       `json:"summary"`
 	Cells   []CellStatus `json:"cells"`

@@ -12,6 +12,7 @@ import (
 	"loopapalooza/internal/bench"
 	"loopapalooza/internal/core"
 	"loopapalooza/internal/metrics"
+	"loopapalooza/internal/wal"
 )
 
 // Coordinator defaults.
@@ -71,6 +72,13 @@ type CoordinatorOptions struct {
 	Seed int64
 	// Now overrides the clock (tests).
 	Now func() time.Time
+	// DataDir, when set, makes the coordinator durable: state transitions
+	// are journaled to a write-ahead log under it and OpenCoordinator
+	// replays them on startup. NewCoordinator ignores it.
+	DataDir string
+	// CompactEvery is the journal-records-since-snapshot threshold that
+	// triggers log compaction.
+	CompactEvery int
 }
 
 func (o *CoordinatorOptions) withDefaults() {
@@ -109,6 +117,9 @@ func (o *CoordinatorOptions) withDefaults() {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = DefaultCompactEvery
 	}
 }
 
@@ -200,6 +211,9 @@ type Stats struct {
 	// RejectedJobs counts submissions refused by admission control or
 	// rate limiting.
 	RejectedJobs uint64
+	// WALErrors counts journal appends, syncs, or compactions that
+	// failed (the coordinator keeps serving; durability degrades).
+	WALErrors uint64
 }
 
 // coordMetrics are the push-updated cluster series (see RegisterMetrics).
@@ -228,15 +242,27 @@ type Coordinator struct {
 	stats       Stats
 	m           *coordMetrics
 
+	// Durability (nil/false without a DataDir; see journal.go).
+	wal          *wal.Log
+	replaying    bool
+	walDirty     bool
+	recSinceSnap int
+
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 }
 
-// NewCoordinator returns a running coordinator; call Close to stop its
-// lease janitor.
+// NewCoordinator returns a running in-memory coordinator; call Close to
+// stop its lease janitor. For a durable coordinator use OpenCoordinator.
 func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	opts.withDefaults()
-	c := &Coordinator{
+	c := newCoordinator(opts)
+	go c.janitor()
+	return c
+}
+
+func newCoordinator(opts CoordinatorOptions) *Coordinator {
+	return &Coordinator{
 		opts:        opts,
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		jobs:        map[string]*job{},
@@ -246,8 +272,6 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
-	go c.janitor()
-	return c
 }
 
 // janitor reclaims expired leases even when no worker is calling in (the
@@ -267,12 +291,15 @@ func (c *Coordinator) janitor() {
 		case <-t.C:
 			c.mu.Lock()
 			c.reclaimExpiredLocked(c.opts.Now())
+			c.flushBestEffortLocked()
 			c.mu.Unlock()
 		}
 	}
 }
 
-// Close stops the janitor. Jobs and queues stay readable.
+// Close stops the janitor and cleanly closes the journal (a final sync,
+// so the next OpenCoordinator recovers everything). Jobs and queues
+// stay readable.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	select {
@@ -282,6 +309,11 @@ func (c *Coordinator) Close() {
 	}
 	c.mu.Unlock()
 	<-c.janitorDone
+	c.mu.Lock()
+	if c.wal != nil {
+		c.wal.Close()
+	}
+	c.mu.Unlock()
 }
 
 // Drain refuses new submissions and claims; in-flight tasks may still
@@ -329,6 +361,35 @@ func (c *Coordinator) RegisterMetrics(reg *metrics.Registry) {
 	reg.NewCounterFunc("lpd_cluster_rejected_jobs_total",
 		"Submissions refused by admission control or rate limiting.",
 		func() float64 { return float64(c.Stats().RejectedJobs) })
+	c.mu.Lock()
+	durable := c.wal != nil
+	c.mu.Unlock()
+	if durable {
+		reg.NewCounterFunc("lpd_wal_records_total",
+			"Journal records appended.",
+			func() float64 { return float64(c.WALStats().Appended) })
+		reg.NewCounterFunc("lpd_wal_syncs_total",
+			"Explicit journal fsync points.",
+			func() float64 { return float64(c.WALStats().Syncs) })
+		reg.NewCounterFunc("lpd_wal_bytes_written_total",
+			"Framed journal bytes written.",
+			func() float64 { return float64(c.WALStats().BytesWritten) })
+		reg.NewCounterFunc("lpd_wal_compactions_total",
+			"Snapshot + log compaction cycles.",
+			func() float64 { return float64(c.WALStats().Compactions) })
+		reg.NewCounterFunc("lpd_wal_replayed_records_total",
+			"Journal records replayed at startup recovery.",
+			func() float64 { return float64(c.WALStats().RecoveredRecords) })
+		reg.NewCounterFunc("lpd_wal_torn_bytes_total",
+			"Torn journal tail bytes truncated at recovery.",
+			func() float64 { return float64(c.WALStats().TornBytes) })
+		reg.NewGaugeFunc("lpd_wal_size_bytes",
+			"Current journal file size.",
+			func() float64 { return float64(c.WALStats().SizeBytes) })
+		reg.NewCounterFunc("lpd_wal_errors_total",
+			"Failed journal appends, syncs, or compactions.",
+			func() float64 { return float64(c.Stats().WALErrors) })
+	}
 	m := &coordMetrics{
 		breakerState: reg.NewGauge("lpd_cluster_breaker_state",
 			"Per-worker breaker state (0 closed, 1 open, 2 half-open).", "worker"),
@@ -420,6 +481,22 @@ func (c *Coordinator) Submit(tenant string, benches []*bench.Benchmark, cfgs []c
 		remaining:      len(benches) * len(cfgs),
 		done:           make(chan struct{}),
 	}
+	// Journal-first: the admission is durable before any state mutates,
+	// so an acked job id survives a crash and a refused one leaves no
+	// trace to replay.
+	if c.wal != nil {
+		names := make([]string, len(benches))
+		for i, b := range benches {
+			names[i] = b.Name
+		}
+		c.journalLocked(walRec{K: "admit", Job: j.id, Tenant: tenant,
+			Include: includeReports, Created: now.UnixNano(),
+			Benches: names, Cfgs: cfgs})
+		if err := c.flushLocked(); err != nil {
+			c.jobSeq--
+			return "", fmt.Errorf("cluster: journaling admission: %w", err)
+		}
+	}
 	for _, b := range benches {
 		for _, cfg := range cfgs {
 			rec := &cellRec{job: j, bench: b.Name, cfg: cfg, state: CellQueued}
@@ -505,15 +582,25 @@ func (c *Coordinator) Claim(_ context.Context, req ClaimRequest) (*Task, error) 
 			ID: t.id, Job: cells[0].job.id, Bench: t.bench,
 			LeaseMs: c.opts.Lease.Milliseconds(),
 		}
+		leased := make([]core.Config, 0, len(cells))
 		for _, rec := range cells {
 			rec.state = CellLeased
 			rec.owner = ws.id
 			rec.attempts++
 			rec.job.started = true
 			wire.Cells = append(wire.Cells, TaskCell{Config: rec.cfg, Attempt: rec.attempts})
+			leased = append(leased, rec.cfg)
+		}
+		c.journalLocked(walRec{K: "lease", Task: t.id, Worker: ws.id,
+			Job: cells[0].job.id, Tenant: name, Bench: t.bench, Cfgs: leased})
+		if err := c.flushLocked(); err != nil {
+			// The grant is not durable: refuse it. The leased cells are
+			// reclaimed when the never-delivered lease expires.
+			return nil, fmt.Errorf("cluster: journaling lease: %w", err)
 		}
 		return wire, nil
 	}
+	c.flushBestEffortLocked() // reclaim records from the top of the call
 	return nil, ErrNoWork
 }
 
@@ -558,6 +645,7 @@ func (c *Coordinator) Heartbeat(_ context.Context, req HeartbeatRequest) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reclaimExpiredLocked(now)
+	c.flushBestEffortLocked()
 	t := c.tasks[req.Task]
 	if t == nil || t.worker != req.Worker {
 		return ErrLeaseExpired
@@ -628,6 +716,13 @@ func (c *Coordinator) Commit(_ context.Context, req CommitRequest) error {
 		ws.br.success()
 	}
 	c.publishBreakerLocked(ws)
+	// The commit is acked only once durable: a crash after a returned nil
+	// replays every committed report; a crash before loses the unsynced
+	// records and the cells simply re-execute (deterministic cells make
+	// the recomputed reports bit-identical).
+	if err := c.flushLocked(); err != nil {
+		return fmt.Errorf("cluster: journaling commit: %w", err)
+	}
 	return nil
 }
 
@@ -661,6 +756,9 @@ func (c *Coordinator) Release(_ context.Context, req ReleaseRequest) error {
 	for _, rec := range t.cells {
 		c.refundLocked(rec, now)
 	}
+	if err := c.flushLocked(); err != nil {
+		return fmt.Errorf("cluster: journaling release: %w", err)
+	}
 	return nil
 }
 
@@ -670,6 +768,7 @@ func (c *Coordinator) finishTaskLocked(t *task) {
 	if ws := c.workers[t.worker]; ws != nil && ws.inflight > 0 {
 		ws.inflight--
 	}
+	c.journalLocked(walRec{K: "taskdone", Task: t.id})
 }
 
 // reclaimExpiredLocked requeues the cells of every expired lease and
@@ -706,6 +805,7 @@ func (c *Coordinator) retryLocked(rec *cellRec, outcome core.Outcome, msg string
 	rec.owner = ""
 	rec.notBefore = now.Add(c.backoffLocked(rec.attempts))
 	c.tenantLocked(rec.job.tenant).queue = append(c.tenantLocked(rec.job.tenant).queue, rec)
+	c.journalCellLocked("retry", rec, outcome, msg, nil, rec.notBefore)
 }
 
 // refundLocked requeues a canceled or released attempt without charging
@@ -719,6 +819,7 @@ func (c *Coordinator) refundLocked(rec *cellRec, now time.Time) {
 	rec.owner = ""
 	rec.notBefore = now
 	c.tenantLocked(rec.job.tenant).queue = append(c.tenantLocked(rec.job.tenant).queue, rec)
+	c.journalCellLocked("refund", rec, core.OutcomeCanceled, "", nil, time.Time{})
 }
 
 // backoffLocked computes the delay before attempt n+1: exponential in the
@@ -738,7 +839,11 @@ func (c *Coordinator) backoffLocked(attempts int) time.Duration {
 // wholesale.
 func (c *Coordinator) commitCellLocked(rec *cellRec, r *core.Report) {
 	if rec.commits > 0 || rec.state == CellDone || rec.state == CellParked {
-		c.stats.DoubleCommitRejected++
+		// During journal replay a re-presented commit is idempotent, not
+		// an invariant breach — the live guard below stays strict.
+		if !c.replaying {
+			c.stats.DoubleCommitRejected++
+		}
 		return
 	}
 	rec.commits++
@@ -751,13 +856,16 @@ func (c *Coordinator) commitCellLocked(rec *cellRec, r *core.Report) {
 	if c.m != nil {
 		c.m.committed.Inc(core.OutcomeOK.String())
 	}
+	c.journalCellLocked("commit", rec, core.OutcomeOK, "", r, time.Time{})
 	c.cellTerminalLocked(rec)
 }
 
 // parkLocked records one terminal failure.
 func (c *Coordinator) parkLocked(rec *cellRec, outcome core.Outcome, msg string) {
 	if rec.state == CellDone || rec.state == CellParked {
-		c.stats.DoubleCommitRejected++
+		if !c.replaying {
+			c.stats.DoubleCommitRejected++
+		}
 		return
 	}
 	rec.state = CellParked
@@ -768,6 +876,7 @@ func (c *Coordinator) parkLocked(rec *cellRec, outcome core.Outcome, msg string)
 	if c.m != nil {
 		c.m.parked.Inc(outcome.String())
 	}
+	c.journalCellLocked("park", rec, outcome, msg, nil, time.Time{})
 	c.cellTerminalLocked(rec)
 }
 
@@ -802,9 +911,15 @@ func (c *Coordinator) Status(id string) (*JobStatus, error) {
 			Bench: rec.bench, Config: rec.cfg, State: rec.state,
 			Outcome: rec.outcome, Attempts: rec.attempts, Error: rec.errMsg,
 		}
-		if rec.state == CellDone || rec.state == CellParked {
+		switch {
+		case rec.state == CellDone || rec.state == CellParked:
 			st.Done++
 			st.Counts[rec.outcome]++
+		case rec.state == CellQueued && rec.attempts > 0,
+			rec.state == CellLeased && rec.attempts > 1:
+			// A burned attempt on a non-terminal cell: the retry machinery
+			// is working on it, as opposed to a parked cell it gave up on.
+			st.Retrying++
 		}
 		if rec.report != nil {
 			cs.Speedup = rec.report.Speedup()
@@ -812,6 +927,9 @@ func (c *Coordinator) Status(id string) (*JobStatus, error) {
 			if j.includeReports {
 				cs.Report = rec.report
 			}
+		}
+		if rec.state == CellParked {
+			st.Parked = append(st.Parked, cs)
 		}
 		st.Cells = append(st.Cells, cs)
 	}
@@ -842,6 +960,9 @@ func summarize(st *JobStatus) string {
 	}
 	if pending := st.Total - st.Done; pending > 0 {
 		s += fmt.Sprintf("; %d in flight or queued", pending)
+		if st.Retrying > 0 {
+			s += fmt.Sprintf(" (%d retrying)", st.Retrying)
+		}
 	}
 	return s
 }

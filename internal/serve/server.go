@@ -64,6 +64,13 @@ type Options struct {
 	// instead of re-interpretation (0 = DefaultTraceCacheBytes, negative
 	// disables the tier).
 	TraceCacheBytes int64
+	// TraceDir roots the durable trace tier: checksummed .lptrace files
+	// that survive restarts, scrubbed for corruption at startup and
+	// every ScrubInterval ("" disables the disk tier).
+	TraceDir string
+	// ScrubInterval is the period of the trace-store scrubber
+	// (0 = DefaultScrubInterval, negative = startup scrub only).
+	ScrubInterval time.Duration
 	// MaxSourceBytes bounds the request body (0 = 1 MiB).
 	MaxSourceBytes int64
 	// DefaultConfig is applied when a request omits the configuration
@@ -99,6 +106,7 @@ type Server struct {
 	cfg0    core.Config // parsed DefaultConfig
 	cache   *Cache
 	traces  *TraceCache // nil when the trace tier is disabled
+	store   *TraceStore // nil when the durable trace tier is disabled
 	lim     *Limiter
 	harness *bench.Harness
 	log     *slog.Logger
@@ -156,11 +164,23 @@ func New(opts Options) (*Server, error) {
 	if opts.TraceCacheBytes >= 0 {
 		traces = NewTraceCache(opts.TraceCacheBytes)
 	}
+	var store *TraceStore
+	if opts.TraceDir != "" {
+		store, err = NewTraceStore(opts.TraceDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		// Startup scrub: quarantine whatever rotted while we were down,
+		// before the first request can read it.
+		store.Scrub(log)
+	}
 	s := &Server{
 		opts:    opts,
 		cfg0:    cfg0,
 		cache:   NewCache(opts.CacheEntries),
 		traces:  traces,
+		store:   store,
 		lim:     lim,
 		harness: harness,
 		log:     log,
@@ -173,6 +193,13 @@ func New(opts Options) (*Server, error) {
 	s.readyChecks = append(s.readyChecks, opts.ReadyChecks...)
 	s.registerMetrics()
 	s.routes()
+	if store != nil && opts.ScrubInterval >= 0 {
+		interval := opts.ScrubInterval
+		if interval == 0 {
+			interval = DefaultScrubInterval
+		}
+		go s.scrubLoop(interval)
+	}
 	// Built here, not in Serve, so Shutdown from another goroutine never
 	// races with a lazy assignment.
 	s.httpSrv = &http.Server{Handler: s.mux}
@@ -243,6 +270,29 @@ func (s *Server) registerMetrics() {
 			"Event traces currently stored.",
 			func() float64 { return float64(s.traces.Stats().Entries) })
 	}
+	if s.store != nil {
+		s.reg.NewCounterFunc("lpd_trace_store_hits_total",
+			"Disk-tier reads that returned a verified trace.",
+			func() float64 { return float64(s.store.Stats().Hits) })
+		s.reg.NewCounterFunc("lpd_trace_store_misses_total",
+			"Disk-tier reads with no stored (or no readable) trace.",
+			func() float64 { return float64(s.store.Stats().Misses) })
+		s.reg.NewCounterFunc("lpd_trace_store_puts_total",
+			"Traces written to the disk tier.",
+			func() float64 { return float64(s.store.Stats().Puts) })
+		s.reg.NewCounterFunc("lpd_scrub_runs_total",
+			"Trace-store scrubber passes (startup and periodic).",
+			func() float64 { return float64(s.store.Stats().ScrubRuns) })
+		s.reg.NewCounterFunc("lpd_scrub_files_total",
+			"Stored traces verified by scrubber passes.",
+			func() float64 { return float64(s.store.Stats().ScrubFiles) })
+		s.reg.NewCounterFunc("lpd_scrub_corrupt_total",
+			"Stored traces that failed checksum verification.",
+			func() float64 { return float64(s.store.Stats().ScrubCorrupt) })
+		s.reg.NewCounterFunc("lpd_scrub_quarantined_total",
+			"Trace files moved to quarantine (scrub, read, or replay failures).",
+			func() float64 { return float64(s.store.Stats().Quarantined) })
+	}
 }
 
 func (s *Server) routes() {
@@ -301,6 +351,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close cancels the server's base context, aborting any still-running
 // analyses (their cells classify as canceled and are not cached).
 func (s *Server) Close() { s.cancel() }
+
+// scrubLoop re-verifies the durable trace tier every interval until the
+// server closes, quarantining files whose checksums no longer hold.
+func (s *Server) scrubLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			if res := s.store.Scrub(s.log); res.Corrupt > 0 {
+				s.log.Warn("trace scrub pass", "files", res.Files, "corrupt", res.Corrupt)
+			}
+		}
+	}
+}
 
 // statusRecorder captures the status code a handler wrote.
 type statusRecorder struct {
@@ -577,37 +644,86 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 // analyzeFill is the cache-miss path of one analyze request: replay a
-// cached trace of the same (name, source, budgets) when the trace tier has
-// one, otherwise run live, recording a trace for the next configuration of
-// this program. Budgets are enforced on the live run; a replayed trace was
-// recorded under the same budgets (they are part of the trace key).
+// cached trace of the same (name, source, budgets) when a trace tier has
+// one — memory first, then the durable store — otherwise run live,
+// recording a trace for the next configuration of this program. Budgets
+// are enforced on the live run; a replayed trace was recorded under the
+// same budgets (they are part of the trace key).
+//
+// Both tiers self-heal: a trace that fails to replay is useless for
+// every future configuration, so the memory tier drops it and the disk
+// tier quarantines the backing file, and the fill falls through to a
+// live run that re-records it.
 func (s *Server) analyzeFill(name, source string, cfg core.Config, budgets Budgets) (*core.Report, error) {
-	if s.traces == nil {
+	if s.traces == nil && s.store == nil {
 		return core.RunSource(name, source, cfg, s.runOptions(budgets))
 	}
 	tkey := TraceKey(name, source, budgets)
-	if info, trace, ok := s.traces.Get(tkey); ok {
-		rep, err := core.ReplayTrace(name, info, cfg, core.RunOptions{}, bytes.NewReader(trace))
-		if err == nil {
-			return rep, nil
+	if s.traces != nil {
+		if info, trace, ok := s.traces.Get(tkey); ok {
+			rep, err := core.ReplayTrace(name, info, cfg, core.RunOptions{}, bytes.NewReader(trace))
+			if err == nil {
+				return rep, nil
+			}
+			s.traces.Drop(tkey)
+			if s.store != nil {
+				// The disk copy is the same bytes (or worse): quarantine
+				// it rather than serve the poison again after a restart.
+				s.store.Quarantine(tkey)
+			}
+			s.log.Warn("dropping unreplayable trace", "name", name, "key", tkey[:12], "err", err)
 		}
-		// A trace that fails to replay is useless for every future
-		// configuration: drop it and fall through to a live run.
-		s.traces.Drop(tkey)
-		s.log.Warn("dropping unreplayable trace", "name", name, "key", tkey[:12], "err", err)
+	}
+	if s.store != nil {
+		if trace, err := s.store.Get(tkey); err != nil {
+			s.log.Warn("quarantined corrupt trace file", "name", name, "key", tkey[:12], "err", err)
+		} else if trace != nil {
+			// The disk tier stores only the event stream; the module
+			// analysis replays need is recomputed from source (cheap
+			// next to interpretation, and never trusted from disk).
+			info, aerr := core.AnalyzeSource(name, source)
+			if aerr != nil {
+				return nil, aerr
+			}
+			rep, rerr := core.ReplayTrace(name, info, cfg, core.RunOptions{}, bytes.NewReader(trace))
+			if rerr == nil {
+				if s.traces != nil {
+					s.traces.Put(tkey, info, trace) // promote to memory
+				}
+				return rep, nil
+			}
+			s.store.Quarantine(tkey)
+			s.log.Warn("quarantined unreplayable trace file", "name", name, "key", tkey[:12], "err", rerr)
+		}
 	}
 	info, err := core.AnalyzeSource(name, source)
 	if err != nil {
 		return nil, err
 	}
-	sink := &cappedBuffer{cap: s.traces.EntryCap()}
+	sink := &cappedBuffer{cap: s.traceEntryCap()}
 	opts := s.runOptions(budgets)
 	opts.Trace = sink
 	rep, err := core.Run(info, cfg, opts)
 	if err == nil && !sink.overflow {
-		s.traces.Put(tkey, info, sink.buf)
+		if s.traces != nil {
+			s.traces.Put(tkey, info, sink.buf)
+		}
+		if s.store != nil {
+			if perr := s.store.Put(tkey, sink.buf); perr != nil {
+				s.log.Warn("trace store write failed", "name", name, "key", tkey[:12], "err", perr)
+			}
+		}
 	}
 	return rep, err
+}
+
+// traceEntryCap bounds a recorded trace: the memory tier's per-entry
+// cap when it exists, else the default tier's.
+func (s *Server) traceEntryCap() int64 {
+	if s.traces != nil {
+		return s.traces.EntryCap()
+	}
+	return DefaultTraceCacheBytes / 4
 }
 
 // SweepRequest is the POST /v1/sweep body.

@@ -252,6 +252,16 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	return cluster.NewCoordinator(opts)
 }
 
+// OpenCoordinator returns a running durable coordinator: every state
+// transition is journaled to a write-ahead log under opts.DataDir, and
+// opening over an existing log recovers jobs, committed reports, queue
+// order, and live leases from the last synced state — a crashed
+// coordinator resumes where it stopped, rejecting stale commits exactly
+// as the original would have. An empty DataDir is NewCoordinator.
+func OpenCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	return cluster.OpenCoordinator(opts)
+}
+
 // NewClusterWorker builds a worker against a Coordination surface.
 func NewClusterWorker(opts ClusterWorkerOptions) (*ClusterWorker, error) {
 	return cluster.NewWorker(opts)
