@@ -45,8 +45,20 @@ golden:
 # without paying for stable measurements. Includes the fan-out smoke:
 # BenchmarkSweepFanout runs the full paper grid through core.MultiRun and
 # fails outright if any cell of the shared-execution sweep diverges.
+# The run is then gated against the newest checked-in BENCH_*.json:
+# benchjson -compare fails on >20% regression of the gated series. At
+# 1x iteration only the deterministic work censuses (instruction counts,
+# opcode mix) are gated — per-op costs fold one-time warm-up into the
+# single op; a full multi-iteration run gates time and allocations too.
+BENCH_BASE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 benchsmoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./... | tee benchsmoke.out
+	@if [ -n "$(BENCH_BASE)" ]; then \
+		$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) benchsmoke.out; \
+	else \
+		echo "benchsmoke: no BENCH_*.json baseline; skipping regression gate"; \
+	fi
+	@rm -f benchsmoke.out
 
 # Short coverage-guided runs of every fuzz target (go test allows one
 # -fuzz per invocation, hence the separate lines). Part of `make ci`:
@@ -59,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/lang
 	$(GO) test -run='^$$' -fuzz='^FuzzCompileAndRun$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzBytecodeDifferential$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzTrackerDifferential$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/wal
 
 # Longer fuzzing session (override FUZZTIME for overnight runs).
@@ -88,14 +101,14 @@ vuln:
 
 # Full measurement run: the perf suite (engine hot path, interpreter
 # dispatch, end-to-end sweep; shadow vs legacy-map, fanout vs per-config,
-# and bytecode vs treewalk sub-benchmarks, plus the bytecode compiler's
-# opcode-mix census) and the root interpreter benchmark, rendered to
-# BENCH_PR7.json with the speedup-ratio tables.
+# bytecode vs treewalk, and batched vs per-event sub-benchmarks, plus the
+# bytecode compiler's opcode-mix census) and the root interpreter
+# benchmark, rendered to BENCH_PR9.json with the speedup-ratio tables.
 bench:
-	$(GO) test -run='^$$' -bench='EngineLoadStore|EngineNestedLoadStore|EngineEnterExit|InterpDispatch|SweepSuite|SweepFanout|SweepEngines|BytecodeLowering' \
+	$(GO) test -run='^$$' -bench='EngineLoadStore|EngineNestedLoadStore|EngineEnterExit|InterpDispatch|SweepSuite|SweepFanout|SweepBatched|SweepEngines|BytecodeLowering' \
 		-benchmem -count=1 ./internal/core ./internal/interp ./internal/bench | tee bench.out
 	$(GO) test -run='^$$' -bench='^BenchmarkInterpreter$$' -benchmem -count=1 . | tee -a bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR7.json bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR9.json bench.out
 	rm -f bench.out
 
 figures:
@@ -105,4 +118,4 @@ figures:
 # snapshots left by local lpd -data-dir runs, and coverage/bench scratch.
 clean:
 	find . -name '*.lptrace' -delete -o -name '*.wal' -delete -o -name '*.snap' -delete
-	rm -f cover.out bench.out
+	rm -f cover.out bench.out benchsmoke.out

@@ -15,6 +15,11 @@
 //     /treewalk sub-benchmarks, the treewalk÷bytecode time ratio — the
 //     dispatch cost the register-based bytecode VM compiles away
 //     relative to the tree-walking oracle.
+//   - batched_vs_perevent: for each benchmark with /batched and
+//     /per-event sub-benchmarks, the per-event÷batched time ratio — the
+//     dispatch amortization won by feeding engines whole sealed event
+//     chunks (one tracker call per memory span) instead of one hook
+//     call per event.
 //   - seed_vs_current: current numbers against baselines measured at the
 //     pre-shadow-memory seed commit with identical access patterns.
 //
@@ -22,10 +27,22 @@
 // metrics into a bytecode_lowering table: the suite-wide static opcode
 // mix and superinstruction coverage of the bytecode compiler.
 //
+// With -compare, benchjson additionally loads a previous BENCH_*.json and
+// exits non-zero when any gated series regressed past -tolerance percent
+// against it. Per-op cost series (ns/op, sec/run, B/op, allocs/op) are
+// gated only when both the baseline and the current run measured more
+// than one iteration — a -benchtime=1x smoke folds one-time warm-up into
+// its single op, which pollutes allocation counts as badly as timings.
+// Deterministic work-census metrics (instruction counts, opcode mix) are
+// exact at any iteration count and always gated, so the 1x CI smoke still
+// catches the compiler or interpreter silently emitting more work while a
+// full `make bench` run gates costs too.
+//
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR7.json
-//	go run ./cmd/benchjson -o BENCH_PR7.json bench.out
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR9.json
+//	go run ./cmd/benchjson -o BENCH_PR9.json bench.out
+//	go test -bench=. -benchtime=1x -benchmem ./... | go run ./cmd/benchjson -compare BENCH_PR9.json
 package main
 
 import (
@@ -98,9 +115,10 @@ var seedBaselines = map[string]seedBaseline{
 
 // extraCurrent holds macro measurements that do not come from `go test
 // -bench` output and are injected into the report alongside the parsed
-// lines. Measured with `time ./lpbench > /dev/null` (all figures).
+// lines. Measured with `time ./lpbench > /dev/null` (all figures), best
+// of five on an otherwise idle single-core box.
 var extraCurrent = map[string]map[string]float64{
-	"lpbench-all-figures": {"sec/run": 6.891},
+	"lpbench-all-figures": {"sec/run": 0.952},
 }
 
 type output struct {
@@ -110,6 +128,7 @@ type output struct {
 	FanoutVsPerConfig  map[string]map[string]Ratio `json:"fanout_vs_perconfig"`
 	ShadowVsLegacy     map[string]map[string]Ratio `json:"shadow_vs_legacy"`
 	BytecodeVsTreewalk map[string]map[string]Ratio `json:"bytecode_vs_treewalk"`
+	BatchedVsPerEvent  map[string]map[string]Ratio `json:"batched_vs_perevent"`
 	BytecodeLowering   *loweringStats              `json:"bytecode_lowering,omitempty"`
 	SeedVsCurrent      map[string]map[string]Ratio `json:"seed_vs_current"`
 }
@@ -186,8 +205,78 @@ func ratios(base, cur map[string]float64) map[string]Ratio {
 	return out
 }
 
+// baselineDoc is the subset of a previous BENCH_*.json the regression
+// gate needs.
+type baselineDoc struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// gatedUnit reports whether a metric series participates in the
+// regression gate.
+func gatedUnit(unit string, baseIters, curIters int64) bool {
+	switch unit {
+	case "ns/op", "sec/run", "B/op", "allocs/op":
+		// Per-op cost series only carry signal when both runs measured
+		// more than one iteration: a -benchtime=1x smoke folds one-time
+		// warm-up (pool growth, memoization caches, lazily sized tables)
+		// into its single op, so neither its timings nor its allocation
+		// counts are comparable to a steady-state measurement.
+		return baseIters > 1 && curIters > 1
+	case "fused-insts", "fused-pct":
+		// Fusion coverage: higher is better, so the higher-is-worse gate
+		// below would fire on improvements. Tracked in the
+		// bytecode_lowering table instead.
+		return false
+	}
+	// The remaining custom metrics are deterministic work censuses
+	// (instruction counts, opcode mix) — exact at any iteration count,
+	// and emitting more work is a real regression — except throughput
+	// rates, which are wall-time derived and as noisy as ns/op.
+	return !strings.HasSuffix(unit, "/sec")
+}
+
+// compare checks the current results against a previous run's benchmarks,
+// returning one line per gated series that regressed past tolerance
+// percent. All gated series are per-op costs, so higher is worse.
+func compare(base, cur []Benchmark, tolerance float64) (regressions, notes []string) {
+	curBy := make(map[string]Benchmark, len(cur))
+	for _, b := range cur {
+		curBy[b.Name] = b
+	}
+	for _, ob := range base {
+		cb, ok := curBy[ob.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: in baseline but not in current run", ob.Name))
+			continue
+		}
+		for _, unit := range sortedKeys(ob.Metrics) {
+			ov := ob.Metrics[unit]
+			cv, ok := cb.Metrics[unit]
+			if !ok || ov <= 0 || !gatedUnit(unit, ob.Iterations, cb.Iterations) {
+				continue
+			}
+			if worse := (cv - ov) / ov * 100; worse > tolerance {
+				regressions = append(regressions, fmt.Sprintf("%s %s: %.4g -> %.4g (+%.1f%%, tolerance %.0f%%)",
+					ob.Name, unit, ov, cv, worse, tolerance))
+			}
+		}
+	}
+	return regressions, notes
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
 func run() error {
 	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	comparePath := flag.String("compare", "", "previous BENCH_*.json to gate against; exit non-zero on regression past -tolerance")
+	tolerance := flag.Float64("tolerance", 20, "regression gate threshold in percent (with -compare)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -256,6 +345,19 @@ func run() error {
 		bytecodeVsTreewalk[root] = ratios(tw, bc)
 	}
 
+	batchedVsPerEvent := map[string]map[string]Ratio{}
+	for name, bat := range byName {
+		root, ok := strings.CutSuffix(name, "/batched")
+		if !ok {
+			continue
+		}
+		pe, ok := byName[root+"/per-event"]
+		if !ok {
+			continue
+		}
+		batchedVsPerEvent[root] = ratios(pe, bat)
+	}
+
 	var lowering *loweringStats
 	if m, ok := byName["BenchmarkBytecodeLowering"]; ok {
 		lowering = &loweringStats{
@@ -281,27 +383,55 @@ func run() error {
 	}
 
 	doc := output{
-		Schema: "loopapalooza-bench/v2",
-		Note: "speedup >1 means current/fanout/shadow/bytecode is better; seed " +
+		Schema: "loopapalooza-bench/v3",
+		Note: "speedup >1 means current/fanout/shadow/bytecode/batched is better; seed " +
 			"baselines measured at commit d237949 with identical access patterns, " +
 			"except BenchmarkInterpDispatch (measured at the pre-bytecode-VM commit)",
 		Benchmarks:         benches,
 		FanoutVsPerConfig:  fanoutVsPerConfig,
 		ShadowVsLegacy:     shadowVsLegacy,
 		BytecodeVsTreewalk: bytecodeVsTreewalk,
+		BatchedVsPerEvent:  batchedVsPerEvent,
 		BytecodeLowering:   lowering,
 		SeedVsCurrent:      seedVsCurrent,
 	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
+	if *outPath != "" || *comparePath == "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if *outPath == "" {
+			if _, err := os.Stdout.Write(buf); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			return err
+		}
 	}
-	buf = append(buf, '\n')
-	if *outPath == "" {
-		_, err = os.Stdout.Write(buf)
-		return err
+
+	if *comparePath != "" {
+		raw, err := os.ReadFile(*comparePath)
+		if err != nil {
+			return err
+		}
+		var base baselineDoc
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parsing baseline %s: %v", *comparePath, err)
+		}
+		regressions, notes := compare(base.Benchmarks, benches, *tolerance)
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "benchjson: note:", n)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+			}
+			return fmt.Errorf("%d series regressed past %.0f%% against %s", len(regressions), *tolerance, *comparePath)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regression past %.0f%% against %s\n", *tolerance, *comparePath)
 	}
-	return os.WriteFile(*outPath, buf, 0o644)
+	return nil
 }
 
 func main() {

@@ -68,6 +68,7 @@ func run() int {
 	tracker := flag.String("tracker", "shadow", "dependence tracker: shadow or legacy-map (oracle)")
 	engineFlag := flag.String("engine", "bytecode", "execution engine: bytecode or treewalk (oracle)")
 	fanout := flag.Bool("fanout", true, "share one execution across all of a benchmark's configurations (reports are bit-identical either way)")
+	batch := flag.Bool("batch", true, "feed engines whole event chunks through the batched tracker path (per-event hook dispatch when off; reports are bit-identical either way)")
 	traceDir := flag.String("trace-dir", "", "record each benchmark execution's event trace into this directory (implies -fanout paths)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -133,6 +134,7 @@ func run() int {
 			MaxHeapCells: *memLimit,
 			Tracker:      kind,
 			Engine:       engine,
+			DisableBatch: !*batch,
 		},
 		RetryTransient: true,
 		DisableFanout:  !*fanout,

@@ -81,3 +81,39 @@ func BenchmarkSweepFanout(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSweepBatched measures the batched chunk-replay tracker path
+// against per-event hook dispatch over the same run-once fan-out: the full
+// paper-grid sweep of the EEMBC suite, with core.MultiRun feeding engines
+// whole sealed chunks (one tracker call per memory span per instance)
+// versus dispatching every event through the interp.Hooks interface.
+// Reports are bit-identical between the two modes — the differential
+// oracles pin that — so this pair isolates the dispatch-amortization win
+// (BENCH_PR9.json's batched_vs_perevent table).
+func BenchmarkSweepBatched(b *testing.B) {
+	benches := BySuite(SuiteEEMBC)
+	if len(benches) == 0 {
+		b.Fatal("no EEMBC benchmarks registered")
+	}
+	for _, bm := range benches {
+		if _, err := bm.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfgs := core.PaperConfigs()
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"batched", false}, {"per-event", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := NewHarnessWith(HarnessOptions{Run: core.RunOptions{DisableBatch: mode.disable}})
+				sr := h.Sweep(context.Background(), benches, cfgs)
+				if sr.OK() != len(benches)*len(cfgs) {
+					b.Fatalf("sweep failures: %s", sr.Summary())
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,11 @@ type Engine struct {
 	info *analysis.ModuleInfo
 	cfg  Config
 	tr   depTracker
+	// sh is tr when it is the default shadow tracker, letting the batched
+	// hot path (memSpan) make a direct call instead of an interface
+	// dispatch; nil under the legacy-map oracle.
+	sh   *shadowTracker
+	plan evalPlan
 
 	clock   int64 // serial time: dynamic IR instructions
 	savings int64 // Σ (serial − model cost) over parallel loop instances
@@ -44,6 +49,27 @@ type Engine struct {
 	anomalies LoopEventAnomalies
 
 	freeInsts []*instance // instance pool
+
+	// Scratch buffers for the batched chunk-replay path (memSpan): load
+	// hits collected by depTracker.memRun, sized to the longest run seen
+	// and reused across runs and chunks.
+	hitIdx  []int32
+	hitRecs []writeRec
+}
+
+// evalPlan is the per-configuration compiled event evaluator: which event
+// payloads can possibly affect this configuration's report. It is derived
+// once at engine construction from Config invariants (Validate guarantees
+// DOALL ⟹ Dep==0), so the chunk-replay loop can skip dead payload work
+// wholesale instead of dispatching it into code that discards it.
+type evalPlan struct {
+	// obsLive: IterLoop observations matter (Dep != 0). Under dep0 the
+	// observation loop is dead code — no predictors exist and no register
+	// LCD is synchronized — so the batched path passes a nil obs slice.
+	obsLive bool
+	// initLive: EnterLoop init values train predictors (Dep 2 or 3).
+	// Otherwise LoopStat.preds is nil and the init slice is never read.
+	initLive bool
 }
 
 // LoopEventAnomalies counts loop hook sequences that violate the expected
@@ -162,7 +188,12 @@ func NewEngineTracker(info *analysis.ModuleInfo, cfg Config, kind TrackerKind) *
 		cfg:   cfg,
 		tr:    newTracker(kind, info),
 		stats: map[*analysis.LoopMeta]*LoopStat{},
+		plan: evalPlan{
+			obsLive:  cfg.Dep != 0,
+			initLive: cfg.Dep == 2 || cfg.Dep == 3,
+		},
 	}
+	e.sh, _ = e.tr.(*shadowTracker)
 	e.statSeq = make([]*LoopStat, len(info.Loops))
 	for _, lm := range info.Loops {
 		st := e.newStat(lm)
@@ -174,33 +205,44 @@ func NewEngineTracker(info *analysis.ModuleInfo, cfg Config, kind TrackerKind) *
 	return e
 }
 
-// newStat applies the static Table II constraints to one loop.
-func (e *Engine) newStat(lm *analysis.LoopMeta) *LoopStat {
-	st := &LoopStat{Meta: lm}
+// staticReason applies the static Table II constraints of one configuration
+// to one loop: the serialization verdict available before execution. Both
+// engine construction (newStat) and configuration coalescing (classOf) use
+// this single definition, so the behavioral signature cannot drift from the
+// engine.
+func staticReason(cfg Config, lm *analysis.LoopMeta) SerialReason {
 	// fn flags: calls the configuration does not admit.
-	switch e.cfg.Fn {
+	switch cfg.Fn {
 	case 0:
 		if lm.HasCall {
-			st.Reason = SerialCall
+			return SerialCall
 		}
 	case 1:
 		if lm.HasNonPureCall {
-			st.Reason = SerialCall
+			return SerialCall
 		}
 	case 2:
 		if lm.HasUnsafeOrIOCall {
-			st.Reason = SerialCall
+			return SerialCall
 		}
 	}
 	// dep flags: non-computable register LCDs (and reductions under
 	// reduc0) bar parallelization when dep0.
-	if st.Reason == SerialNone && e.cfg.Dep == 0 {
+	if cfg.Dep == 0 {
 		if len(lm.NonComputable) > 0 {
-			st.Reason = SerialRegLCD
-		} else if e.cfg.Reduc == 0 && len(lm.Reductions) > 0 {
-			st.Reason = SerialReduction
+			return SerialRegLCD
+		}
+		if cfg.Reduc == 0 && len(lm.Reductions) > 0 {
+			return SerialReduction
 		}
 	}
+	return SerialNone
+}
+
+// newStat applies the static Table II constraints to one loop.
+func (e *Engine) newStat(lm *analysis.LoopMeta) *LoopStat {
+	st := &LoopStat{Meta: lm}
+	st.Reason = staticReason(e.cfg, lm)
 	st.StaticallySerial = st.Reason != SerialNone
 
 	// Predictors for the constrained observations (dep2 realistic,
@@ -477,12 +519,17 @@ func (e *Engine) ExitLoop(lm *analysis.LoopMeta) {
 }
 
 // Load implements interp.Hooks: RAW detection against earlier-iteration
-// writes, per live (tracked, unserialized) loop instance.
+// writes, per live (tracked, unserialized) loop instance. The address is
+// classified once; the tracker call takes the pre-computed region.
 func (e *Engine) Load(addr int64) {
+	if len(e.live) == 0 {
+		return
+	}
+	r, ri := region(addr)
+	onStack := r == regStack
 	// Innermost-first, matching the historical stack walk; DOALL
 	// serialization may unlive the instance under the cursor, which is
 	// safe on a descending index.
-	onStack := interp.IsStackAddr(addr)
 	for idx := len(e.live) - 1; idx >= 0; idx-- {
 		inst := e.live[idx]
 		if onStack && addr < inst.iterStartSP {
@@ -490,23 +537,36 @@ func (e *Engine) Load(addr int64) {
 			// this iteration began are iteration-private.
 			continue
 		}
-		rec, ok := e.tr.load(inst, addr)
-		if !ok || rec.iter >= inst.iters {
-			continue // no cross-iteration RAW for this loop
-		}
-		if e.cfg.Model == PDOALL && rec.iter < inst.phaseFirstIter {
-			// The writer belongs to an already-committed phase: its
-			// value is architecturally visible, so the read is not a
-			// violation (§II-C: execution restarts after the
-			// conflict is resolved).
+		rec, ok := e.tr.loadAt(inst, r, ri, addr)
+		if !ok {
 			continue
 		}
-		e.memConflict(inst, rec)
+		e.loadHit(inst, rec, e.adj()-inst.iterStartAdj)
 	}
 }
 
-// memConflict applies one manifesting memory RAW LCD to an instance.
-func (e *Engine) memConflict(inst *instance, rec writeRec) {
+// loadHit applies the per-model RAW policy to one recorded write found for
+// a load: same-iteration and committed-phase reads are not violations;
+// everything else is a manifesting conflict. c is the load's adjusted
+// offset within the instance's current iteration (HELIX slope input).
+func (e *Engine) loadHit(inst *instance, rec writeRec, c int64) {
+	if rec.iter >= inst.iters {
+		return // no cross-iteration RAW for this loop
+	}
+	if e.cfg.Model == PDOALL && rec.iter < inst.phaseFirstIter {
+		// The writer belongs to an already-committed phase: its
+		// value is architecturally visible, so the read is not a
+		// violation (§II-C: execution restarts after the
+		// conflict is resolved).
+		return
+	}
+	e.memConflict(inst, rec, c)
+}
+
+// memConflict applies one manifesting memory RAW LCD to an instance. c is
+// the consuming load's adjusted offset within the instance's current
+// iteration (only HELIX reads it).
+func (e *Engine) memConflict(inst *instance, rec writeRec, c int64) {
 	switch e.cfg.Model {
 	case DOALL:
 		// First conflict marks the loop sequential for good (§III-B).
@@ -537,7 +597,6 @@ func (e *Engine) memConflict(inst *instance, rec writeRec) {
 		// amortized over the iteration distance — HELIX synchronizes
 		// every neighboring pair of iterations, which is exactly why
 		// rare-conflict loops can prefer PDOALL (paper §IV).
-		c := e.adj() - inst.iterStartAdj
 		gap := inst.iters - rec.iter
 		if gap <= 0 {
 			return
@@ -559,19 +618,68 @@ func (e *Engine) memConflict(inst *instance, rec writeRec) {
 	}
 }
 
-// Store implements interp.Hooks: record the write for RAW detection.
+// Store implements interp.Hooks: record the write for RAW detection. The
+// address is classified once; the tracker call takes the region.
 func (e *Engine) Store(addr int64) {
 	if len(e.live) == 0 {
 		return
 	}
-	onStack := interp.IsStackAddr(addr)
+	r, ri := region(addr)
+	onStack := r == regStack
 	now := e.adj()
 	for idx := len(e.live) - 1; idx >= 0; idx-- {
 		inst := e.live[idx]
 		if onStack && addr < inst.iterStartSP {
 			continue
 		}
-		e.tr.store(inst, addr, writeRec{iter: inst.iters, off: now - inst.iterStartAdj})
+		e.tr.storeAt(inst, r, ri, addr, writeRec{iter: inst.iters, off: now - inst.iterStartAdj})
+	}
+}
+
+// memSpan applies one run of mixed load/store/tick records — a sealed
+// chunk's memory span — through the batched tracker path.
+//
+// The run is processed instance-major: each live instance resolves the
+// whole run in ONE depTracker.memRun call, then the engine applies the RAW
+// policy to the (rare) load hits in record order. This is bit-identical to
+// the per-event walk because, between loop events, there is no data flow
+// between instances: loads are pure, stores touch only the instance's own
+// write set, conflicts mutate only the conflicting instance, and the clock
+// evolution inside the run is data-independent (ticks[i] gives the exact
+// clock advance before record i, and savings cannot change inside a run).
+// Per-instance policy state (phaseFirstIter, curIterConflicted) is read
+// and written in the same record order as per-event dispatch.
+//
+// A DOALL conflict serializes the instance mid-run; per-event dispatch
+// would stop consulting the tracker for it, so the policy loop stops
+// applying hits (the tracker already resolved the whole run, but its state
+// for a dropped instance is invalidated by the next generation bump, and
+// the discarded hits match exactly what per-event dispatch never saw).
+func (e *Engine) memSpan(evs []memEv) {
+	if len(e.live) == 0 {
+		return
+	}
+	if cap(e.hitIdx) < len(evs) {
+		e.hitIdx = make([]int32, len(evs))
+		e.hitRecs = make([]writeRec, len(evs))
+	}
+	hitIdx, hitRecs := e.hitIdx, e.hitRecs
+	adj0 := e.adj()
+	for li := len(e.live) - 1; li >= 0; li-- {
+		inst := e.live[li]
+		offBase := adj0 - inst.iterStartAdj
+		var nh int
+		if sh := e.sh; sh != nil { // direct call on the default tracker
+			nh = sh.memRun(inst, evs, inst.iters, offBase, inst.iterStartSP, hitIdx, hitRecs)
+		} else {
+			nh = e.tr.memRun(inst, evs, inst.iters, offBase, inst.iterStartSP, hitIdx, hitRecs)
+		}
+		for h := 0; h < nh; h++ {
+			e.loadHit(inst, hitRecs[h], offBase+evs[hitIdx[h]].tick)
+			if inst.liveIdx < 0 {
+				break
+			}
+		}
 	}
 }
 

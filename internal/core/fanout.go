@@ -8,7 +8,8 @@ package core
 // amortizes the expensive producer (the interpreter) across N cheap
 // consumers (the engines).
 //
-// Two fan-out strategies, chosen by configuration count:
+// Three fan-out strategies, chosen by configuration count and available
+// parallelism:
 //
 //   - Sequential tee (multiHooks): every event is forwarded to each engine
 //     on the interpreting goroutine. Engines consume events synchronously
@@ -22,6 +23,19 @@ package core
 //     the last consumer. This is the one documented place that copies the
 //     interpreter's scratch buffers (see interp.Hooks), which is what
 //     makes the aliasing safe.
+//   - Chunked batched tee (chunkTee): the single-goroutine variant for
+//     machines without spare CPUs — events buffer into the same chunks,
+//     and each sealed chunk replays into every engine through the batched
+//     tracker path (Engine.replayChunkBatched) instead of the per-event
+//     hook dispatch.
+//
+// Sealing a chunk (evChunk.seal) classifies every memory address into its
+// shadow region once and partitions the records into loop-event singletons
+// and memory spans — maximal stretches of loads, stores, and interleaved
+// ticks, with each record's intra-span clock offset precomputed. The plan
+// is built once per chunk and shared read-only by every consumer, so N
+// engines split the classification cost N ways and each feeds whole spans
+// to the tracker's batched memRun method.
 //
 // The contract, enforced differentially against the golden suite: the
 // reports of MultiRun(info, cfgs, opts) are bit-identical to running
@@ -29,6 +43,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -78,6 +93,30 @@ type evChunk struct {
 	vals []interp.Val
 	obs  []interp.LCDObs
 	refs atomic.Int32
+
+	// Batched-replay plan, built once per chunk by seal and shared
+	// read-only by every consumer: the chunk's partition into spans, and
+	// the dense memory-record array the spans index (kind, region
+	// classification, and intra-span tick offsets, in record order).
+	spans []runSpan
+	mem   []memEv
+}
+
+// evMemSpan tags a runSpan covering a memory run: a maximal stretch of
+// load, store, and tick records between loop events. It is a span kind
+// only, never a record kind.
+const evMemSpan evKind = 0xFF
+
+// runSpan is one element of a sealed chunk's replay plan. Loop events
+// (enter/iter/exit) are singleton spans addressing recs[rec]; everything
+// between them — loads, stores, and the ticks interleaved with them — is
+// one memory span addressing the chunk's dense m-arrays [mstart, mend),
+// with sum the total clock advance inside the span.
+type runSpan struct {
+	kind         evKind
+	rec          int32 // record index, for loop-event spans
+	mstart, mend int32 // m-array range, for memory spans
+	sum          int64 // Σ tick payloads, for memory spans
 }
 
 // reset readies a recycled chunk for refilling.
@@ -85,6 +124,51 @@ func (c *evChunk) reset() {
 	c.recs = c.recs[:0]
 	c.vals = c.vals[:0]
 	c.obs = c.obs[:0]
+	c.spans = c.spans[:0]
+	c.mem = c.mem[:0]
+}
+
+// seal builds the chunk's batched-replay plan. Every load/store address is
+// classified into its shadow region exactly once — all consumers share the
+// result — and the record sequence is partitioned into loop-event
+// singletons and memory spans. Ticks are folded INTO memory spans: the
+// producer interleaves a tick flush before nearly every memory event, so
+// same-kind record runs are almost always length one, but a memory span
+// only needs each record's clock offset (mTick) to replay stores and
+// conflict offsets exactly — which is what lets spans grow to hundreds of
+// records and the tracker amortize its dispatch across them.
+func (c *evChunk) seal() {
+	n := len(c.recs)
+	c.spans = c.spans[:0]
+	c.mem = c.mem[:0]
+	for i := 0; i < n; {
+		switch k := c.recs[i].kind; k {
+		case evEnter, evIter, evExit:
+			c.spans = append(c.spans, runSpan{kind: k, rec: int32(i)})
+			i++
+		default: // tick/load/store: one memory span
+			ms := int32(len(c.mem))
+			var sum int64
+		run:
+			for ; i < n; i++ {
+				r := &c.recs[i]
+				switch r.kind {
+				case evTick:
+					sum += r.a
+				case evLoad, evStore:
+					reg, idx := region(r.a)
+					c.mem = append(c.mem, memEv{
+						idx: idx, addr: r.a, tick: sum,
+						kind: uint8(r.kind - evLoad), // memLoad / memStore
+						reg:  int8(reg),
+					})
+				default:
+					break run
+				}
+			}
+			c.spans = append(c.spans, runSpan{kind: evMemSpan, mstart: ms, mend: int32(len(c.mem)), sum: sum})
+		}
+	}
 }
 
 // replayChunk applies one chunk of events, in order, to a synchronous
@@ -106,6 +190,53 @@ func replayChunk(h interp.Hooks, c *evChunk) {
 			h.Load(r.a)
 		case evStore:
 			h.Store(r.a)
+		}
+	}
+}
+
+// replayChunkBatched applies one SEALED chunk to an engine through the
+// batched tracker path, the per-config compiled evaluator of the chunked
+// strategies:
+//
+//   - each memory span makes ONE tracker dispatch per live loop instance
+//     (Engine.memSpan → depTracker.memRun) instead of one per event, with
+//     the precomputed intra-span tick offsets keeping every store's clock
+//     stamp and every conflict offset exact;
+//   - the span's tick sum collapses to a single clock add (Tick only
+//     accumulates, so the precomputed sum is exact — and the coalescing is
+//     strictly consumer-side, leaving recorded trace bytes untouched);
+//   - payloads dead under this configuration's evalPlan (IterLoop
+//     observations under dep0, EnterLoop init values without predictors)
+//     are skipped wholesale instead of being sliced and dispatched into
+//     code that discards them.
+//
+// The result is bit-identical to replayChunk feeding Engine's per-event
+// hooks; the oracle suites pin that equivalence.
+func (e *Engine) replayChunkBatched(c *evChunk) {
+	for si := range c.spans {
+		s := &c.spans[si]
+		switch s.kind {
+		case evMemSpan:
+			if s.mend > s.mstart {
+				e.memSpan(c.mem[s.mstart:s.mend])
+			}
+			e.clock += s.sum
+		case evEnter:
+			r := &c.recs[s.rec]
+			var init []interp.Val
+			if e.plan.initLive {
+				init = c.vals[r.off : r.off+r.n]
+			}
+			e.EnterLoop(r.lm, r.a, init)
+		case evIter:
+			r := &c.recs[s.rec]
+			var obs []interp.LCDObs
+			if e.plan.obsLive {
+				obs = c.obs[r.off : r.off+r.n]
+			}
+			e.IterLoop(r.lm, r.a, obs)
+		case evExit:
+			e.ExitLoop(c.recs[s.rec].lm)
 		}
 	}
 }
@@ -151,13 +282,62 @@ func (m *multiHooks) Store(addr int64) {
 	}
 }
 
+// chunkWriter accumulates hook events into the current chunk and invokes
+// onFull when it fills — the shared producer half of both chunked
+// strategies (concurrent fan-out and single-goroutine batched tee). It
+// runs on the interpreting goroutine; copying the scratch payload slices
+// into the chunk's flat arrays is the one copy of the fan-out.
+type chunkWriter struct {
+	cur    *evChunk
+	onFull func()
+}
+
+// rec appends one record, handing off the chunk when full.
+func (w *chunkWriter) rec(r evRec) {
+	c := w.cur
+	c.recs = append(c.recs, r)
+	if len(c.recs) == cap(c.recs) {
+		w.onFull()
+	}
+}
+
+// Tick implements interp.Hooks.
+func (w *chunkWriter) Tick(n int64) { w.rec(evRec{kind: evTick, a: n}) }
+
+// EnterLoop implements interp.Hooks: the init scratch slice is copied into
+// the chunk's flat payload array (the single copy of the fan-out).
+func (w *chunkWriter) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
+	c := w.cur
+	off := int32(len(c.vals))
+	c.vals = append(c.vals, init...)
+	w.rec(evRec{kind: evEnter, lm: lm, a: sp, off: off, n: int32(len(init))})
+}
+
+// IterLoop implements interp.Hooks: the obs scratch slice is copied into
+// the chunk's flat payload array (the single copy of the fan-out).
+func (w *chunkWriter) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
+	c := w.cur
+	off := int32(len(c.obs))
+	c.obs = append(c.obs, obs...)
+	w.rec(evRec{kind: evIter, lm: lm, a: sp, off: off, n: int32(len(obs))})
+}
+
+// ExitLoop implements interp.Hooks.
+func (w *chunkWriter) ExitLoop(lm *analysis.LoopMeta) { w.rec(evRec{kind: evExit, lm: lm}) }
+
+// Load implements interp.Hooks.
+func (w *chunkWriter) Load(addr int64) { w.rec(evRec{kind: evLoad, a: addr}) }
+
+// Store implements interp.Hooks.
+func (w *chunkWriter) Store(addr int64) { w.rec(evRec{kind: evStore, a: addr}) }
+
 // chunkFanout is the concurrent fan-out producer: it copies each event
-// into the current chunk and publishes full chunks to every consumer
-// channel. It runs on the interpreting goroutine.
+// into the current chunk and publishes sealed full chunks to every
+// consumer channel. It runs on the interpreting goroutine.
 type chunkFanout struct {
+	chunkWriter
 	outs []chan *evChunk
 	pool chan *evChunk
-	cur  *evChunk
 }
 
 // fanoutPoolSize bounds the chunk free list. With consumer channels of
@@ -177,6 +357,7 @@ func newChunkFanout(n int) *chunkFanout {
 		f.outs[i] = make(chan *evChunk, fanoutChanDepth)
 	}
 	f.cur = f.newChunk()
+	f.onFull = f.flush
 	return f
 }
 
@@ -198,21 +379,15 @@ func (f *chunkFanout) release(c *evChunk) {
 	}
 }
 
-// rec appends one record, publishing the chunk when full.
-func (f *chunkFanout) rec(r evRec) {
-	c := f.cur
-	c.recs = append(c.recs, r)
-	if len(c.recs) == cap(c.recs) {
-		f.flush()
-	}
-}
-
-// flush publishes the current (non-empty) chunk to every consumer.
+// flush seals and publishes the current (non-empty) chunk to every
+// consumer. Sealing happens once here, on the producer, so the N consumers
+// share one classification pass.
 func (f *chunkFanout) flush() {
 	c := f.cur
 	if len(c.recs) == 0 {
 		return
 	}
+	c.seal()
 	c.refs.Store(int32(len(f.outs)))
 	for _, ch := range f.outs {
 		ch <- c
@@ -228,35 +403,121 @@ func (f *chunkFanout) close() {
 	}
 }
 
-// Tick implements interp.Hooks.
-func (f *chunkFanout) Tick(n int64) { f.rec(evRec{kind: evTick, a: n}) }
+// chunkTee is the single-goroutine batched fan-out: events buffer into one
+// chunk, and every engine consumes each full chunk through the batched
+// tracker path. Because its only consumers are batched engines — per-event
+// hooks like the trace writer tee off the producer directly, see
+// MultiRunChunked — the tee builds the SEALED plan at write time: ticks
+// fold straight into the open memory span's sum, loads and stores append
+// classified memEv records, and only loop events materialize as evRecs.
+// The per-event record array and the separate seal pass of the concurrent
+// fan-out never exist on this path. One chunk is reused for the whole run;
+// there is no channel, no pool, no goroutine.
+type chunkTee struct {
+	engines []*Engine
+	cur     *evChunk
+	sum     int64 // Σ tick payloads of the open memory span
+	mstart  int32 // start of the open memory span in cur.mem
+}
+
+func newChunkTee(engines []*Engine) *chunkTee {
+	return &chunkTee{
+		engines: engines,
+		cur: &evChunk{
+			recs: make([]evRec, 0, chunkRecs),
+			mem:  make([]memEv, 0, chunkRecs),
+		},
+	}
+}
+
+// closeMemSpan ends the open memory span, emitting it if it observed any
+// tick or memory record.
+func (t *chunkTee) closeMemSpan() {
+	c := t.cur
+	if t.sum != 0 || int32(len(c.mem)) > t.mstart {
+		c.spans = append(c.spans, runSpan{
+			kind: evMemSpan, mstart: t.mstart, mend: int32(len(c.mem)), sum: t.sum,
+		})
+		t.sum = 0
+		t.mstart = int32(len(c.mem))
+	}
+}
+
+// loopRec appends one loop-event record plus its singleton span, flushing
+// when the chunk fills.
+func (t *chunkTee) loopRec(r evRec) {
+	t.closeMemSpan()
+	c := t.cur
+	c.spans = append(c.spans, runSpan{kind: r.kind, rec: int32(len(c.recs))})
+	c.recs = append(c.recs, r)
+	if len(c.recs) >= chunkRecs {
+		t.flush()
+	}
+}
+
+// Tick implements interp.Hooks: ticks only accumulate, so they fold into
+// the open span's sum without materializing a record.
+func (t *chunkTee) Tick(n int64) { t.sum += n }
+
+// Load implements interp.Hooks.
+func (t *chunkTee) Load(addr int64) {
+	r, idx := region(addr)
+	c := t.cur
+	c.mem = append(c.mem, memEv{idx: idx, addr: addr, tick: t.sum, kind: memLoad, reg: int8(r)})
+	if len(c.mem) >= chunkRecs {
+		t.flush()
+	}
+}
+
+// Store implements interp.Hooks.
+func (t *chunkTee) Store(addr int64) {
+	r, idx := region(addr)
+	c := t.cur
+	c.mem = append(c.mem, memEv{idx: idx, addr: addr, tick: t.sum, kind: memStore, reg: int8(r)})
+	if len(c.mem) >= chunkRecs {
+		t.flush()
+	}
+}
 
 // EnterLoop implements interp.Hooks: the init scratch slice is copied into
-// the chunk's flat payload array (the single copy of the fan-out).
-func (f *chunkFanout) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
-	c := f.cur
+// the chunk's flat payload array.
+func (t *chunkTee) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
+	c := t.cur
 	off := int32(len(c.vals))
 	c.vals = append(c.vals, init...)
-	f.rec(evRec{kind: evEnter, lm: lm, a: sp, off: off, n: int32(len(init))})
+	t.loopRec(evRec{kind: evEnter, lm: lm, a: sp, off: off, n: int32(len(init))})
 }
 
 // IterLoop implements interp.Hooks: the obs scratch slice is copied into
-// the chunk's flat payload array (the single copy of the fan-out).
-func (f *chunkFanout) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
-	c := f.cur
+// the chunk's flat payload array.
+func (t *chunkTee) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
+	c := t.cur
 	off := int32(len(c.obs))
 	c.obs = append(c.obs, obs...)
-	f.rec(evRec{kind: evIter, lm: lm, a: sp, off: off, n: int32(len(obs))})
+	t.loopRec(evRec{kind: evIter, lm: lm, a: sp, off: off, n: int32(len(obs))})
 }
 
 // ExitLoop implements interp.Hooks.
-func (f *chunkFanout) ExitLoop(lm *analysis.LoopMeta) { f.rec(evRec{kind: evExit, lm: lm}) }
+func (t *chunkTee) ExitLoop(lm *analysis.LoopMeta) { t.loopRec(evRec{kind: evExit, lm: lm}) }
 
-// Load implements interp.Hooks.
-func (f *chunkFanout) Load(addr int64) { f.rec(evRec{kind: evLoad, a: addr}) }
-
-// Store implements interp.Hooks.
-func (f *chunkFanout) Store(addr int64) { f.rec(evRec{kind: evStore, a: addr}) }
+// flush replays the buffered plan into every engine and resets the chunk
+// for refilling. A memory span interrupted by a flush simply splits in
+// two, which is exact: the engine adds the first part's tick sum to its
+// clock before the second part computes offsets against the updated
+// clock. Call once more after the producer finishes to drain the partial
+// tail.
+func (t *chunkTee) flush() {
+	t.closeMemSpan()
+	c := t.cur
+	if len(c.spans) == 0 {
+		return
+	}
+	for _, e := range t.engines {
+		e.replayChunkBatched(c)
+	}
+	c.reset()
+	t.mstart = 0
+}
 
 // MultiRun executes the analyzed module's main function ONCE and evaluates
 // every configuration against the shared event stream, returning one
@@ -266,25 +527,19 @@ func (f *chunkFanout) Store(addr int64) { f.rec(evRec{kind: evStore, a: addr}) }
 // configuration, exactly as N identical executions would each have failed.
 //
 // Small configuration sets (< FanoutThreshold) evaluate sequentially on
-// the interpreting goroutine; larger sets fan out to one goroutine per
-// engine fed by copied event chunks.
+// the interpreting goroutine. Larger sets use the chunked batched tee when
+// only one CPU is available (goroutine fan-out adds synchronization
+// without parallelism there), and otherwise fan out to one goroutine per
+// engine fed by copied event chunks. opts.DisableBatch forces the
+// per-event hook dispatch everywhere (profiling/differential toggle).
 func MultiRun(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
-	if len(cfgs) >= FanoutThreshold {
-		return MultiRunConcurrent(info, cfgs, opts)
+	if len(cfgs) < FanoutThreshold {
+		return MultiRunSequential(info, cfgs, opts)
 	}
-	return MultiRunSequential(info, cfgs, opts)
-}
-
-// prepareEngines validates every configuration and builds its engine.
-func prepareEngines(info *analysis.ModuleInfo, cfgs []Config, kind TrackerKind) ([]*Engine, error) {
-	engines := make([]*Engine, len(cfgs))
-	for i, cfg := range cfgs {
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-		engines[i] = NewEngineTracker(info, cfg, kind)
+	if !opts.DisableBatch && runtime.GOMAXPROCS(0) == 1 {
+		return MultiRunChunked(info, cfgs, opts)
 	}
-	return engines, nil
+	return MultiRunConcurrent(info, cfgs, opts)
 }
 
 // interpret runs main under the selected execution engine with the given
@@ -308,15 +563,6 @@ func interpret(info *analysis.ModuleInfo, opts RunOptions, hooks interp.Hooks) e
 	return nil
 }
 
-// reports finalizes one report per engine.
-func reports(engines []*Engine, name string) []*Report {
-	out := make([]*Report, len(engines))
-	for i, e := range engines {
-		out[i] = e.Report(name)
-	}
-	return out
-}
-
 // traceSink wraps the optional opts.Trace writer into a fan-out consumer,
 // returning the hook to append (nil when tracing is off).
 func traceSink(info *analysis.ModuleInfo, opts RunOptions) *TraceWriter {
@@ -336,12 +582,12 @@ func MultiRunSequential(info *analysis.ModuleInfo, cfgs []Config, opts RunOption
 				&PanicError{Val: r, Stack: string(debug.Stack())})
 		}
 	}()
-	engines, err := prepareEngines(info, cfgs, opts.Tracker)
+	set, err := prepareEngines(info, cfgs, opts.Tracker)
 	if err != nil {
 		return nil, err
 	}
-	hooks := make([]interp.Hooks, len(engines))
-	for i, e := range engines {
+	hooks := make([]interp.Hooks, len(set.engines))
+	for i, e := range set.engines {
 		hooks[i] = e
 	}
 	tw := traceSink(info, opts)
@@ -356,21 +602,64 @@ func MultiRunSequential(info *analysis.ModuleInfo, cfgs []Config, opts RunOption
 			return nil, fmt.Errorf("core: %s: writing trace: %w", info.Mod.Name, err)
 		}
 	}
-	return reports(engines, info.Mod.Name), nil
+	return set.reports(cfgs, info.Mod.Name), nil
+}
+
+// MultiRunChunked is MultiRun restricted to the single-goroutine batched
+// tee: events buffer into chunks on the interpreting goroutine, and every
+// engine consumes each sealed chunk through the batched tracker path. The
+// default for large configuration sets on single-CPU machines; exported so
+// the differential oracle can pin this strategy explicitly.
+func MultiRunChunked(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) (reps []*Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reps, err = nil, fmt.Errorf("core: %s: %w", info.Mod.Name,
+				&PanicError{Val: r, Stack: string(debug.Stack())})
+		}
+	}()
+	set, err := prepareEngines(info, cfgs, opts.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	t := newChunkTee(set.engines)
+	var hooks interp.Hooks = t
+	tw := traceSink(info, opts)
+	if tw != nil {
+		// The trace writer needs the per-event stream; it tees off the
+		// producer directly, ahead of the batched tee, so recorded bytes
+		// are identical to every other strategy's.
+		hooks = &multiHooks{hs: []interp.Hooks{t, tw}}
+	}
+	if err := interpret(info, opts, hooks); err != nil {
+		return nil, err
+	}
+	t.flush() // drain the partial tail chunk
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return nil, fmt.Errorf("core: %s: writing trace: %w", info.Mod.Name, err)
+		}
+	}
+	return set.reports(cfgs, info.Mod.Name), nil
 }
 
 // startConsumers launches one goroutine per consumer, each replaying the
-// chunks published on its channel. The returned wait function blocks until
-// every channel is drained (call it after f.close()) and reports the first
-// consumer panic, if any. A panicked consumer keeps draining its channel
-// without applying events, so the producer never blocks on it, and chunk
-// reference counts stay balanced.
-func startConsumers(f *chunkFanout, consumers []interp.Hooks) (wait func() *PanicError) {
+// chunks published on its channel — engines through the batched path when
+// batch is set, everything else through the generic per-event dispatch.
+// The returned wait function blocks until every channel is drained (call
+// it after f.close()) and reports the first consumer panic, if any. A
+// panicked consumer keeps draining its channel without applying events, so
+// the producer never blocks on it, and chunk reference counts stay
+// balanced.
+func startConsumers(f *chunkFanout, consumers []interp.Hooks, batch bool) (wait func() *PanicError) {
 	var wg sync.WaitGroup
 	var consumerPanic atomic.Pointer[PanicError]
 	for i, h := range consumers {
 		wg.Add(1)
-		go func(h interp.Hooks, ch chan *evChunk) {
+		eng, _ := h.(*Engine)
+		if !batch {
+			eng = nil
+		}
+		go func(h interp.Hooks, eng *Engine, ch chan *evChunk) {
 			defer wg.Done()
 			dead := false // after a panic, drain without applying
 			for c := range ch {
@@ -383,14 +672,18 @@ func startConsumers(f *chunkFanout, consumers []interp.Hooks) (wait func() *Pani
 									&PanicError{Val: r, Stack: string(debug.Stack())})
 							}
 						}()
-						replayChunk(h, c)
+						if eng != nil {
+							eng.replayChunkBatched(c)
+						} else {
+							replayChunk(h, c)
+						}
 					}()
 				}
 				if c.refs.Add(-1) == 0 {
 					f.release(c)
 				}
 			}
-		}(h, f.outs[i])
+		}(h, eng, f.outs[i])
 	}
 	return func() *PanicError {
 		wg.Wait()
@@ -409,12 +702,12 @@ func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOption
 				&PanicError{Val: r, Stack: string(debug.Stack())})
 		}
 	}()
-	engines, err := prepareEngines(info, cfgs, opts.Tracker)
+	set, err := prepareEngines(info, cfgs, opts.Tracker)
 	if err != nil {
 		return nil, err
 	}
-	consumers := make([]interp.Hooks, len(engines))
-	for i, e := range engines {
+	consumers := make([]interp.Hooks, len(set.engines))
+	for i, e := range set.engines {
 		consumers[i] = e
 	}
 	tw := traceSink(info, opts)
@@ -423,7 +716,7 @@ func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOption
 	}
 
 	f := newChunkFanout(len(consumers))
-	wait := startConsumers(f, consumers)
+	wait := startConsumers(f, consumers, !opts.DisableBatch)
 
 	runErr := interpret(info, opts, f)
 	f.close()
@@ -439,5 +732,5 @@ func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOption
 			return nil, fmt.Errorf("core: %s: writing trace: %w", info.Mod.Name, err)
 		}
 	}
-	return reports(engines, info.Mod.Name), nil
+	return set.reports(cfgs, info.Mod.Name), nil
 }

@@ -27,10 +27,16 @@ var fanoutSamples = map[string]string{
 	"stack":         stackSrc,
 }
 
-// multiStrategies pins both fan-out strategies regardless of config count.
+// multiStrategies pins every fan-out strategy regardless of config count
+// or GOMAXPROCS.
 var multiStrategies = map[string]func(*analysis.ModuleInfo, []Config, RunOptions) ([]*Report, error){
 	"sequential": MultiRunSequential,
 	"concurrent": MultiRunConcurrent,
+	"chunked":    MultiRunChunked,
+	"concurrent-no-batch": func(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
+		opts.DisableBatch = true
+		return MultiRunConcurrent(info, cfgs, opts)
+	},
 }
 
 // TestMultiRunBitIdentical is the in-package differential oracle: for every
@@ -278,7 +284,7 @@ func TestConsumerPanicRecovery(t *testing.T) {
 	var healthy eventLog
 	bad := &panicHook{fuse: 2}
 	f := newChunkFanout(2)
-	wait := startConsumers(f, []interp.Hooks{bad, &healthy})
+	wait := startConsumers(f, []interp.Hooks{bad, &healthy}, false)
 
 	// Far more events than the channel depth holds: without draining, the
 	// producer would block on the dead consumer's channel.
@@ -318,5 +324,82 @@ func TestRunTraceMatchesUntraced(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Error("no trace bytes written")
+	}
+}
+
+// retainingChunkHook violates the replayChunk consumer contract on
+// purpose: it keeps the payload sub-slices instead of copying the
+// elements.
+type retainingChunkHook struct {
+	interp.NopHooks
+	retainedObs  [][]interp.LCDObs
+	retainedVals [][]interp.Val
+}
+
+func (h *retainingChunkHook) IterLoop(lm *analysis.LoopMeta, sp int64, obs []interp.LCDObs) {
+	h.retainedObs = append(h.retainedObs, obs)
+}
+
+func (h *retainingChunkHook) EnterLoop(lm *analysis.LoopMeta, sp int64, init []interp.Val) {
+	h.retainedVals = append(h.retainedVals, init)
+}
+
+// TestReplayChunkPayloadAliasing is interp's TestHooksScratchBufferOwnership
+// transplanted to the batched path: the vals/obs sub-slices replayChunk
+// hands to consumers alias the chunk's flat payload arrays, and chunks are
+// recycled through the fan-out pool — so a consumer that retains them MUST
+// observably read the next filling's data through the stale headers. If
+// this test fails, chunk replay started copying per event and the
+// zero-allocation contract of the chunked strategies is gone.
+func TestReplayChunkPayloadAliasing(t *testing.T) {
+	info, err := AnalyzeSource("alias", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := info.Loops[0]
+
+	// Payload arrays at full capacity up front, as after one pool cycle in
+	// production: refills append into the same backing.
+	c := &evChunk{
+		recs: make([]evRec, 0, chunkRecs),
+		vals: make([]interp.Val, 0, chunkRecs),
+		obs:  make([]interp.LCDObs, 0, chunkRecs),
+	}
+	w := chunkWriter{cur: c, onFull: func() {}}
+	const events = 4
+	fill := func(base int64) {
+		scratchV := make([]interp.Val, 1)
+		scratchO := make([]interp.LCDObs, 1)
+		for i := int64(0); i < events; i++ {
+			scratchV[0] = interp.Val{K: ir.KInt, I: base + i}
+			w.EnterLoop(lm, 0, scratchV)
+			scratchO[0] = interp.LCDObs{DefTick: base + i}
+			w.IterLoop(lm, 0, scratchO)
+		}
+	}
+	fill(100)
+
+	h := &retainingChunkHook{}
+	replayChunk(h, c)
+	if len(h.retainedObs) != events || len(h.retainedVals) != events {
+		t.Fatalf("saw %d/%d iter/enter events, want %d each", len(h.retainedObs), len(h.retainedVals), events)
+	}
+	for i := range h.retainedObs {
+		if &h.retainedObs[i][0] != &c.obs[i] || &h.retainedVals[i][0] != &c.vals[i] {
+			t.Fatalf("event %d payload does not alias the chunk arrays: replayChunk started copying", i)
+		}
+	}
+
+	// Pool recycling: the chunk resets and refills with new payloads. Every
+	// retained sub-slice must now read the second filling's values.
+	c.reset()
+	fill(900)
+	for i := range h.retainedObs {
+		if got := h.retainedObs[i][0].DefTick; got != 900+int64(i) {
+			t.Errorf("retained obs[%d].DefTick = %d, want %d (chunk reuse must show through the alias)", i, got, 900+i)
+		}
+		if got := h.retainedVals[i][0].I; got != 900+int64(i) {
+			t.Errorf("retained init[%d].I = %d, want %d (chunk reuse must show through the alias)", i, got, 900+i)
+		}
 	}
 }

@@ -44,6 +44,11 @@ type RunOptions struct {
 	// fails the run; the resource budgets above are enforced while
 	// recording.
 	Trace io.Writer
+	// DisableBatch forces MultiRun and trace replay onto the per-event
+	// hook dispatch instead of the batched chunk-replay tracker path —
+	// the profiling and differential toggle behind the `-batch=false`
+	// flags. Reports are bit-identical either way.
+	DisableBatch bool
 }
 
 // Run executes the analyzed module's main function under one configuration

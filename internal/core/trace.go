@@ -421,8 +421,9 @@ func ReplayTrace(name string, info *analysis.ModuleInfo, cfg Config, opts RunOpt
 }
 
 // ReplayTraceMulti decodes a trace once and evaluates every configuration
-// against it through the sequential fan-out tee — the replay-side
-// equivalent of MultiRun.
+// against it — the replay-side equivalent of MultiRun. Decoded events
+// buffer into chunks and replay through the batched tracker path unless
+// opts.DisableBatch forces the per-event sequential tee.
 func ReplayTraceMulti(name string, info *analysis.ModuleInfo, cfgs []Config, opts RunOptions, r io.Reader) (reps []*Report, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -430,7 +431,7 @@ func ReplayTraceMulti(name string, info *analysis.ModuleInfo, cfgs []Config, opt
 				&PanicError{Val: p, Stack: string(debug.Stack())})
 		}
 	}()
-	engines, err := prepareEngines(info, cfgs, opts.Tracker)
+	set, err := prepareEngines(info, cfgs, opts.Tracker)
 	if err != nil {
 		return nil, err
 	}
@@ -438,12 +439,20 @@ func ReplayTraceMulti(name string, info *analysis.ModuleInfo, cfgs []Config, opt
 	if err != nil {
 		return nil, err
 	}
-	hooks := make([]interp.Hooks, len(engines))
-	for i, e := range engines {
-		hooks[i] = e
+	if opts.DisableBatch {
+		hooks := make([]interp.Hooks, len(set.engines))
+		for i, e := range set.engines {
+			hooks[i] = e
+		}
+		if err := tr.Replay(&multiHooks{hs: hooks}); err != nil {
+			return nil, err
+		}
+		return set.reports(cfgs, name), nil
 	}
-	if err := tr.Replay(&multiHooks{hs: hooks}); err != nil {
+	tee := newChunkTee(set.engines)
+	if err := tr.Replay(tee); err != nil {
 		return nil, err
 	}
-	return reports(engines, name), nil
+	tee.flush() // drain the partial tail chunk
+	return set.reports(cfgs, name), nil
 }

@@ -34,30 +34,97 @@ func (k TrackerKind) String() string {
 // write to each address. The engine owns all policy (cactus-stack
 // exemption, same-iteration and committed-phase filtering, conflict
 // handling); the tracker is pure storage.
+//
+// All access methods take the address's region classification (r, idx)
+// alongside the raw address: callers classify with region() ONCE per event
+// (or once per address run, on the batched paths) and the tracker never
+// re-derives it — the region branch is hoisted out of the per-event call.
 type depTracker interface {
 	// enter prepares (or resets) storage for an instance that begins
 	// tracking. inst.depth is its nesting level, unique among active
 	// instances.
 	enter(inst *instance)
-	// load returns the recorded write covering addr for inst, if any.
-	load(inst *instance, addr int64) (writeRec, bool)
-	// store records a write at addr for inst.
-	store(inst *instance, addr int64, rec writeRec)
+	// loadAt returns the recorded write covering addr for inst, if any.
+	// (r, idx) must be region(addr).
+	loadAt(inst *instance, r int, idx int64, addr int64) (writeRec, bool)
+	// storeAt records a write at addr for inst. (r, idx) must be
+	// region(addr).
+	storeAt(inst *instance, r int, idx int64, addr int64, rec writeRec)
+	// memRun resolves a whole run of mixed load/store records for inst in
+	// ONE call — the batched chunk-replay hot path. Each memEv carries its
+	// kind, region classification, and the clock advance accumulated
+	// inside the run before it (the engine applies the run's total to its
+	// clock afterwards; no other event can occur inside a run).
+	//
+	// Stores record writeRec{iter: iter, off: offBase + ev.tick} — iter
+	// and offBase are run constants because iteration boundaries end a
+	// run. Loads that find a record append (record index, record) to
+	// hitIdx/hitRecs; memRun returns the hit count and the engine applies
+	// the RAW policy afterwards, in record order (loads are pure, and
+	// hits are rare, so deferring policy keeps this loop branch-light).
+	//
+	// Records with reg == regStack and addr < spLimit are skipped
+	// wholesale: the engine pre-resolves its cactus-stack exemption
+	// (frames pushed after the current iteration began, i.e. addresses
+	// below the iteration-start SP, are iteration-private) into that one
+	// bound so the filter costs a compare here instead of a callback.
+	memRun(inst *instance, evs []memEv,
+		iter, offBase, spLimit int64, hitIdx []int32, hitRecs []writeRec) int
 	// drop discards inst's write set (the instance serialized or exited).
 	drop(inst *instance)
 }
 
+// memRun record kinds.
+const (
+	memLoad  uint8 = 0
+	memStore uint8 = 1
+)
+
+// memEv is one memory record of a sealed chunk's memory span: the address
+// with its region classification precomputed (reg, idx), the record kind,
+// and the clock advance accumulated inside the span before this record.
+// One 32-byte record per event keeps the batched tracker loop on a single
+// sequential stream.
+type memEv struct {
+	idx  int64 // dense region offset: region(addr)
+	addr int64
+	tick int64 // Σ tick payloads inside the span before this record
+	kind uint8 // memLoad or memStore
+	reg  int8  // region: regLow, regHeap, regStack
+}
+
 // mapTracker is the legacy write-set representation: one map per instance.
+// Its batch methods are the naive loops — the oracle stays obviously
+// correct while the shadow tracker specializes.
 type mapTracker struct{}
 
 func (mapTracker) enter(inst *instance) { inst.writes = map[int64]writeRec{} }
 func (mapTracker) drop(inst *instance)  { inst.writes = nil }
-func (mapTracker) load(inst *instance, addr int64) (writeRec, bool) {
+func (mapTracker) loadAt(inst *instance, _ int, _ int64, addr int64) (writeRec, bool) {
 	rec, ok := inst.writes[addr]
 	return rec, ok
 }
-func (mapTracker) store(inst *instance, addr int64, rec writeRec) {
+func (mapTracker) storeAt(inst *instance, _ int, _ int64, addr int64, rec writeRec) {
 	inst.writes[addr] = rec
+}
+func (mapTracker) memRun(inst *instance, evs []memEv,
+	iter, offBase, spLimit int64, hitIdx []int32, hitRecs []writeRec) int {
+	nh := 0
+	for i := range evs {
+		ev := &evs[i]
+		if ev.reg == regStack && ev.addr < spLimit {
+			continue
+		}
+		if ev.kind == memStore {
+			inst.writes[ev.addr] = writeRec{iter: iter, off: offBase + ev.tick}
+			continue
+		}
+		if rec, ok := inst.writes[ev.addr]; ok {
+			hitIdx[nh], hitRecs[nh] = int32(i), rec
+			nh++
+		}
+	}
+	return nh
 }
 
 // Shadow-memory geometry. Guest addresses split into three dense regions
@@ -82,11 +149,18 @@ const (
 
 	// minShadowTab is the initial flat-table size on first touch.
 	minShadowTab = 64
+
+	// overflowPruneLimit bounds how many stale overflow records a level
+	// may retain across generations. A generation bump invalidates every
+	// overflow entry at once, so a map that grew past this limit is
+	// cleared wholesale on the next bump instead of haunting deep-nesting
+	// runs forever (small maps are cheaper to keep than to rebuild).
+	overflowPruneLimit = 64
 )
 
-// shadowRec is one shadow-memory entry: a generation stamp plus the write
-// record. Entries whose gen differs from the level's current generation are
-// stale leftovers of earlier instances and read as absent.
+// shadowRec is one overflow-map entry: a generation stamp plus the write
+// record. Entries whose gen differs from the level's current generation
+// are stale leftovers of earlier instances and read as absent.
 type shadowRec struct {
 	gen uint64
 	writeRec
@@ -96,10 +170,28 @@ type shadowRec struct {
 // active instance occupies a level at a time (levels are stack depths), so
 // a single generation counter distinguishes the current instance's writes
 // from stale ones.
+//
+// The flat tables use a structure-of-arrays layout: generation stamps live
+// in their own densely-packed uint64 arrays (gens), the write records in
+// parallel arrays (recs). The common miss — a stale generation — touches
+// only the 8-byte stamp, so one cache line answers eight addresses instead
+// of the two it covered when stamp and record were interleaved.
 type shadowLevel struct {
 	gen  uint64
-	tabs [3][]shadowRec      // flat tables, indexed by region offset
-	over map[int64]shadowRec // addresses beyond the flat caps, by address
+	gens [3][]uint64   // generation stamps, indexed by region offset
+	recs [3][]writeRec // write records, parallel to gens
+	over map[int64]shadowRec
+}
+
+// bump starts a new generation, invalidating every record the previous
+// occupant of this level left behind, and prunes an oversized overflow
+// map (whose entries are now all stale) so dead records do not accumulate
+// across enter/drop cycles.
+func (lvl *shadowLevel) bump() {
+	lvl.gen++
+	if len(lvl.over) > overflowPruneLimit {
+		clear(lvl.over)
+	}
 }
 
 // shadowTracker implements depTracker with generation-stamped flat tables.
@@ -138,19 +230,16 @@ func (t *shadowTracker) enter(inst *instance) {
 	for int(inst.depth) >= len(t.levels) {
 		t.levels = append(t.levels, &shadowLevel{})
 	}
-	// One bump invalidates every record the previous occupant of this
-	// level left behind, across all regions and the overflow map.
-	t.levels[inst.depth].gen++
+	t.levels[inst.depth].bump()
 }
 
 func (t *shadowTracker) drop(inst *instance) {
-	// Stale records are invalidated by the next occupant's generation
-	// bump; nothing to clear now.
+	// Stale records are invalidated (and oversized overflow maps pruned)
+	// by the next occupant's generation bump; nothing to clear now.
 }
 
-func (t *shadowTracker) load(inst *instance, addr int64) (writeRec, bool) {
+func (t *shadowTracker) loadAt(inst *instance, r int, idx int64, addr int64) (writeRec, bool) {
 	lvl := t.levels[inst.depth]
-	r, idx := region(addr)
 	if idx < 0 || idx >= t.caps[r] {
 		rec, ok := lvl.over[addr]
 		if !ok || rec.gen != lvl.gen {
@@ -158,20 +247,15 @@ func (t *shadowTracker) load(inst *instance, addr int64) (writeRec, bool) {
 		}
 		return rec.writeRec, true
 	}
-	tab := lvl.tabs[r]
-	if idx >= int64(len(tab)) {
+	gens := lvl.gens[r]
+	if idx >= int64(len(gens)) || gens[idx] != lvl.gen {
 		return writeRec{}, false
 	}
-	rec := tab[idx]
-	if rec.gen != lvl.gen {
-		return writeRec{}, false
-	}
-	return rec.writeRec, true
+	return lvl.recs[r][idx], true
 }
 
-func (t *shadowTracker) store(inst *instance, addr int64, rec writeRec) {
+func (t *shadowTracker) storeAt(inst *instance, r int, idx int64, addr int64, rec writeRec) {
 	lvl := t.levels[inst.depth]
-	r, idx := region(addr)
 	if idx < 0 || idx >= t.caps[r] {
 		if lvl.over == nil {
 			lvl.over = map[int64]shadowRec{}
@@ -179,19 +263,91 @@ func (t *shadowTracker) store(inst *instance, addr int64, rec writeRec) {
 		lvl.over[addr] = shadowRec{gen: lvl.gen, writeRec: rec}
 		return
 	}
-	tab := lvl.tabs[r]
-	if idx >= int64(len(tab)) {
-		tab = growShadowTab(tab, idx, t.caps[r])
-		lvl.tabs[r] = tab
+	gens := lvl.gens[r]
+	if idx >= int64(len(gens)) {
+		lvl.grow(r, idx, t.caps[r])
+		gens = lvl.gens[r]
 	}
-	tab[idx] = shadowRec{gen: lvl.gen, writeRec: rec}
+	gens[idx] = lvl.gen
+	lvl.recs[r][idx] = rec
 }
 
-// growShadowTab extends a flat table to cover idx: geometric doubling from
-// minShadowTab, clamped to the region cap. Stale prefixes keep their old
-// generation stamps, so no clearing is needed.
-func growShadowTab(tab []shadowRec, idx, cap64 int64) []shadowRec {
-	n := int64(len(tab))
+// memRun is the shadow fast path for a mixed load/store run: the level and
+// its generation are hoisted out of the per-record loop, so the common
+// case — a dense store, or a dense load missing on a stale generation —
+// costs one region-array index plus one stamp compare. Thanks to the SoA
+// layout, a miss touches only the 8-byte stamp.
+func (t *shadowTracker) memRun(inst *instance, evs []memEv,
+	iter, offBase, spLimit int64, hitIdx []int32, hitRecs []writeRec) int {
+	lvl := t.levels[inst.depth]
+	gen := lvl.gen
+	nh := 0
+	for i := range evs {
+		ev := &evs[i]
+		r := int(ev.reg)
+		idx := ev.idx
+		if r == regStack && ev.addr < spLimit {
+			continue
+		}
+		gens := lvl.gens[r]
+		if ev.kind == memStore {
+			rec := writeRec{iter: iter, off: offBase + ev.tick}
+			if uint64(idx) < uint64(len(gens)) {
+				gens[idx] = gen
+				lvl.recs[r][idx] = rec
+				continue
+			}
+			if idx >= 0 && idx < t.caps[r] { // dense but not yet grown
+				lvl.grow(r, idx, t.caps[r])
+				lvl.gens[r][idx] = gen
+				lvl.recs[r][idx] = rec
+				continue
+			}
+			if lvl.over == nil {
+				lvl.over = map[int64]shadowRec{}
+			}
+			lvl.over[ev.addr] = shadowRec{gen: gen, writeRec: rec}
+			continue
+		}
+		// Load.
+		if uint64(idx) < uint64(len(gens)) {
+			if gens[idx] != gen {
+				continue
+			}
+			hitIdx[nh], hitRecs[nh] = int32(i), lvl.recs[r][idx]
+			nh++
+			continue
+		}
+		if idx >= 0 && idx < t.caps[r] { // dense but not yet grown
+			continue
+		}
+		rec, ok := lvl.over[ev.addr]
+		if !ok || rec.gen != gen {
+			continue
+		}
+		hitIdx[nh], hitRecs[nh] = int32(i), rec.writeRec
+		nh++
+	}
+	return nh
+}
+
+// grow extends a region's flat tables to cover idx: geometric doubling
+// from minShadowTab, clamped to the region cap. Stale prefixes keep their
+// old generation stamps, so no clearing is needed. The gens and recs
+// arrays grow in lockstep to stay parallel.
+func (lvl *shadowLevel) grow(r int, idx, cap64 int64) {
+	n := growShadowTab(int64(len(lvl.gens[r])), idx, cap64)
+	gens := make([]uint64, n)
+	copy(gens, lvl.gens[r])
+	lvl.gens[r] = gens
+	recs := make([]writeRec, n)
+	copy(recs, lvl.recs[r])
+	lvl.recs[r] = recs
+}
+
+// growShadowTab computes the grown table size covering idx: geometric
+// doubling from minShadowTab, clamped to the region cap.
+func growShadowTab(n, idx, cap64 int64) int64 {
 	if n < minShadowTab {
 		n = minShadowTab
 	}
@@ -201,9 +357,7 @@ func growShadowTab(tab []shadowRec, idx, cap64 int64) []shadowRec {
 	if n > cap64 {
 		n = cap64
 	}
-	grown := make([]shadowRec, n)
-	copy(grown, tab)
-	return grown
+	return n
 }
 
 // newTracker builds the tracker for a kind.

@@ -21,17 +21,49 @@ func main() int {
 	return x;
 }`
 
+// ownershipNestedSrc re-enters the inner loop once per outer iteration, so
+// EnterLoop fires repeatedly with distinct init values — the staleness
+// probe for the init scratch buffer, which ownershipSrc (one loop, one
+// entry) cannot exercise.
+const ownershipNestedSrc = `
+const N = 8;
+var out [4 * N]int;
+func main() int {
+	var x int;
+	var i int;
+	var r int;
+	for (r = 0; r < 4; r = r + 1) {
+		x = r * 5 + 1;
+		for (i = 0; i < N; i = i + 1) {
+			out[r * N + i] = x;
+			x = x * 3 + 1;
+		}
+	}
+	return x;
+}`
+
 // retainingHooks violates the Hooks buffer-ownership contract on purpose:
-// it keeps the obs slice headers instead of copying the elements.
+// it keeps the obs/init slice headers instead of copying the elements.
 type retainingHooks struct {
 	NopHooks
 	retained [][]LCDObs // aliased scratch — the bug under test
 	copied   [][]LCDObs // correct per-event snapshots
+
+	retainedInit [][]Val // aliased EnterLoop scratch
+	copiedInit   [][]Val // correct per-entry snapshots
 }
 
 func (h *retainingHooks) IterLoop(lm *analysis.LoopMeta, sp int64, obs []LCDObs) {
 	h.retained = append(h.retained, obs)
 	h.copied = append(h.copied, append([]LCDObs(nil), obs...))
+}
+
+func (h *retainingHooks) EnterLoop(lm *analysis.LoopMeta, sp int64, init []Val) {
+	if len(init) == 0 {
+		return
+	}
+	h.retainedInit = append(h.retainedInit, init)
+	h.copiedInit = append(h.copiedInit, append([]Val(nil), init...))
 }
 
 // TestHooksScratchBufferOwnership pins the documented aliasing hazard: the
@@ -67,5 +99,51 @@ func TestHooksScratchBufferOwnership(t *testing.T) {
 	}
 	if stale != last {
 		t.Errorf("%d/%d retained snapshots stale, want all: retaining scratch must observe stale data", stale, last)
+	}
+}
+
+// TestHooksScratchBufferOwnershipInit extends the ownership pin to the
+// EnterLoop init payload: the init slices are interpreter scratch exactly
+// like obs, so a hook retaining them across repeated loop entries must see
+// stale data. The init buffer may legitimately reallocate once as a wider
+// loop first grows it, so the aliasing assertions apply to the entries
+// sharing the final backing array.
+func TestHooksScratchBufferOwnershipInit(t *testing.T) {
+	h := &retainingHooks{}
+	run(t, ownershipNestedSrc, Config{Hooks: h})
+	if len(h.retainedInit) < 3 {
+		t.Fatalf("only %d loop entries with init payloads, need several", len(h.retainedInit))
+	}
+	last := len(h.retainedInit) - 1
+	back := &h.retainedInit[last][0]
+	shared := 0
+	stale := 0
+	for i := 0; i < last; i++ {
+		if &h.retainedInit[i][0] != back {
+			continue // pre-reallocation entry: different backing, skip
+		}
+		shared++
+		// Entries on the shared backing collapse to the final entry's
+		// contents (over their common prefix)…
+		n := min(len(h.retainedInit[i]), len(h.copiedInit[last]))
+		for k := 0; k < n; k++ {
+			if h.retainedInit[i][k] != h.copiedInit[last][k] {
+				t.Errorf("retainedInit[%d][%d] = %+v, want the final entry's %+v (buffer is shared)",
+					i, k, h.retainedInit[i][k], h.copiedInit[last][k])
+			}
+		}
+		// …and are stale relative to their own snapshots.
+		for k := range h.retainedInit[i] {
+			if h.retainedInit[i][k] != h.copiedInit[i][k] {
+				stale++
+				break
+			}
+		}
+	}
+	if shared < 2 {
+		t.Fatalf("only %d retained init slices share the final backing, need >= 2: the scratch-reuse contract changed", shared)
+	}
+	if stale == 0 {
+		t.Error("no retained init snapshot went stale: retaining EnterLoop scratch must observe stale data")
 	}
 }
