@@ -55,6 +55,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	memLimit := flag.Int64("mem-limit", 0, "heap budget in 64-bit cells (0 = default)")
 	engineFlag := flag.String("engine", "bytecode", "execution engine: bytecode or treewalk (oracle)")
+	parallel := flag.Int("parallel", 0, "fan-out worker pool width for -all (0 = one worker per CPU, 1 = serial; reports are bit-identical at every width)")
 	flag.Parse()
 
 	engine, err := core.ParseEngineKind(*engineFlag)
@@ -67,6 +68,7 @@ func main() {
 		Timeout:      *timeout,
 		MaxHeapCells: *memLimit,
 		Engine:       engine,
+		Parallelism:  *parallel,
 	}
 	os.Exit(runMain(*cfgStr, *all, *dumpIR, *justRun, flag.Arg(0), opts))
 }
@@ -190,12 +192,15 @@ func run(cfgStr string, all, dumpIR, justRun bool, name, src string, opts core.R
 	}
 
 	if all {
-		for _, cfg := range core.PaperConfigs() {
-			r, err := core.Run(info, cfg, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-28s speedup %8.2fx  coverage %5.1f%%\n", cfg, r.Speedup(), 100*r.Coverage())
+		// One execution fans out to the whole grid (bit-identical to
+		// per-config runs); -parallel bounds the worker pool.
+		cfgs := core.PaperConfigs()
+		reps, err := core.MultiRun(info, cfgs, opts)
+		if err != nil {
+			return err
+		}
+		for i, cfg := range cfgs {
+			fmt.Printf("%-28s speedup %8.2fx  coverage %5.1f%%\n", cfg, reps[i].Speedup(), 100*reps[i].Coverage())
 		}
 		return nil
 	}

@@ -75,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"loopapalooza/internal/bench"
 	"loopapalooza/internal/cluster"
 	"loopapalooza/internal/core"
 	"loopapalooza/internal/serve"
@@ -95,6 +96,7 @@ type config struct {
 	timeout       time.Duration
 	shutdown      time.Duration
 	engine        string
+	parallel      int
 	dataDir       string
 	scrubInterval time.Duration
 	walDump       string
@@ -123,6 +125,8 @@ func main() {
 	flag.DurationVar(&cfg.shutdown, "shutdown-timeout", 15*time.Second,
 		"graceful-shutdown window; on expiry in-flight cells are released back to the queue as canceled")
 	flag.StringVar(&cfg.engine, "engine", "bytecode", "execution engine: bytecode or treewalk (oracle)")
+	flag.IntVar(&cfg.parallel, "parallel", 0,
+		"fan-out worker pool width per sweep (0 = one worker per CPU, 1 = serial; reports are bit-identical at every width)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "",
 		"durable state root: <dir>/wal journals the coordinator for crash recovery, <dir>/traces holds the checksummed trace store (\"\" = in-memory only)")
 	flag.DurationVar(&cfg.scrubInterval, "scrub-interval", 0,
@@ -171,6 +175,7 @@ func run(cfg config) int {
 		MaxConcurrent:  cfg.maxConcurrent,
 		CacheEntries:   cfg.cacheEntries,
 		Engine:         engine,
+		Parallelism:    cfg.parallel,
 		Log:            log,
 	}
 	if cfg.dataDir != "" {
@@ -247,8 +252,13 @@ func run(cfg config) int {
 	}
 	var workers []*cluster.Worker
 	addWorker := func(id string, surface cluster.Coordination) int {
+		// Each worker gets its own harness so the fleet honours the
+		// process-level engine and fan-out pool width on every node.
+		harness := bench.NewHarnessWith(bench.HarnessOptions{
+			Run: core.RunOptions{Engine: engine, Parallelism: cfg.parallel},
+		})
 		w, err := cluster.NewWorker(cluster.WorkerOptions{
-			ID: id, Coordinator: surface, Poll: cfg.poll, Log: log,
+			ID: id, Coordinator: surface, Harness: harness, Poll: cfg.poll, Log: log,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lpd:", err)

@@ -3,8 +3,10 @@ package bench
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"loopapalooza/internal/core"
@@ -56,6 +58,10 @@ func TestFanoutDifferentialOracle(t *testing.T) {
 			check("sequential", seq, err)
 			con, err := core.MultiRunConcurrent(info, cfgs, core.RunOptions{})
 			check("concurrent", con, err)
+			for _, p := range []int{1, 2, runtime.NumCPU()} {
+				par, err := core.MultiRunParallel(info, cfgs, core.RunOptions{Parallelism: p})
+				check(fmt.Sprintf("parallel-p%d", p), par, err)
+			}
 			rep, err := core.ReplayTraceMulti(b.Name, info, cfgs, core.RunOptions{}, bytes.NewReader(trace.Bytes()))
 			check("replay", rep, err)
 		})
@@ -85,6 +91,15 @@ func TestFanoutRaceStress(t *testing.T) {
 		}
 		if len(reps) != len(cfgs) {
 			t.Fatalf("%s: %d reports, want %d", name, len(reps), len(cfgs))
+		}
+		// The pool shape with shared workers: every engine class reads the
+		// same sealed chunks and span summaries from fewer goroutines.
+		reps, err = core.MultiRunParallel(info, cfgs, core.RunOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatalf("%s: parallel p=2: %v", name, err)
+		}
+		if len(reps) != len(cfgs) {
+			t.Fatalf("%s: parallel p=2: %d reports, want %d", name, len(reps), len(cfgs))
 		}
 	}
 }

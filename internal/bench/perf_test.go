@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"loopapalooza/internal/core"
@@ -90,6 +91,42 @@ func BenchmarkSweepFanout(b *testing.B) {
 // Reports are bit-identical between the two modes — the differential
 // oracles pin that — so this pair isolates the dispatch-amortization win
 // (BENCH_PR9.json's batched_vs_perevent table).
+// BenchmarkSweepParallel measures the cross-core fan-out pool against the
+// single-goroutine chunked path on the same run-once sweep: the full
+// paper-grid sweep of the EEMBC suite at Parallelism 1 (serial, chunked
+// replay on one goroutine) versus one pool worker per CPU (engine classes
+// sharded by class affinity, all reading the shared span summaries).
+// Reports are bit-identical at every width — the differential oracles pin
+// that — so this pair isolates the multi-core scaling win
+// (BENCH_PR10.json's parallel_vs_serial table).
+func BenchmarkSweepParallel(b *testing.B) {
+	benches := BySuite(SuiteEEMBC)
+	if len(benches) == 0 {
+		b.Fatal("no EEMBC benchmarks registered")
+	}
+	for _, bm := range benches {
+		if _, err := bm.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfgs := core.PaperConfigs()
+	for _, mode := range []struct {
+		name string
+		p    int
+	}{{"serial", 1}, {"parallel", runtime.NumCPU()}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := NewHarnessWith(HarnessOptions{Run: core.RunOptions{Parallelism: mode.p}})
+				sr := h.Sweep(context.Background(), benches, cfgs)
+				if sr.OK() != len(benches)*len(cfgs) {
+					b.Fatalf("sweep failures: %s", sr.Summary())
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSweepBatched(b *testing.B) {
 	benches := BySuite(SuiteEEMBC)
 	if len(benches) == 0 {

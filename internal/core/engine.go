@@ -655,7 +655,11 @@ func (e *Engine) Store(addr int64) {
 // applying hits (the tracker already resolved the whole run, but its state
 // for a dropped instance is invalidated by the next generation bump, and
 // the discarded hits match exactly what per-event dispatch never saw).
-func (e *Engine) memSpan(evs []memEv) {
+//
+// sum is the span's shared conflict summary (nil when the producer did not
+// compute one); it lets the tracker skip provably hit-free probe work and
+// never changes the hit list.
+func (e *Engine) memSpan(evs []memEv, sum *spanSum) {
 	if len(e.live) == 0 {
 		return
 	}
@@ -670,9 +674,9 @@ func (e *Engine) memSpan(evs []memEv) {
 		offBase := adj0 - inst.iterStartAdj
 		var nh int
 		if sh := e.sh; sh != nil { // direct call on the default tracker
-			nh = sh.memRun(inst, evs, inst.iters, offBase, inst.iterStartSP, hitIdx, hitRecs)
+			nh = sh.memRun(inst, evs, inst.iters, offBase, inst.iterStartSP, hitIdx, hitRecs, sum)
 		} else {
-			nh = e.tr.memRun(inst, evs, inst.iters, offBase, inst.iterStartSP, hitIdx, hitRecs)
+			nh = e.tr.memRun(inst, evs, inst.iters, offBase, inst.iterStartSP, hitIdx, hitRecs, sum)
 		}
 		for h := 0; h < nh; h++ {
 			e.loadHit(inst, hitRecs[h], offBase+evs[hitIdx[h]].tick)

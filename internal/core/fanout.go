@@ -8,21 +8,27 @@ package core
 // amortizes the expensive producer (the interpreter) across N cheap
 // consumers (the engines).
 //
-// Three fan-out strategies, chosen by configuration count and available
-// parallelism:
+// Three fan-out strategies, selected by RunOptions.Strategy (PlanFanout
+// resolves the auto default from configuration count and the Parallelism
+// knob):
 //
 //   - Sequential tee (multiHooks): every event is forwarded to each engine
 //     on the interpreting goroutine. Engines consume events synchronously
 //     and never retain the interpreter's scratch slices, so no copying is
 //     needed and the zero-allocation hot path is preserved.
-//   - Chunked concurrent fan-out: each event is copied ONCE into a pooled,
-//     fixed-size event chunk (flat records plus flat Val/LCDObs payload
-//     arrays — no per-event allocation), and full chunks are published to
-//     one buffered channel per engine. Engine goroutines replay chunks
-//     read-only; a reference count returns each chunk to the pool after
-//     the last consumer. This is the one documented place that copies the
-//     interpreter's scratch buffers (see interp.Hooks), which is what
-//     makes the aliasing safe.
+//   - Class-affinity worker pool (multiRunPool/startWorkers): each event
+//     is copied ONCE into a pooled, fixed-size event chunk (flat records
+//     plus flat Val/LCDObs payload arrays — no per-event allocation), and
+//     full sealed chunks are published to one buffered channel per WORKER.
+//     Each worker owns a fixed round-robin subset of the coalesced engine
+//     classes (a class — and therefore its core-local shadow tracker —
+//     never migrates between workers, so no locks guard the SoA level
+//     slices), and replays chunks read-only; a reference count returns
+//     each chunk to the pool after the last worker. This is the one
+//     documented place that copies the interpreter's scratch buffers (see
+//     interp.Hooks), which is what makes the aliasing safe. The classic
+//     one-goroutine-per-engine fan-out (MultiRunConcurrent) is the
+//     workers == consumers special case.
 //   - Chunked batched tee (chunkTee): the single-goroutine variant for
 //     machines without spare CPUs — events buffer into the same chunks,
 //     and each sealed chunk replays into every engine through the batched
@@ -30,12 +36,15 @@ package core
 //     hook dispatch.
 //
 // Sealing a chunk (evChunk.seal) classifies every memory address into its
-// shadow region once and partitions the records into loop-event singletons
+// shadow region once, partitions the records into loop-event singletons
 // and memory spans — maximal stretches of loads, stores, and interleaved
-// ticks, with each record's intra-span clock offset precomputed. The plan
-// is built once per chunk and shared read-only by every consumer, so N
-// engines split the classification cost N ways and each feeds whole spans
-// to the tracker's batched memRun method.
+// ticks, with each record's intra-span clock offset precomputed — and
+// summarizes each memory span's conflict structure (spanSum: per-region
+// load-index intervals, homogeneous-kind flags, the self-conflict marker).
+// The plan is built once per chunk and shared read-only by every consumer,
+// so N engines split the classification AND summarization cost N ways:
+// each feeds whole spans to the tracker's batched memRun method, which
+// consults the shared summary to skip provably hit-free probing.
 //
 // The contract, enforced differentially against the golden suite: the
 // reports of MultiRun(info, cfgs, opts) are bit-identical to running
@@ -43,7 +52,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -95,11 +103,14 @@ type evChunk struct {
 	refs atomic.Int32
 
 	// Batched-replay plan, built once per chunk by seal and shared
-	// read-only by every consumer: the chunk's partition into spans, and
-	// the dense memory-record array the spans index (kind, region
-	// classification, and intra-span tick offsets, in record order).
+	// read-only by every consumer: the chunk's partition into spans, the
+	// dense memory-record array the spans index (kind, region
+	// classification, and intra-span tick offsets, in record order), and
+	// one conflict summary per memory span (flat, parallel slice indexed
+	// by runSpan.sumIdx) that every engine class consults before probing.
 	spans []runSpan
 	mem   []memEv
+	sums  []spanSum
 }
 
 // evMemSpan tags a runSpan covering a memory run: a maximal stretch of
@@ -116,6 +127,7 @@ type runSpan struct {
 	kind         evKind
 	rec          int32 // record index, for loop-event spans
 	mstart, mend int32 // m-array range, for memory spans
+	sumIdx       int32 // conflict-summary index in the chunk's sums, for memory spans
 	sum          int64 // Σ tick payloads, for memory spans
 }
 
@@ -126,6 +138,7 @@ func (c *evChunk) reset() {
 	c.obs = c.obs[:0]
 	c.spans = c.spans[:0]
 	c.mem = c.mem[:0]
+	c.sums = c.sums[:0]
 }
 
 // seal builds the chunk's batched-replay plan. Every load/store address is
@@ -141,6 +154,7 @@ func (c *evChunk) seal() {
 	n := len(c.recs)
 	c.spans = c.spans[:0]
 	c.mem = c.mem[:0]
+	c.sums = c.sums[:0]
 	for i := 0; i < n; {
 		switch k := c.recs[i].kind; k {
 		case evEnter, evIter, evExit:
@@ -166,7 +180,14 @@ func (c *evChunk) seal() {
 					break run
 				}
 			}
-			c.spans = append(c.spans, runSpan{kind: evMemSpan, mstart: ms, mend: int32(len(c.mem)), sum: sum})
+			// The span-level precomputation: summarize once here, on the
+			// producer, so the N consumer classes share one conflict
+			// summary instead of each re-deriving what the span can hit.
+			si := int32(len(c.sums))
+			c.sums = append(c.sums, summarizeSpan(c.mem[ms:]))
+			c.spans = append(c.spans, runSpan{
+				kind: evMemSpan, mstart: ms, mend: int32(len(c.mem)), sumIdx: si, sum: sum,
+			})
 		}
 	}
 }
@@ -218,7 +239,7 @@ func (e *Engine) replayChunkBatched(c *evChunk) {
 		switch s.kind {
 		case evMemSpan:
 			if s.mend > s.mstart {
-				e.memSpan(c.mem[s.mstart:s.mend])
+				e.memSpan(c.mem[s.mstart:s.mend], &c.sums[s.sumIdx])
 			}
 			e.clock += s.sum
 		case evEnter:
@@ -430,13 +451,15 @@ func newChunkTee(engines []*Engine) *chunkTee {
 	}
 }
 
-// closeMemSpan ends the open memory span, emitting it if it observed any
-// tick or memory record.
+// closeMemSpan ends the open memory span, emitting it — with its shared
+// conflict summary — if it observed any tick or memory record.
 func (t *chunkTee) closeMemSpan() {
 	c := t.cur
 	if t.sum != 0 || int32(len(c.mem)) > t.mstart {
+		si := int32(len(c.sums))
+		c.sums = append(c.sums, summarizeSpan(c.mem[t.mstart:]))
 		c.spans = append(c.spans, runSpan{
-			kind: evMemSpan, mstart: t.mstart, mend: int32(len(c.mem)), sum: t.sum,
+			kind: evMemSpan, mstart: t.mstart, mend: int32(len(c.mem)), sumIdx: si, sum: t.sum,
 		})
 		t.sum = 0
 		t.mstart = int32(len(c.mem))
@@ -526,20 +549,23 @@ func (t *chunkTee) flush() {
 // guest fault, cancellation) is returned once and applies to every
 // configuration, exactly as N identical executions would each have failed.
 //
-// Small configuration sets (< FanoutThreshold) evaluate sequentially on
-// the interpreting goroutine. Larger sets use the chunked batched tee when
-// only one CPU is available (goroutine fan-out adds synchronization
-// without parallelism there), and otherwise fan out to one goroutine per
-// engine fed by copied event chunks. opts.DisableBatch forces the
-// per-event hook dispatch everywhere (profiling/differential toggle).
+// The strategy is opts.Strategy, resolved by PlanFanout: under the auto
+// default, small configuration sets (< FanoutThreshold) evaluate
+// sequentially on the interpreting goroutine, larger sets use the chunked
+// batched tee when only one worker is available (goroutine fan-out adds
+// synchronization without parallelism there), and otherwise shard sealed
+// chunks across the class-affinity worker pool, opts.Parallelism workers
+// wide. opts.DisableBatch forces the per-event hook dispatch everywhere
+// (profiling/differential toggle).
 func MultiRun(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
-	if len(cfgs) < FanoutThreshold {
+	switch plan := PlanFanout(len(cfgs), opts); plan.Strategy {
+	case StrategySequential:
 		return MultiRunSequential(info, cfgs, opts)
-	}
-	if !opts.DisableBatch && runtime.GOMAXPROCS(0) == 1 {
+	case StrategyChunked:
 		return MultiRunChunked(info, cfgs, opts)
+	default:
+		return multiRunPool(info, cfgs, opts, plan.Parallelism)
 	}
-	return MultiRunConcurrent(info, cfgs, opts)
 }
 
 // interpret runs main under the selected execution engine with the given
@@ -642,24 +668,33 @@ func MultiRunChunked(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) 
 	return set.reports(cfgs, info.Mod.Name), nil
 }
 
-// startConsumers launches one goroutine per consumer, each replaying the
-// chunks published on its channel — engines through the batched path when
-// batch is set, everything else through the generic per-event dispatch.
+// startWorkers launches the class-affinity worker pool: one goroutine per
+// consumer group, each replaying every published chunk into its group's
+// consumers IN GROUP ORDER — engines through the batched path when batch
+// is set, everything else through the generic per-event dispatch. A
+// consumer belongs to exactly one worker for the whole run, so its state
+// (in particular an engine's core-local shadow tracker) is only ever
+// touched from one goroutine and needs no locks; determinism follows
+// because each worker's channel delivers chunks in publication order
+// regardless of how the workers interleave.
+//
 // The returned wait function blocks until every channel is drained (call
-// it after f.close()) and reports the first consumer panic, if any. A
-// panicked consumer keeps draining its channel without applying events, so
-// the producer never blocks on it, and chunk reference counts stay
-// balanced.
-func startConsumers(f *chunkFanout, consumers []interp.Hooks, batch bool) (wait func() *PanicError) {
+// it after f.close()) and reports the first worker panic, if any, as a
+// typed *PanicError. A panicked worker keeps draining its channel without
+// applying events, so the producer never blocks on it, the sibling
+// workers keep running, and chunk reference counts stay balanced.
+func startWorkers(f *chunkFanout, groups [][]interp.Hooks, batch bool) (wait func() *PanicError) {
 	var wg sync.WaitGroup
-	var consumerPanic atomic.Pointer[PanicError]
-	for i, h := range consumers {
+	var workerPanic atomic.Pointer[PanicError]
+	for i, group := range groups {
 		wg.Add(1)
-		eng, _ := h.(*Engine)
-		if !batch {
-			eng = nil
+		engs := make([]*Engine, len(group))
+		if batch {
+			for j, h := range group {
+				engs[j], _ = h.(*Engine)
+			}
 		}
-		go func(h interp.Hooks, eng *Engine, ch chan *evChunk) {
+		go func(group []interp.Hooks, engs []*Engine, ch chan *evChunk) {
 			defer wg.Done()
 			dead := false // after a panic, drain without applying
 			for c := range ch {
@@ -668,14 +703,16 @@ func startConsumers(f *chunkFanout, consumers []interp.Hooks, batch bool) (wait 
 						defer func() {
 							if r := recover(); r != nil {
 								dead = true
-								consumerPanic.CompareAndSwap(nil,
+								workerPanic.CompareAndSwap(nil,
 									&PanicError{Val: r, Stack: string(debug.Stack())})
 							}
 						}()
-						if eng != nil {
-							eng.replayChunkBatched(c)
-						} else {
-							replayChunk(h, c)
+						for j, h := range group {
+							if engs[j] != nil {
+								engs[j].replayChunkBatched(c)
+							} else {
+								replayChunk(h, c)
+							}
 						}
 					}()
 				}
@@ -683,19 +720,38 @@ func startConsumers(f *chunkFanout, consumers []interp.Hooks, batch bool) (wait 
 					f.release(c)
 				}
 			}
-		}(h, eng, f.outs[i])
+		}(group, engs, f.outs[i])
 	}
 	return func() *PanicError {
 		wg.Wait()
-		return consumerPanic.Load()
+		return workerPanic.Load()
 	}
 }
 
-// MultiRunConcurrent is MultiRun restricted to the chunked concurrent
-// fan-out: one goroutine per engine, fed by pooled event chunks. Exported
-// so the differential oracle and the race stress test can pin this
-// strategy regardless of configuration count.
-func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) (reps []*Report, err error) {
+// affinityGroups partitions the consumers round-robin across at most
+// workers groups: consumer i is pinned to group i%workers for the whole
+// run. The consumers are the coalesced engine classes (plus the optional
+// trace writer), so the assignment is the pool's class affinity — a class
+// never migrates between workers.
+func affinityGroups(consumers []interp.Hooks, workers int) [][]interp.Hooks {
+	if workers > len(consumers) {
+		workers = len(consumers)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	groups := make([][]interp.Hooks, workers)
+	for i, h := range consumers {
+		groups[i%workers] = append(groups[i%workers], h)
+	}
+	return groups
+}
+
+// multiRunPool is the shared body of the pooled strategies: interpret once
+// on the calling goroutine, fan sealed chunks out to workers many groups
+// of consumers. workers <= 0 means one worker per consumer (the classic
+// concurrent fan-out).
+func multiRunPool(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions, workers int) (reps []*Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			reps, err = nil, fmt.Errorf("core: %s: %w", info.Mod.Name,
@@ -714,9 +770,13 @@ func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOption
 	if tw != nil {
 		consumers = append(consumers, tw)
 	}
+	if workers <= 0 {
+		workers = len(consumers)
+	}
 
-	f := newChunkFanout(len(consumers))
-	wait := startConsumers(f, consumers, !opts.DisableBatch)
+	groups := affinityGroups(consumers, workers)
+	f := newChunkFanout(len(groups))
+	wait := startWorkers(f, groups, !opts.DisableBatch)
 
 	runErr := interpret(info, opts, f)
 	f.close()
@@ -733,4 +793,23 @@ func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOption
 		}
 	}
 	return set.reports(cfgs, info.Mod.Name), nil
+}
+
+// MultiRunParallel is MultiRun restricted to the class-affinity worker
+// pool: opts.Parallelism workers (0 = one per available CPU), each owning
+// a fixed subset of the coalesced engine classes, fed by pooled sealed
+// chunks. Reports and recorded traces are bit-identical at every worker
+// count. Exported so the differential oracles and the determinism tests
+// can pin the strategy and the worker count explicitly.
+func MultiRunParallel(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
+	return multiRunPool(info, cfgs, opts, resolveParallelism(opts.Parallelism))
+}
+
+// MultiRunConcurrent is MultiRun restricted to the widest pool: one worker
+// per engine class, fed by pooled event chunks — the historical concurrent
+// fan-out, now the workers == consumers special case of multiRunPool.
+// Exported so the differential oracle and the race stress test can pin
+// this strategy regardless of configuration count.
+func MultiRunConcurrent(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
+	return multiRunPool(info, cfgs, opts, 0)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -27,8 +28,19 @@ var fanoutSamples = map[string]string{
 	"stack":         stackSrc,
 }
 
+// parallelAt pins the class-affinity pool at an explicit worker count.
+func parallelAt(p int, disableBatch bool) func(*analysis.ModuleInfo, []Config, RunOptions) ([]*Report, error) {
+	return func(info *analysis.ModuleInfo, cfgs []Config, opts RunOptions) ([]*Report, error) {
+		opts.Parallelism = p
+		opts.DisableBatch = disableBatch
+		return MultiRunParallel(info, cfgs, opts)
+	}
+}
+
 // multiStrategies pins every fan-out strategy regardless of config count
-// or GOMAXPROCS.
+// or GOMAXPROCS, including the worker pool at fixed widths: 1 worker (all
+// classes on one goroutine), 2 (classes split), NumCPU (the auto width),
+// and a per-event pool variant.
 var multiStrategies = map[string]func(*analysis.ModuleInfo, []Config, RunOptions) ([]*Report, error){
 	"sequential": MultiRunSequential,
 	"concurrent": MultiRunConcurrent,
@@ -37,6 +49,10 @@ var multiStrategies = map[string]func(*analysis.ModuleInfo, []Config, RunOptions
 		opts.DisableBatch = true
 		return MultiRunConcurrent(info, cfgs, opts)
 	},
+	"parallel-p1":          parallelAt(1, false),
+	"parallel-p2":          parallelAt(2, false),
+	"parallel-pcpu":        parallelAt(runtime.NumCPU(), false),
+	"parallel-p3-no-batch": parallelAt(3, true),
 }
 
 // TestMultiRunBitIdentical is the in-package differential oracle: for every
@@ -276,30 +292,51 @@ func (p *panicHook) Tick(int64) {
 	}
 }
 
-// TestConsumerPanicRecovery: a panic inside one consumer goroutine must
-// surface as a classified *PanicError, the other consumers must still see
-// the full stream, and the producer must never deadlock (the panicked
-// consumer keeps draining its channel).
+// TestConsumerPanicRecovery: a panic inside one pool worker must surface
+// as a classified *PanicError, workers in other groups must still see the
+// full stream, and the producer must never deadlock (the sick worker keeps
+// draining its channel). Exercised at both pool shapes: one consumer per
+// worker (the classic concurrent fan-out) and multiple consumers sharing
+// the sick worker's group.
 func TestConsumerPanicRecovery(t *testing.T) {
-	var healthy eventLog
-	bad := &panicHook{fuse: 2}
-	f := newChunkFanout(2)
-	wait := startConsumers(f, []interp.Hooks{bad, &healthy}, false)
+	for name, groups := range map[string]func(bad interp.Hooks, healthy *eventLog) [][]interp.Hooks{
+		"one-per-worker": func(bad interp.Hooks, healthy *eventLog) [][]interp.Hooks {
+			return [][]interp.Hooks{{bad}, {healthy}}
+		},
+		"shared-group": func(bad interp.Hooks, healthy *eventLog) [][]interp.Hooks {
+			// The sick worker owns another consumer too; only the healthy
+			// worker's group is guaranteed the full stream.
+			return [][]interp.Hooks{{bad, &eventLog{}}, {healthy}}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var healthy eventLog
+			bad := &panicHook{fuse: 2}
+			g := groups(bad, &healthy)
+			f := newChunkFanout(len(g))
+			wait := startWorkers(f, g, false)
 
-	// Far more events than the channel depth holds: without draining, the
-	// producer would block on the dead consumer's channel.
-	total := (fanoutPoolSize + fanoutChanDepth + 4) * chunkRecs
-	for i := 0; i < total; i++ {
-		f.Tick(1)
-	}
-	f.close()
+			// Far more events than the channel depth holds: without
+			// draining, the producer would block on the dead worker's
+			// channel.
+			total := (fanoutPoolSize + fanoutChanDepth + 4) * chunkRecs
+			for i := 0; i < total; i++ {
+				f.Tick(1)
+			}
+			f.close()
 
-	p := wait()
-	if p == nil || p.Val != "consumer bug" {
-		t.Fatalf("panic = %+v, want recovered consumer bug", p)
-	}
-	if len(healthy.events) != total {
-		t.Errorf("healthy consumer saw %d events, want %d", len(healthy.events), total)
+			p := wait()
+			if p == nil || p.Val != "consumer bug" {
+				t.Fatalf("panic = %+v, want recovered consumer bug", p)
+			}
+			var pe *PanicError
+			if !errors.As(error(p), &pe) {
+				t.Fatalf("worker panic %T does not unwrap as *PanicError", p)
+			}
+			if len(healthy.events) != total {
+				t.Errorf("healthy worker saw %d events, want %d", len(healthy.events), total)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,346 @@
+package core
+
+// Tests for the class-affinity worker pool and the explicit strategy
+// knobs: plan resolution, bit-identical determinism across worker counts
+// and shuffled chunk-arrival timing, concurrent read-only sharing of one
+// chunk's span summaries (the -race gate of the precomputation pass), and
+// the memRun summary contract.
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"loopapalooza/internal/interp"
+)
+
+// TestPlanFanout pins the resolved strategy decision: the auto crossover,
+// the explicit overrides, and the Parallelism knob.
+func TestPlanFanout(t *testing.T) {
+	ncpu := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name  string
+		nCfgs int
+		opts  RunOptions
+		want  FanoutPlan
+	}{
+		{"auto-small", 2, RunOptions{}, FanoutPlan{StrategySequential, 1}},
+		{"auto-p1", 14, RunOptions{Parallelism: 1}, FanoutPlan{StrategyChunked, 1}},
+		{"auto-p4", 14, RunOptions{Parallelism: 4}, FanoutPlan{StrategyParallel, 4}},
+		{"auto-p0", 14, RunOptions{}, func() FanoutPlan {
+			if ncpu == 1 {
+				return FanoutPlan{StrategyChunked, 1}
+			}
+			return FanoutPlan{StrategyParallel, ncpu}
+		}()},
+		{"auto-p1-nobatch", 14, RunOptions{Parallelism: 1, DisableBatch: true},
+			FanoutPlan{StrategyParallel, 1}},
+		{"force-sequential", 14, RunOptions{Strategy: StrategySequential, Parallelism: 8},
+			FanoutPlan{StrategySequential, 1}},
+		{"force-chunked", 14, RunOptions{Strategy: StrategyChunked},
+			FanoutPlan{StrategyChunked, 1}},
+		{"force-parallel-small", 2, RunOptions{Strategy: StrategyParallel, Parallelism: 3},
+			FanoutPlan{StrategyParallel, 3}},
+	}
+	for _, c := range cases {
+		if got := PlanFanout(c.nCfgs, c.opts); got != c.want {
+			t.Errorf("%s: PlanFanout(%d, %+v) = %v, want %v", c.name, c.nCfgs, c.opts, got, c.want)
+		}
+	}
+	for _, s := range []FanoutStrategy{StrategyAuto, StrategySequential, StrategyChunked, StrategyParallel} {
+		back, err := ParseFanoutStrategy(s.String())
+		if err != nil || back != s {
+			t.Errorf("ParseFanoutStrategy(%q) = (%v, %v), want (%v, nil)", s, back, err, s)
+		}
+	}
+	if _, err := ParseFanoutStrategy("bogus"); err == nil {
+		t.Error("ParseFanoutStrategy accepted a bogus strategy")
+	}
+	if got := (FanoutPlan{StrategyParallel, 4}).String(); got != "parallel(p=4)" {
+		t.Errorf("plan string = %q, want parallel(p=4)", got)
+	}
+}
+
+// TestMultiRunStrategyOverride: forcing each strategy through
+// RunOptions.Strategy routes MultiRun itself (not just the exported
+// entry points) and stays bit-identical.
+func TestMultiRunStrategyOverride(t *testing.T) {
+	info, err := AnalyzeSource("override", infrequentSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := PaperConfigs()
+	want, err := MultiRunSequential(info, cfgs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []FanoutStrategy{StrategySequential, StrategyChunked, StrategyParallel} {
+		got, err := MultiRun(info, cfgs, RunOptions{Strategy: s, Parallelism: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		for i := range cfgs {
+			if err := CompareReports(want[i], got[i]); err != nil {
+				t.Errorf("%v/%s: %v", s, cfgs[i], err)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism is the pool's determinism gate: reports AND
+// recorded binary traces must be bit-identical across Parallelism ∈
+// {1, 2, NumCPU} and across repeated runs (repeats reshuffle goroutine
+// scheduling, i.e. the relative timing with which workers pick chunks up).
+func TestParallelDeterminism(t *testing.T) {
+	cfgs := PaperConfigs()
+	widths := []int{1, 2, runtime.NumCPU()}
+	for name, src := range map[string]string{
+		"infrequent": infrequentSrc,
+		"stack":      stackSrc,
+		"dep1":       dep1Src,
+	} {
+		info, err := AnalyzeSource(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var wantTrace bytes.Buffer
+		want := make([]*Report, len(cfgs))
+		for i, cfg := range cfgs {
+			opts := RunOptions{}
+			if i == 0 {
+				opts.Trace = &wantTrace
+			}
+			if want[i], err = Run(info, cfg, opts); err != nil {
+				t.Fatalf("%s/%s: %v", name, cfg, err)
+			}
+		}
+		for _, p := range widths {
+			for rep := 0; rep < 3; rep++ {
+				var trace bytes.Buffer
+				got, err := MultiRunParallel(info, cfgs, RunOptions{Parallelism: p, Trace: &trace})
+				if err != nil {
+					t.Fatalf("%s p=%d rep=%d: %v", name, p, rep, err)
+				}
+				for i := range cfgs {
+					if err := CompareReports(want[i], got[i]); err != nil {
+						t.Errorf("%s p=%d rep=%d %s: %v", name, p, rep, cfgs[i], err)
+					}
+				}
+				if !bytes.Equal(wantTrace.Bytes(), trace.Bytes()) {
+					t.Errorf("%s p=%d rep=%d: recorded trace differs from the per-config reference (%d vs %d bytes)",
+						name, p, rep, trace.Len(), wantTrace.Len())
+				}
+			}
+		}
+	}
+}
+
+// jitterLog is an eventLog whose consumer sleeps pseudo-randomly, so the
+// workers of a pool pick chunks up in a deliberately shuffled order
+// relative to each other.
+type jitterLog struct {
+	eventLog
+	rng *rand.Rand
+}
+
+func (j *jitterLog) Tick(n int64) {
+	if j.rng.Intn(64) == 0 {
+		time.Sleep(time.Duration(j.rng.Intn(50)) * time.Microsecond)
+	}
+	j.eventLog.Tick(n)
+}
+
+// TestWorkerPoolShuffledArrival drives the pool machinery directly with
+// consumers that stall at random: however the workers interleave, each
+// consumer must observe the exact event sequence, in order.
+func TestWorkerPoolShuffledArrival(t *testing.T) {
+	info, err := AnalyzeSource("shuffle", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := info.Loops[0]
+	emit := func(h interp.Hooks) {
+		for i := 0; i < 2*chunkRecs+257; i++ {
+			switch i % 4 {
+			case 0:
+				h.Tick(int64(i))
+			case 1:
+				h.EnterLoop(lm, int64(i), nil)
+			case 2:
+				h.Load(int64(i * 8))
+			case 3:
+				h.Store(int64(i * 8))
+			}
+		}
+		h.ExitLoop(lm)
+	}
+	var want eventLog
+	emit(&want)
+
+	logs := []*jitterLog{
+		{rng: rand.New(rand.NewSource(1))},
+		{rng: rand.New(rand.NewSource(2))},
+		{rng: rand.New(rand.NewSource(3))},
+		{rng: rand.New(rand.NewSource(4))},
+		{rng: rand.New(rand.NewSource(5))},
+	}
+	// 2 workers over 5 consumers: groups of 3 and 2, shuffling both the
+	// inter-worker timing and the intra-group replay interleaving.
+	groups := affinityGroups([]interp.Hooks{logs[0], logs[1], logs[2], logs[3], logs[4]}, 2)
+	f := newChunkFanout(len(groups))
+	wait := startWorkers(f, groups, false)
+	emit(f)
+	f.close()
+	if p := wait(); p != nil {
+		t.Fatalf("unexpected worker panic: %v", p)
+	}
+	for i, l := range logs {
+		if len(l.events) != len(want.events) {
+			t.Fatalf("consumer %d: %d events, want %d", i, len(l.events), len(want.events))
+		}
+		for j := range want.events {
+			if l.events[j] != want.events[j] {
+				t.Fatalf("consumer %d event %d: got %s, want %s", i, j, l.events[j], want.events[j])
+			}
+		}
+	}
+}
+
+// TestSpanSummarySharedRace is the -race gate of the span-level
+// precomputation pass: one sealed chunk — spans, memory records, and
+// conflict summaries — is replayed concurrently by every coalesced engine
+// class of the paper grid, each with its own tracker. The summaries are
+// computed once on this goroutine and consulted read-only by all engines;
+// any write to shared chunk state is a race-detector failure, and every
+// engine must still match a serially-replayed twin bit-for-bit.
+func TestSpanSummarySharedRace(t *testing.T) {
+	info, err := AnalyzeSource("race", doallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := info.Loops[0]
+
+	// A chunk with dense load/store spans across regions, including
+	// stack addresses under the cactus filter and pure-store and
+	// pure-load stretches the summary fast paths trigger on.
+	c := &evChunk{recs: make([]evRec, 0, chunkRecs)}
+	w := chunkWriter{cur: c, onFull: func() {}}
+	w.EnterLoop(lm, int64(interp.StackTop)-64, nil)
+	for iter := 0; iter < 24; iter++ {
+		w.IterLoop(lm, int64(interp.StackTop)-64, nil)
+		base := int64(interp.HeapBase) + int64(iter%3)*512
+		for j := int64(0); j < 40; j++ {
+			w.Tick(1)
+			w.Store(base + j)
+		}
+		for j := int64(0); j < 40; j++ {
+			w.Tick(1)
+			w.Load(base + 4096 + j) // disjoint: the skip path
+		}
+		for j := int64(0); j < 8; j++ {
+			w.Tick(1)
+			w.Load(base + j) // overlapping: the probe path
+		}
+	}
+	w.ExitLoop(lm)
+	c.seal()
+
+	cfgs := PaperConfigs()
+	serial := make([]*Engine, len(cfgs))
+	for i, cfg := range cfgs {
+		serial[i] = NewEngineTracker(info, cfg, TrackerShadow)
+		serial[i].replayChunkBatched(c)
+	}
+
+	var wg sync.WaitGroup
+	concurrent := make([]*Engine, len(cfgs))
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			e := NewEngineTracker(info, cfg, TrackerShadow)
+			for rep := 0; rep < 4; rep++ {
+				if rep == 0 {
+					e.replayChunkBatched(c)
+				} else {
+					// Fresh engine per repetition; only the last survives.
+					e = NewEngineTracker(info, cfg, TrackerShadow)
+					e.replayChunkBatched(c)
+				}
+			}
+			concurrent[i] = e
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i := range cfgs {
+		want := serial[i].Report("race")
+		got := concurrent[i].Report("race")
+		if err := CompareReports(want, got); err != nil {
+			t.Errorf("%s: concurrent summary readers diverged from serial replay: %v", cfgs[i], err)
+		}
+	}
+}
+
+// TestMemRunSummaryContract: for spans engineered onto each fast path —
+// pure stores, disjoint pure loads, disjoint mixed, overlapping, and
+// self-conflicting — memRun with the span's summary must return the
+// exact hit list memRun without a summary returns, on identical state.
+func TestMemRunSummaryContract(t *testing.T) {
+	info := trackerDiffInfo()
+	heap := int64(interp.HeapBase)
+	spans := map[string][]memEv{
+		"pure-store": {
+			mkEv(heap+10, memStore, 0), mkEv(heap+11, memStore, 1),
+		},
+		"disjoint-loads": {
+			mkEv(heap+500, memLoad, 0), mkEv(heap+501, memLoad, 1),
+		},
+		"disjoint-mixed": {
+			mkEv(heap+600, memStore, 0), mkEv(heap+900, memLoad, 1),
+		},
+		"overlapping-loads": {
+			mkEv(heap+10, memLoad, 0), mkEv(heap+11, memLoad, 1),
+		},
+		"self-conflict": {
+			mkEv(heap+700, memStore, 0), mkEv(heap+700, memLoad, 1),
+		},
+	}
+	for name, evs := range spans {
+		runFor := func(sum *spanSum) (int, []int32, []writeRec) {
+			sh := newShadowTracker(info)
+			inst := &instance{depth: 0}
+			sh.enter(inst)
+			// Pre-span state: writes at heap+10..heap+19 from iteration 0.
+			for j := int64(0); j < 10; j++ {
+				r, idx := region(heap + 10 + j)
+				sh.storeAt(inst, r, idx, heap+10+j, writeRec{iter: 0, off: j})
+			}
+			hitIdx := make([]int32, len(evs))
+			hitRecs := make([]writeRec, len(evs))
+			n := sh.memRun(inst, evs, 2, 100, 0, hitIdx, hitRecs, sum)
+			return n, hitIdx[:n], hitRecs[:n]
+		}
+		sum := summarizeSpan(evs)
+		nWant, idxWant, recWant := runFor(nil)
+		nGot, idxGot, recGot := runFor(&sum)
+		if nWant != nGot {
+			t.Errorf("%s: hit count %d with summary, %d without", name, nGot, nWant)
+			continue
+		}
+		for h := 0; h < nWant; h++ {
+			if idxWant[h] != idxGot[h] || recWant[h] != recGot[h] {
+				t.Errorf("%s: hit %d diverged under summary: (%d,%+v) vs (%d,%+v)",
+					name, h, idxGot[h], recGot[h], idxWant[h], recWant[h])
+			}
+		}
+	}
+}
+
+// mkEv builds one memory record with its region classification.
+func mkEv(addr int64, kind uint8, tick int64) memEv {
+	r, idx := region(addr)
+	return memEv{idx: idx, addr: addr, tick: tick, kind: kind, reg: int8(r)}
+}

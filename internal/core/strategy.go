@@ -1,0 +1,125 @@
+package core
+
+// Explicit fan-out strategy selection. MultiRun historically keyed its
+// strategy off runtime.GOMAXPROCS(0) alone, which made the choice invisible
+// to callers and impossible to pin in tests or on the command line. The
+// knobs here make it explicit: RunOptions.Strategy names a strategy (zero =
+// auto, preserving the historical behavior), RunOptions.Parallelism bounds
+// the worker pool, and PlanFanout reports — deterministically, without
+// running anything — exactly which strategy and worker count MultiRun will
+// use, so CLIs and services can log and export the decision.
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// FanoutStrategy selects how MultiRun fans one execution's event stream
+// into the per-configuration engines.
+type FanoutStrategy int
+
+const (
+	// StrategyAuto (the zero value) picks per the measured crossover:
+	// sequential tee below FanoutThreshold configurations, the
+	// single-goroutine chunked tee when only one worker is available, and
+	// the class-affinity worker pool otherwise.
+	StrategyAuto FanoutStrategy = iota
+	// StrategySequential forces the sequential tee (multiHooks): every
+	// engine consumes events synchronously on the interpreting goroutine.
+	StrategySequential
+	// StrategyChunked forces the single-goroutine batched tee: events
+	// buffer into sealed chunks and every engine replays them through the
+	// batched tracker path, still on the interpreting goroutine.
+	StrategyChunked
+	// StrategyParallel forces the class-affinity worker pool: sealed
+	// chunks are published to a bounded pool of workers, each owning a
+	// fixed subset of the coalesced engine classes.
+	StrategyParallel
+)
+
+// String names the strategy as accepted by ParseFanoutStrategy.
+func (s FanoutStrategy) String() string {
+	switch s {
+	case StrategySequential:
+		return "sequential"
+	case StrategyChunked:
+		return "chunked"
+	case StrategyParallel:
+		return "parallel"
+	default:
+		return "auto"
+	}
+}
+
+// ParseFanoutStrategy parses a -strategy flag value.
+func ParseFanoutStrategy(s string) (FanoutStrategy, error) {
+	switch s {
+	case "", "auto":
+		return StrategyAuto, nil
+	case "sequential":
+		return StrategySequential, nil
+	case "chunked":
+		return StrategyChunked, nil
+	case "parallel":
+		return StrategyParallel, nil
+	default:
+		return StrategyAuto, fmt.Errorf("core: unknown fan-out strategy %q (want auto, sequential, chunked, or parallel)", s)
+	}
+}
+
+// FanoutPlan is the resolved strategy decision for one MultiRun call:
+// never StrategyAuto, with Parallelism the worker count the parallel
+// strategy would use (1 for the single-goroutine strategies).
+type FanoutPlan struct {
+	Strategy    FanoutStrategy
+	Parallelism int
+}
+
+// String renders the plan for log lines and metric labels, e.g.
+// "parallel(p=4)" or "chunked".
+func (p FanoutPlan) String() string {
+	if p.Strategy == StrategyParallel {
+		return fmt.Sprintf("parallel(p=%d)", p.Parallelism)
+	}
+	return p.Strategy.String()
+}
+
+// resolveParallelism maps the RunOptions.Parallelism knob to a concrete
+// worker count: 0 (auto) means one worker per available CPU.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// PlanFanout resolves the strategy MultiRun will use for a configuration
+// set of size nCfgs under opts. It is pure: the decision depends only on
+// the set size, the options, and GOMAXPROCS, so callers can display the
+// plan before (or without) running.
+//
+// The auto heuristic keeps the measured crossover of the earlier implicit
+// switch: below FanoutThreshold configurations, per-chunk synchronization
+// costs more than the sequential engine work; with a single worker the
+// chunked tee replays batched without any channel handoff; with more, the
+// class-affinity pool splits the coalesced engine classes across workers.
+// DisableBatch excludes the chunked tee (it exists only in batched form),
+// so the pool handles the per-event case at every worker count.
+func PlanFanout(nCfgs int, opts RunOptions) FanoutPlan {
+	p := resolveParallelism(opts.Parallelism)
+	switch opts.Strategy {
+	case StrategySequential:
+		return FanoutPlan{Strategy: StrategySequential, Parallelism: 1}
+	case StrategyChunked:
+		return FanoutPlan{Strategy: StrategyChunked, Parallelism: 1}
+	case StrategyParallel:
+		return FanoutPlan{Strategy: StrategyParallel, Parallelism: p}
+	}
+	if nCfgs < FanoutThreshold {
+		return FanoutPlan{Strategy: StrategySequential, Parallelism: 1}
+	}
+	if !opts.DisableBatch && p == 1 {
+		return FanoutPlan{Strategy: StrategyChunked, Parallelism: 1}
+	}
+	return FanoutPlan{Strategy: StrategyParallel, Parallelism: p}
+}

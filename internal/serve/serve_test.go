@@ -415,6 +415,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	text := string(body)
+	fanout := core.PlanFanout(len(core.PaperConfigs()), core.RunOptions{}).String()
 	for _, want := range []string{
 		`lpd_requests_total{path="/v1/analyze",code="200"} 2`,
 		"lpd_cache_hits_total 1",
@@ -424,7 +425,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"lpd_request_seconds_count", // histogram family rendered
 		"lpd_ticks_simulated_total",
 		"lpd_cache_entries 1",
-		`lpd_engine_info{engine="bytecode"} 1`,
+		fmt.Sprintf(`lpd_engine_info{engine="bytecode",fanout=%q} 1`, fanout),
 		"# TYPE lpd_requests_total counter",
 		"# TYPE lpd_cache_entries gauge",
 		"# TYPE lpd_request_seconds histogram",
@@ -463,7 +464,50 @@ func TestEngineOption(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
-	if want := `lpd_engine_info{engine="treewalk"} 1`; !strings.Contains(string(body), want) {
+	if want := `lpd_engine_info{engine="treewalk"`; !strings.Contains(string(body), want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
+// TestParallelismOption: a server pinned to a serial fan-out pool serves
+// reports bit-identical to the default width and advertises the resolved
+// plan on /metrics.
+func TestParallelismOption(t *testing.T) {
+	_, tsD := newTestServer(t, Options{})
+	_, tsS := newTestServer(t, Options{Parallelism: 1})
+	req := SweepRequest{
+		Benchmarks:     []string{"181.mcf"},
+		Configs:        []string{"reduc1-dep0-fn0 DOALL", "reduc1-dep1-fn2 HELIX", "reduc1-dep2-fn2 PDOALL", "reduc0-dep0-fn0 DOALL"},
+		IncludeReports: true,
+	}
+	stD, bodyD := postJSON(t, tsD.URL+"/v1/sweep", req)
+	stS, bodyS := postJSON(t, tsS.URL+"/v1/sweep", req)
+	if stD != http.StatusOK || stS != http.StatusOK {
+		t.Fatalf("status %d / %d, want 200", stD, stS)
+	}
+	var respD, respS SweepResponse
+	if err := json.Unmarshal(bodyD, &respD); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyS, &respS); err != nil {
+		t.Fatal(err)
+	}
+	if len(respD.Cells) != len(respS.Cells) {
+		t.Fatalf("cell count %d vs %d", len(respD.Cells), len(respS.Cells))
+	}
+	for i := range respD.Cells {
+		if err := core.CompareReports(respD.Cells[i].Report, respS.Cells[i].Report); err != nil {
+			t.Errorf("cell %d: pool widths serve diverging reports: %v", i, err)
+		}
+	}
+	resp, err := http.Get(tsS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fanout := core.PlanFanout(len(core.PaperConfigs()), core.RunOptions{Parallelism: 1}).String()
+	if want := fmt.Sprintf(`lpd_engine_info{engine="bytecode",fanout=%q} 1`, fanout); !strings.Contains(string(body), want) {
 		t.Errorf("metrics missing %q", want)
 	}
 }

@@ -81,6 +81,11 @@ type Options struct {
 	// the tree-walking oracle. Exposed as the lpd_engine_info metric
 	// label.
 	Engine core.EngineKind
+	// Parallelism bounds the fan-out worker pool of every sweep this
+	// server performs (0 = one worker per CPU, 1 = serial). Reports are
+	// bit-identical at every width. The resolved paper-grid fan-out plan
+	// is exposed as the lpd_engine_info "fanout" label.
+	Parallelism int
 	// Harness is the sweep substrate; nil creates one wired to the
 	// server's default budgets and limiter width.
 	Harness *bench.Harness
@@ -155,6 +160,7 @@ func New(opts Options) (*Server, error) {
 				MaxHeapCells: opts.DefaultBudgets.MaxHeapCells,
 				Timeout:      time.Duration(opts.DefaultBudgets.TimeoutMs) * time.Millisecond,
 				Engine:       opts.Engine,
+				Parallelism:  opts.Parallelism,
 			},
 			Workers: lim.Cap(),
 		})
@@ -218,8 +224,10 @@ func (s *Server) registerMetrics() {
 	s.mSweepCells = s.reg.NewCounter("lpd_sweep_cells_total",
 		"Sweep cells by taxonomy outcome.", "outcome")
 	s.reg.NewGauge("lpd_engine_info",
-		"Execution engine of this server (value is always 1).", "engine").
-		Set(1, s.opts.Engine.String())
+		"Execution engine and resolved paper-grid fan-out plan of this server (value is always 1).",
+		"engine", "fanout").
+		Set(1, s.opts.Engine.String(),
+			core.PlanFanout(len(core.PaperConfigs()), core.RunOptions{Parallelism: s.opts.Parallelism}).String())
 	s.reg.NewCounterFunc("lpd_cache_hits_total",
 		"Analyze requests served from a stored cache entry.",
 		func() float64 { return float64(s.cache.Stats().Hits) })
@@ -555,6 +563,7 @@ func (s *Server) runOptions(b Budgets) core.RunOptions {
 		Timeout:      time.Duration(b.TimeoutMs) * time.Millisecond,
 		Ctx:          s.baseCtx,
 		Engine:       s.opts.Engine,
+		Parallelism:  s.opts.Parallelism,
 	}
 }
 
